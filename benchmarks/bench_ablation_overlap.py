@@ -1,0 +1,81 @@
+"""Ablation: hiding the casting stage under forward propagation (Fig 9b).
+
+DESIGN.md calls out the runtime co-design as a load-bearing choice: the cast
+is computed on the otherwise-idle GPU during the CPU/NMP-side forward
+gather.  This ablation compares the co-designed schedule against a strawman
+that runs casting serially on the backward critical path.
+"""
+
+from conftest import run_once
+
+from repro.model import get_model
+from repro.runtime.systems import CPUGPUSystem, compute_workload
+from repro.runtime.timeline import RESOURCE_GPU
+
+
+class SerialCastingSystem(CPUGPUSystem):
+    """Ours(CPU) with the casting stage exposed (not overlapped)."""
+
+    def __init__(self, hardware):
+        super().__init__(hardware, casting=True)
+        self.name = "Ours(CPU, serial cast)"
+
+    def _schedule_iteration(self, stats, timeline, prev_update):
+        cpu, gpu, pcie = self.hardware.cpu, self.hardware.gpu, self.hardware.pcie
+        fwd_dnn, bwd_dnn, _ = self._dnn_times(stats)
+        gather = timeline.schedule(
+            "cpu", "FWD (Gather)",
+            cpu.time_gather_reduce(stats.n, stats.num_outputs, stats.dim, stats.itemsize),
+            after=prev_update, category="fwd",
+        )
+        inputs = stats.dense_input_bytes + stats.gradient_table_bytes
+        up = timeline.schedule("pcie", "Transfer", pcie.transfer_time(inputs), after=gather)
+        dnn_f = timeline.schedule(RESOURCE_GPU, "FWD (DNN)", fwd_dnn, after=up)
+        dnn_b = timeline.schedule(RESOURCE_GPU, "BWD (DNN)", bwd_dnn, after=dnn_f)
+        down = timeline.schedule(
+            "pcie", "Transfer", pcie.transfer_time(stats.gradient_table_bytes), after=dnn_b
+        )
+        # Strawman: cast only now, serially, on the backward critical path.
+        idx_up = timeline.schedule(
+            "pcie", "FWD (Casting:xfer)", pcie.transfer_time(stats.index_bytes), after=down
+        )
+        cast = timeline.schedule(
+            RESOURCE_GPU, "FWD (Casting)", gpu.time_casting(stats.n), after=idx_up
+        )
+        idx_down = timeline.schedule(
+            "pcie", "FWD (Casting:xfer)", pcie.transfer_time(stats.index_bytes), after=cast
+        )
+        tcast = timeline.schedule(
+            "cpu", "BWD (T.Casted Gather)",
+            cpu.time_casted_gather_reduce(stats.n, stats.u, stats.num_outputs,
+                                          stats.dim, stats.itemsize),
+            after=idx_down, category="bwd",
+        )
+        return timeline.schedule(
+            "cpu", "BWD (Scatter)",
+            cpu.time_scatter(stats.u, stats.dim, stats.itemsize, stats.optimizer),
+            after=tcast, category="bwd",
+        )
+
+
+def test_ablation_overlap(benchmark, hardware):
+    def run():
+        results = {}
+        overlapped = CPUGPUSystem(hardware, casting=True)
+        serial = SerialCastingSystem(hardware)
+        for model_name in ("RM1", "RM2"):
+            for batch in (2048, 8192):
+                stats = compute_workload(get_model(model_name), batch)
+                results[(model_name, batch)] = (
+                    overlapped.run_iteration(stats).total,
+                    serial.run_iteration(stats).total,
+                )
+        return results
+
+    results = run_once(benchmark, run)
+    print("\n[Ablation] Hiding the casting stage under forward propagation")
+    for (model, batch), (hidden, exposed) in results.items():
+        print(f"  {model} b{batch}: hidden={hidden * 1e3:7.2f} ms "
+              f"exposed={exposed * 1e3:7.2f} ms -> overlap saves "
+              f"{(exposed / hidden - 1) * 100:.1f}%")
+        assert hidden < exposed

@@ -1,0 +1,46 @@
+"""Ablation: NMP rank scaling (bandwidth amplification, Section IV-C).
+
+Sweeps the pool's rank count to show aggregate-throughput scaling and where
+returns diminish because the casting stage becomes the bottleneck.
+"""
+
+from conftest import run_once
+
+from repro.model import get_model
+from repro.runtime.systems import (
+    CPUGPUSystem,
+    NMPSystem,
+    SystemHardware,
+    compute_workload,
+)
+from repro.sim.nmp import NMPPoolModel
+from repro.sim.specs import NMPPoolSpec
+
+RANK_SWEEP = (4, 8, 16, 32, 64)
+
+
+def test_ablation_rank_scaling(benchmark, hardware):
+    def run():
+        stats = compute_workload(get_model("RM1"), 2048)
+        baseline = CPUGPUSystem(hardware, casting=False).run_iteration(stats).total
+        rows = []
+        for ranks in RANK_SWEEP:
+            hw = SystemHardware(
+                cpu=hardware.cpu, gpu=hardware.gpu,
+                nmp=NMPPoolModel(NMPPoolSpec().with_ranks(ranks)),
+                pcie=hardware.pcie, nmp_link=hardware.nmp_link,
+            )
+            total = NMPSystem(hw, casting=True).run_iteration(stats).total
+            rows.append((ranks, total, baseline / total))
+        return rows
+
+    rows = run_once(benchmark, run)
+    print("\n[Ablation] NMP rank scaling (Ours(NMP), RM1, b2048)")
+    for ranks, total, speedup in rows:
+        print(f"  {ranks:3d} ranks: {total * 1e3:7.2f} ms/iter  {speedup:5.2f}x")
+    speedups = [s for _, _, s in rows]
+    assert all(a <= b + 1e-9 for a, b in zip(speedups, speedups[1:]))
+    # Diminishing returns: the last doubling buys less than the first.
+    first_gain = speedups[1] / speedups[0]
+    last_gain = speedups[-1] / speedups[-2]
+    assert last_gain < first_gain

@@ -1,0 +1,41 @@
+"""End-to-end wall-clock training benchmark: baseline vs casted backward.
+
+Trains the same down-scaled DLRM with both backward strategies and reports
+per-phase wall-clock - the functional analogue of the paper's real-system
+prototype measurements.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.generator import SyntheticCTRStream
+from repro.model import DLRM, SGD, get_model
+from repro.runtime.trainer import FunctionalTrainer
+
+CONFIG = get_model("RM1").with_overrides(
+    num_tables=4, gathers_per_table=16, rows_per_table=50_000,
+)
+
+
+def make_trainer():
+    model = DLRM(CONFIG, rng=np.random.default_rng(0), dtype=np.float32)
+    stream = SyntheticCTRStream(
+        num_tables=CONFIG.num_tables,
+        num_rows=CONFIG.rows_per_table,
+        lookups_per_sample=CONFIG.gathers_per_table,
+        dense_features=CONFIG.dense_features,
+        seed=0,
+    )
+    return FunctionalTrainer(model, stream, SGD(lr=0.1))
+
+
+@pytest.mark.parametrize("mode", ["baseline", "casted"])
+def test_training_step_wallclock(benchmark, mode):
+    trainer = make_trainer()
+    rng = np.random.default_rng(1)
+
+    def step():
+        return trainer.train(512, 1, rng, mode=mode)
+
+    report = benchmark(step)
+    assert report.steps == 1

@@ -1,0 +1,25 @@
+"""Figure 4: training-time breakdown of CPU-only vs CPU-GPU systems.
+
+Regenerates the stacked-bar rows (per-primitive latency shares) and the
+normalized-latency line for RM1-4 x batch {1024, 2048, 4096}.
+"""
+
+from conftest import run_once
+
+from repro.experiments.breakdown import fig4_breakdown, format_fig4
+
+
+def test_fig4_regenerate(benchmark, hardware):
+    rows = run_once(benchmark, fig4_breakdown, hardware=hardware)
+    assert len(rows) == 4 * 3 * 2
+    print("\n[Figure 4] Training-time breakdown (CPU-only vs CPU-GPU)")
+    print(format_fig4(rows))
+    # The paper's Section III-A anchor: backward embedding steps dominate.
+    cpu_gpu_rm1 = [r for r in rows if r.system == "Baseline(CPU)" and r.model == "RM1"]
+    for row in cpu_gpu_rm1:
+        backward = sum(
+            row.fraction(op)
+            for op in row.ops
+            if op.startswith("BWD") and "DNN" not in op
+        )
+        assert 0.62 <= backward <= 0.92

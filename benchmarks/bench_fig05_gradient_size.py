@@ -1,0 +1,28 @@
+"""Figure 5: lookup probability functions and gradient-size shrinkage.
+
+(a) sorted lookup probability per dataset; (b) backpropagated / expanded /
+coalesced gradient sizes for batches 1024-4096 at 10 gathers per table.
+"""
+
+from conftest import run_once
+
+from repro.experiments.gradient_size import (
+    fig5a_probability_functions,
+    fig5b_gradient_sizes,
+    format_fig5a,
+    format_fig5b,
+)
+
+
+def test_fig5a_regenerate(benchmark):
+    rows = run_once(benchmark, fig5a_probability_functions)
+    print("\n[Figure 5a] Lookup probability functions (head samples)")
+    print(format_fig5a(rows))
+
+
+def test_fig5b_regenerate(benchmark):
+    rows = run_once(benchmark, fig5b_gradient_sizes)
+    print("\n[Figure 5b] Gradient sizes before/after expand and coalesce")
+    print(format_fig5b(rows))
+    # Paper note: expanded size is precisely the 10x gather multiple.
+    assert all(r.expanded == 10.0 for r in rows)

@@ -1,0 +1,15 @@
+"""Figure 6: memory read/write traffic per embedding-layer primitive."""
+
+from conftest import run_once
+
+from repro.experiments.traffic import fig6_traffic, format_fig6
+
+
+def test_fig6_regenerate(benchmark):
+    rows = run_once(benchmark, fig6_traffic, include_casted=True)
+    print("\n[Figure 6] Memory traffic per primitive (normalized, + casted)")
+    print(format_fig6(rows))
+    for dataset in {r.dataset for r in rows}:
+        of = {r.primitive: r.total for r in rows if r.dataset == dataset}
+        ratio = (of["Expand"] + of["Coalesce"]) / of["Gather"]
+        assert 2.5 <= ratio <= 4.5  # "around 3x" (Section III-C)

@@ -1,0 +1,16 @@
+"""Figure 12: accumulated latency of all four design points + T.Cast benefit."""
+
+from conftest import run_once
+
+from repro.experiments.breakdown import fig12_breakdown, format_fig12
+
+
+def test_fig12_regenerate(benchmark, hardware):
+    rows = run_once(benchmark, fig12_breakdown, hardware=hardware)
+    assert len(rows) == 4 * 4 * 4
+    print("\n[Figure 12] Accumulated-latency breakdown and casting benefit")
+    print(format_fig12(rows))
+    benefits = [r.tcast_benefit for r in rows if r.tcast_benefit is not None]
+    print(f"T.Cast benefit range: {min(benefits):.1f}x - {max(benefits):.1f}x "
+          f"(paper: 1.1x - 9.5x)")
+    assert min(benefits) > 1.1

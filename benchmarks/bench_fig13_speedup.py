@@ -1,0 +1,17 @@
+"""Figure 13: end-to-end training-throughput speedup - the headline grid."""
+
+from conftest import run_once
+
+from repro.experiments.speedup import fig13_speedup, format_fig13, speedup_summary
+
+
+def test_fig13_regenerate(benchmark, hardware):
+    rows = run_once(benchmark, fig13_speedup, hardware=hardware)
+    print("\n[Figure 13] End-to-end speedup over Baseline(CPU)")
+    print(format_fig13(rows))
+    summary = speedup_summary(rows)
+    # Paper bands: Ours(NMP) 2.0-15x (avg 6.9); Ours(CPU) above Baseline(NMP).
+    assert summary["Ours(NMP)"]["min"] >= 1.9
+    assert summary["Ours(NMP)"]["max"] <= 16.0
+    assert 5.0 <= summary["Ours(NMP)"]["mean"] <= 9.0
+    assert summary["Ours(CPU)"]["mean"] > summary["Baseline(NMP)"]["mean"]

@@ -1,0 +1,14 @@
+"""Figure 14: energy consumption with/without Tensor Casting."""
+
+from conftest import run_once
+
+from repro.experiments.energy import fig14_energy, format_fig14
+
+
+def test_fig14_regenerate(benchmark, hardware):
+    rows = run_once(benchmark, fig14_energy, hardware=hardware)
+    print("\n[Figure 14] Energy, normalized to Baseline(CPU)")
+    print(format_fig14(rows))
+    for row in rows:
+        if row.system == "Ours(NMP)":
+            assert row.normalized < 1.0  # throughput wins become energy wins

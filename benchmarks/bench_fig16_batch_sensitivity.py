@@ -1,0 +1,14 @@
+"""Figure 16: sensitivity to hyperscaler-scale training batch sizes."""
+
+from conftest import run_once
+
+from repro.experiments.sensitivity import fig16_batch_sensitivity, format_sensitivity
+
+
+def test_fig16_regenerate(benchmark, hardware):
+    rows = run_once(benchmark, fig16_batch_sensitivity, hardware=hardware)
+    print("\n[Figure 16] Speedup at batch sizes 8K/16K/32K")
+    print(format_sensitivity(rows))
+    best = max(r.speedups["Ours(NMP)"] for r in rows)
+    print(f"peak Ours(NMP) speedup: {best:.1f}x (paper: up to 15x)")
+    assert best > 10.0

@@ -1,0 +1,13 @@
+"""Figure 17: sensitivity to the embedding vector width (32/128/256)."""
+
+from conftest import run_once
+
+from repro.experiments.sensitivity import fig17_dim_sensitivity, format_sensitivity
+
+
+def test_fig17_regenerate(benchmark, hardware):
+    rows = run_once(benchmark, fig17_dim_sensitivity, hardware=hardware)
+    print("\n[Figure 17] Speedup across embedding vector widths")
+    print(format_sensitivity(rows))
+    for row in rows:
+        assert row.speedups["Ours(NMP)"] > 1.5  # robust at every width

@@ -1,0 +1,31 @@
+"""Table I: disaggregated memory architecture configuration.
+
+Regenerates the Table I rows from the pool spec and benchmarks the
+cycle-level DRAM measurement that underpins the per-rank effective
+bandwidth (the paper's Ramulator step).
+"""
+
+from conftest import run_once
+
+from repro.experiments.tables import format_table1, table1_rows
+from repro.sim.dram import DDR4_3200
+from repro.sim.memsys import PatternBandwidth
+
+
+def test_table1_rows_regenerate(benchmark):
+    rows = run_once(benchmark, table1_rows)
+    assert rows[1] == ["Number of ranks", "32"]
+    print("\n[Table I] Disaggregated memory architecture configuration")
+    print(format_table1())
+
+
+def test_table1_per_rank_bandwidth_measurement(benchmark):
+    """Times one cycle-level gather-efficiency measurement for a rank."""
+
+    def measure():
+        return PatternBandwidth(DDR4_3200, window=4).efficiency("random_gather", 256)
+
+    efficiency = benchmark(measure)
+    achieved = efficiency * DDR4_3200.peak_bandwidth / 1e9
+    print(f"\n[Table I] one DDR4-3200 rank: {achieved:.1f} GB/s effective "
+          f"({efficiency * 100:.0f}% of 25.6 GB/s pin) under 256B gathers")

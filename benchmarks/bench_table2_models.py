@@ -1,0 +1,35 @@
+"""Table II: recommendation model configurations.
+
+Regenerates the Table II rows from the configs and benchmarks construction
+of every DLRM variant at reduced table height (full-height tables are
+hundreds of GBs by design - the paper's capacity argument).
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments.tables import format_table2, table2_rows
+from repro.model import ALL_MODELS, DLRM
+
+
+def test_table2_rows_regenerate(benchmark):
+    rows = run_once(benchmark, table2_rows)
+    assert [r[0] for r in rows] == ["RM1", "RM2", "RM3", "RM4"]
+    print("\n[Table II] Recommendation model configurations")
+    print(format_table2())
+    for config in ALL_MODELS:
+        print(f"  {config.name}: {config.embedding_bytes() / 2**30:.1f} GiB of "
+              f"embeddings at paper scale, "
+              f"{config.mlp_forward_flops(1) / 1e6:.1f} MFLOP/sample forward")
+
+
+def test_table2_model_instantiation(benchmark):
+    def build_all():
+        rng = np.random.default_rng(0)
+        return [
+            DLRM(config.with_overrides(rows_per_table=1000), rng=rng)
+            for config in ALL_MODELS
+        ]
+
+    models = run_once(benchmark, build_all)
+    assert len(models) == 4

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Dataset locality study: how lookup skew drives gradient coalescing.
+
+Reproduces the paper's Section III-B analysis across the five dataset
+profiles (Amazon, MovieLens, Alibaba, Criteo, Random): builds each sorted
+lookup-probability function via the histogram methodology, then shows how
+batch size and skew together determine how far the expanded gradient tensor
+shrinks when coalesced — and what that means for the casting reduction
+factor on real data.
+
+Run:  python examples/dataset_locality_study.py
+"""
+
+import numpy as np
+
+from repro import generate_index_array, get_dataset
+from repro.core.traffic import casting_reduction_factor
+from repro.data import dataset_names, empirical_probability_function, gini_coefficient
+from repro.experiments import fig5b_gradient_sizes, format_fig5b
+
+
+def probability_functions() -> None:
+    print("== Sorted lookup-probability functions (Figure 5a methodology) ==")
+    print(f"{'dataset':12s} {'rows':>10s} {'top 0.1% mass':>14s} {'top 1% mass':>12s} "
+          f"{'gini':>6s}")
+    for name in dataset_names():
+        profile = get_dataset(name)
+        dist = profile.distribution()
+        print(f"{profile.display_name:12s} {profile.num_rows:>10,d} "
+              f"{dist.top_mass(0.001):>13.1%} {dist.top_mass(0.01):>11.1%} "
+              f"{gini_coefficient(dist.probabilities()):>6.3f}")
+    print()
+
+    print("analytic vs histogram-measured probability (MovieLens, 200K lookups):")
+    dist = get_dataset("movielens").distribution()
+    ids = dist.sample(200_000, np.random.default_rng(0))
+    measured = empirical_probability_function(ids, dist.num_rows)
+    analytic = dist.probabilities()
+    for rank in (0, 9, 99, 999):
+        print(f"  rank {rank + 1:>4d}: analytic={analytic[rank]:.2e} "
+              f"measured={measured[rank]:.2e}")
+    print()
+
+
+def gradient_sizes() -> None:
+    print("== Gradient tensor sizes before/after coalescing (Figure 5b) ==")
+    rows = fig5b_gradient_sizes()
+    print(format_fig5b(rows))
+    print("-> skewed datasets (MovieLens, Criteo) coalesce hardest, and harder "
+          "as batch grows\n")
+
+
+def casting_payoff() -> None:
+    print("== What locality means for Tensor Casting (reduction factor) ==")
+    batch, gathers = 4096, 10
+    for name in dataset_names():
+        profile = get_dataset(name)
+        index = generate_index_array(
+            profile.distribution(), batch, gathers, np.random.default_rng(1)
+        )
+        factor = casting_reduction_factor(
+            index.num_lookups, batch, index.num_unique_sources(), dim=64
+        )
+        print(f"  {profile.display_name:12s} u/n={index.coalescing_ratio():.2f} "
+              f"-> casting moves {factor:.2f}x less data than expand-coalesce")
+    print("-> the guarantee holds everywhere (>= 2x), and skew pushes it toward 4x")
+
+
+def main() -> None:
+    probability_functions()
+    gradient_sizes()
+    casting_payoff()
+
+
+if __name__ == "__main__":
+    main()

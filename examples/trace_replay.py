@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Trace workflow: export real lookup streams, replay them everywhere.
+
+Production users have actual index traces (from dataset preprocessing or
+serving logs).  This example shows the full loop:
+
+1. generate a stand-in "production" trace (here: a skewed synthetic batch,
+   but any per-table id stream works) and export it with ``save_trace``;
+2. reload it and measure its popularity distribution via the paper's
+   histogram methodology (Section III-B);
+3. drive the performance model with the *measured* distribution instead of
+   a calibrated profile — locality flows straight from the trace into the
+   coalescing, scatter and speedup numbers.
+
+Run:  python examples/trace_replay.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import compute_workload, design_points, get_model
+from repro.data import (
+    ZipfDistribution,
+    distribution_from_trace,
+    generate_index_array,
+    load_trace,
+    save_trace,
+)
+
+
+def export_production_trace(path: Path) -> None:
+    print("== Step 1: export a per-table index trace ==")
+    rng = np.random.default_rng(7)
+    tables = [
+        ZipfDistribution(400_000, exponent=1.15, shift=4.0),  # user history
+        ZipfDistribution(50_000, exponent=0.9, shift=2.0),    # ad campaign
+        ZipfDistribution(1_200_000, exponent=1.0, shift=6.0), # item catalog
+    ]
+    indices = [
+        generate_index_array(dist, batch=4096, lookups_per_sample=20, rng=rng)
+        for dist in tables
+    ]
+    save_trace(path, indices)
+    total = sum(i.num_lookups for i in indices)
+    print(f"wrote {path.name}: {len(indices)} tables, {total:,} lookups\n")
+
+
+def analyze_trace(path: Path):
+    print("== Step 2: measure the trace's locality (Figure 5a methodology) ==")
+    indices = load_trace(path)
+    for table_id, index in enumerate(indices):
+        ratio = index.coalescing_ratio()
+        print(f"  table {table_id}: {index.num_lookups:,} lookups over "
+              f"{index.num_rows:,} rows -> u/n = {ratio:.3f}")
+    measured = distribution_from_trace(indices, table=0)
+    print(f"  table 0 head mass (top 1% of rows): {measured.top_mass(0.01):.1%}\n")
+    return measured
+
+
+def replay_through_perf_model(measured) -> None:
+    print("== Step 3: drive the system models with the measured locality ==")
+    config = get_model("RM3")
+    systems = design_points()
+    for label, dataset in (("uniform (synthetic default)", "random"),
+                           ("measured from trace", measured)):
+        stats = compute_workload(config, 4096, dataset=dataset)
+        base = systems["Baseline(CPU)"].run_iteration(stats)
+        ours = systems["Ours(NMP)"].run_iteration(stats)
+        print(f"  {label}: u={stats.u:,} "
+              f"baseline={base.total * 1e3:6.2f} ms "
+              f"Ours(NMP)={ours.total * 1e3:5.2f} ms "
+              f"({base.total / ours.total:.2f}x)")
+    print("\n-> skewed production traffic coalesces harder, shrinking scatter "
+          "time for both systems while casting keeps its advantage")
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as workdir:
+        trace_path = Path(workdir) / "production_trace.npz"
+        export_production_trace(trace_path)
+        measured = analyze_trace(trace_path)
+        replay_through_perf_model(measured)
+
+
+if __name__ == "__main__":
+    main()

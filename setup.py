@@ -1,0 +1,6 @@
+"""Legacy setup shim: lets `pip install -e . --no-use-pep517` work offline
+(the sandbox lacks the `wheel` package required for PEP 660 editable builds).
+All project metadata lives in pyproject.toml."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,153 @@
+"""Tensor Casting — full reproduction of Kwon, Lee & Rhu (HPCA 2021).
+
+An algorithm-architecture co-design for personalized-recommendation
+*training*: the gradient expand-coalesce bottleneck of embedding-layer
+backpropagation is "casted" into a tensor gather-reduce (Algorithms 2-3),
+enabling both a software-only speedup on CPU-GPU systems and a generic
+near-memory gather-scatter accelerator that covers every key training
+primitive.
+
+Package tour
+------------
+* :mod:`repro.core` — index arrays, gather-reduce/scatter kernels, the
+  baseline expand-coalesce pipeline, Tensor Casting itself, and analytic
+  memory-traffic models;
+* :mod:`repro.model` — a from-scratch NumPy DLRM (MLPs, embedding bags with
+  both backward strategies, interactions, losses, optimizers) plus the
+  Table II configurations;
+* :mod:`repro.data` — calibrated synthetic dataset profiles, histogram
+  tooling, and batch/CTR generators;
+* :mod:`repro.sim` — cycle-level DDR4 simulation, CPU/GPU/NMP device models,
+  interconnects and energy accounting;
+* :mod:`repro.runtime` — execution timelines, the four system design points,
+  and a wall-clock-instrumented functional trainer;
+* :mod:`repro.experiments` — one harness per table/figure of the evaluation.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import IndexArray, tensor_casting, casted_gather_reduce
+>>> index = IndexArray(src=[1, 2, 4, 0, 2], dst=[0, 0, 0, 1, 1], num_rows=6)
+>>> cast = tensor_casting(index)            # Algorithm 2
+>>> grads = np.ones((2, 4))                 # B=2 backpropagated gradients
+>>> rows, coalesced = casted_gather_reduce(grads, cast)   # Algorithm 3
+>>> rows.tolist()                           # scatter targets
+[0, 1, 2, 4]
+"""
+
+from .core import (
+    CastedIndex,
+    IndexArray,
+    Traffic,
+    casted_gather_reduce,
+    casting_reduction_factor,
+    expand_coalesce,
+    gather_reduce,
+    gradient_coalesce,
+    gradient_expand,
+    gradient_scatter,
+    hash_casting,
+    tcasted_grad_gather_reduce,
+    tensor_casting,
+)
+from .data import (
+    DATASETS,
+    SyntheticCTRStream,
+    UniformDistribution,
+    ZipfDistribution,
+    generate_index_array,
+    get_dataset,
+)
+from .model import (
+    ALL_MODELS,
+    Adagrad,
+    Adam,
+    DLRM,
+    EmbeddingBag,
+    MLP,
+    ModelConfig,
+    Momentum,
+    RMSprop,
+    SGD,
+    SparseGradient,
+    bce_with_logits,
+    get_model,
+)
+from .runtime import (
+    CPUGPUSystem,
+    CPUOnlySystem,
+    FunctionalTrainer,
+    NMPSystem,
+    SystemHardware,
+    Timeline,
+    WorkloadStats,
+    compute_workload,
+    design_points,
+)
+from .sim import (
+    CPUModel,
+    DDR4_2400,
+    DDR4_3200,
+    DRAMChannel,
+    EnergyModel,
+    GPUModel,
+    Link,
+    NMPPoolModel,
+    TABLE_I_POOL,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_MODELS",
+    "Adagrad",
+    "Adam",
+    "CPUGPUSystem",
+    "CPUModel",
+    "CPUOnlySystem",
+    "CastedIndex",
+    "DATASETS",
+    "DDR4_2400",
+    "DDR4_3200",
+    "DLRM",
+    "DRAMChannel",
+    "EmbeddingBag",
+    "EnergyModel",
+    "FunctionalTrainer",
+    "GPUModel",
+    "IndexArray",
+    "Link",
+    "MLP",
+    "ModelConfig",
+    "Momentum",
+    "NMPPoolModel",
+    "NMPSystem",
+    "RMSprop",
+    "SGD",
+    "SparseGradient",
+    "SyntheticCTRStream",
+    "SystemHardware",
+    "TABLE_I_POOL",
+    "Timeline",
+    "Traffic",
+    "UniformDistribution",
+    "WorkloadStats",
+    "ZipfDistribution",
+    "bce_with_logits",
+    "casted_gather_reduce",
+    "casting_reduction_factor",
+    "compute_workload",
+    "design_points",
+    "expand_coalesce",
+    "gather_reduce",
+    "generate_index_array",
+    "get_dataset",
+    "get_model",
+    "gradient_coalesce",
+    "gradient_expand",
+    "gradient_scatter",
+    "hash_casting",
+    "tcasted_grad_gather_reduce",
+    "tensor_casting",
+    "__version__",
+]

@@ -1,0 +1,202 @@
+"""Command-line entry point: regenerate any paper artifact by name.
+
+``python -m repro <experiment>`` prints the same rows the corresponding
+benchmark regenerates, without pytest in the loop — handy for quick looks
+and for piping into downstream tooling.
+
+Examples::
+
+    python -m repro list
+    python -m repro table1
+    python -m repro fig13 --models RM1 RM2 --batches 2048 8192
+    python -m repro fig5b
+    python -m repro fig16 --dataset criteo
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Callable, Dict, Sequence
+
+from .experiments import (
+    fig4_breakdown,
+    fig5a_probability_functions,
+    fig5b_gradient_sizes,
+    fig6_traffic,
+    fig12_breakdown,
+    fig13_speedup,
+    fig14_energy,
+    fig15_utilization,
+    fig16_batch_sensitivity,
+    fig17_dim_sensitivity,
+    format_fig4,
+    format_fig5a,
+    format_fig5b,
+    format_fig6,
+    format_fig12,
+    format_fig13,
+    format_fig14,
+    format_fig15,
+    format_link_sweep,
+    format_sensitivity,
+    format_table1,
+    format_table2,
+    link_bandwidth_sweep,
+)
+from .model.configs import ALL_MODELS, get_model
+from .runtime.systems import SystemHardware
+
+__all__ = ["main", "EXPERIMENTS"]
+
+
+def _models_from(args) -> list:
+    if not args.models:
+        return list(ALL_MODELS)
+    return [get_model(name) for name in args.models]
+
+
+def _run_table1(args, hardware) -> str:
+    return format_table1()
+
+
+def _run_table2(args, hardware) -> str:
+    return format_table2()
+
+
+def _run_fig4(args, hardware) -> str:
+    batches = args.batches or (1024, 2048, 4096)
+    return format_fig4(
+        fig4_breakdown(models=_models_from(args), batches=batches,
+                       dataset=args.dataset, hardware=hardware)
+    )
+
+
+def _run_fig5a(args, hardware) -> str:
+    return format_fig5a(fig5a_probability_functions())
+
+
+def _run_fig5b(args, hardware) -> str:
+    batches = args.batches or (1024, 2048, 4096)
+    return format_fig5b(fig5b_gradient_sizes(batches=batches))
+
+
+def _run_fig6(args, hardware) -> str:
+    return format_fig6(fig6_traffic(include_casted=True))
+
+
+def _run_fig12(args, hardware) -> str:
+    batches = args.batches or (1024, 2048, 4096, 8192)
+    return format_fig12(
+        fig12_breakdown(models=_models_from(args), batches=batches,
+                        dataset=args.dataset, hardware=hardware)
+    )
+
+
+def _run_fig13(args, hardware) -> str:
+    batches = args.batches or (1024, 2048, 4096, 8192)
+    return format_fig13(
+        fig13_speedup(models=_models_from(args), batches=batches,
+                      dataset=args.dataset, hardware=hardware)
+    )
+
+
+def _run_fig14(args, hardware) -> str:
+    batches = args.batches or (1024, 2048, 4096, 8192)
+    return format_fig14(
+        fig14_energy(models=_models_from(args), batches=batches,
+                     dataset=args.dataset, hardware=hardware)
+    )
+
+
+def _run_fig15(args, hardware) -> str:
+    batches = args.batches or (1024, 2048, 4096, 8192)
+    return format_fig15(
+        fig15_utilization(models=_models_from(args), batches=batches,
+                          dataset=args.dataset, hardware=hardware)
+    )
+
+
+def _run_fig16(args, hardware) -> str:
+    batches = args.batches or (8192, 16384, 32768)
+    return format_sensitivity(
+        fig16_batch_sensitivity(models=_models_from(args), batches=batches,
+                                dataset=args.dataset, hardware=hardware)
+    )
+
+
+def _run_fig17(args, hardware) -> str:
+    return format_sensitivity(
+        fig17_dim_sensitivity(models=_models_from(args),
+                              dataset=args.dataset, hardware=hardware)
+    )
+
+
+def _run_link(args, hardware) -> str:
+    return format_link_sweep(
+        link_bandwidth_sweep(models=_models_from(args),
+                             dataset=args.dataset, hardware=hardware)
+    )
+
+
+#: Experiment registry: name -> (runner, description).
+EXPERIMENTS: Dict[str, tuple[Callable, str]] = {
+    "table1": (_run_table1, "Table I - disaggregated memory configuration"),
+    "table2": (_run_table2, "Table II - recommendation model configurations"),
+    "fig4": (_run_fig4, "Figure 4 - CPU-only vs CPU-GPU breakdown"),
+    "fig5a": (_run_fig5a, "Figure 5a - lookup probability functions"),
+    "fig5b": (_run_fig5b, "Figure 5b - gradient sizes before/after coalescing"),
+    "fig6": (_run_fig6, "Figure 6 - memory traffic per primitive"),
+    "fig12": (_run_fig12, "Figure 12 - accumulated latency of design points"),
+    "fig13": (_run_fig13, "Figure 13 - end-to-end speedup"),
+    "fig14": (_run_fig14, "Figure 14 - energy consumption"),
+    "fig15": (_run_fig15, "Figure 15 - NMP utilization"),
+    "fig16": (_run_fig16, "Figure 16 - batch-size sensitivity"),
+    "fig17": (_run_fig17, "Figure 17 - embedding-dimension sensitivity"),
+    "link": (_run_link, "Section VI-D - link-bandwidth sweep"),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro`` argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate tables/figures of the Tensor Casting paper.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["list", "validate"],
+        help="which artifact to regenerate ('list' to enumerate, "
+             "'validate' to run the self-checks)",
+    )
+    parser.add_argument(
+        "--models", nargs="*", default=None, metavar="RM",
+        help="restrict to these Table II models (default: all)",
+    )
+    parser.add_argument(
+        "--batches", nargs="*", type=int, default=None, metavar="B",
+        help="mini-batch sizes to sweep (default: the figure's own)",
+    )
+    parser.add_argument(
+        "--dataset", default="random",
+        help="locality profile: random, amazon, movielens, alibaba, criteo",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.experiment == "list":
+        for name, (_, description) in sorted(EXPERIMENTS.items()):
+            print(f"{name:8s} {description}")
+        return 0
+    if args.experiment == "validate":
+        from .validation import validate_all
+
+        report = validate_all()
+        print(report.summary())
+        return 0 if report.passed else 1
+    runner, description = EXPERIMENTS[args.experiment]
+    print(f"# {description}")
+    print(runner(args, SystemHardware()))
+    return 0

@@ -1,0 +1,76 @@
+"""Core Tensor Casting primitives — the paper's algorithmic contribution.
+
+This package implements the full embedding-training primitive inventory of
+the paper (Section II-B, Figure 2) plus Tensor Casting itself (Section IV-A,
+Algorithms 2-3):
+
+* :mod:`~repro.core.indexing` — the ``(src, dst)`` index-array abstraction,
+* :mod:`~repro.core.gather_reduce` — fused forward gather-reduce and the
+  casted gradient gather-reduce,
+* :mod:`~repro.core.coalesce` — the baseline gradient expand-coalesce
+  pipeline (Algorithm 1),
+* :mod:`~repro.core.casting` — Tensor Casting (Algorithm 2) and a
+  hash-bucketing ablation variant,
+* :mod:`~repro.core.scatter` — the gradient-scatter model update,
+* :mod:`~repro.core.traffic` — analytic memory-traffic models (Figure 6).
+"""
+
+from .casting import CastedIndex, hash_casting, tensor_casting, tensor_casting_reference
+from .coalesce import (
+    expand_coalesce,
+    gradient_coalesce,
+    gradient_coalesce_reference,
+    gradient_expand,
+)
+from .gather_reduce import (
+    casted_gather_reduce,
+    gather_reduce,
+    gather_reduce_reference,
+    tcasted_grad_gather_reduce,
+)
+from .indexing import IndexArray, concatenate
+from .scatter import gradient_scatter, gradient_scatter_reference, scatter_with_optimizer
+from .traffic import (
+    OPTIMIZER_STATE_SLOTS,
+    Traffic,
+    casted_gather_reduce_traffic,
+    casting_reduction_factor,
+    casting_traffic,
+    coalesce_accumulate_traffic,
+    coalesce_sort_traffic,
+    expand_coalesce_traffic,
+    expand_traffic,
+    gather_reduce_traffic,
+    scatter_traffic,
+)
+
+__all__ = [
+    "CastedIndex",
+    "IndexArray",
+    "OPTIMIZER_STATE_SLOTS",
+    "Traffic",
+    "casted_gather_reduce",
+    "casted_gather_reduce_traffic",
+    "casting_reduction_factor",
+    "casting_traffic",
+    "coalesce_accumulate_traffic",
+    "coalesce_sort_traffic",
+    "concatenate",
+    "expand_coalesce",
+    "expand_coalesce_traffic",
+    "expand_traffic",
+    "gather_reduce",
+    "gather_reduce_reference",
+    "gather_reduce_traffic",
+    "gradient_coalesce",
+    "gradient_coalesce_reference",
+    "gradient_expand",
+    "gradient_scatter",
+    "gradient_scatter_reference",
+    "hash_casting",
+    "scatter_traffic",
+    "scatter_with_optimizer",
+    "tcasted_grad_gather_reduce",
+    "tensor_casting",
+    "tensor_casting_reference",
+]

@@ -1,0 +1,245 @@
+"""Index arrays driving embedding gather-reduce and its backward pass.
+
+The paper (Section II-B, Figure 2) describes every embedding-layer primitive
+in terms of an array of ``(src, dst)`` pairs:
+
+* ``src`` — which row of the embedding table a lookup reads, and
+* ``dst`` — which output slot (mini-batch sample) the gathered vector is
+  reduced into.
+
+:class:`IndexArray` is the canonical in-memory representation of that pair
+array.  It is consumed by the forward gather-reduce kernel
+(:mod:`repro.core.gather_reduce`), by the baseline gradient expand-coalesce
+pipeline (:mod:`repro.core.coalesce`), and by the Tensor Casting algorithm
+(:mod:`repro.core.casting`) which permutes it into the casted index array
+used during backpropagation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["IndexArray", "concatenate"]
+
+_INDEX_DTYPE = np.int64
+
+
+def _as_index_vector(values: Iterable[int], name: str) -> np.ndarray:
+    """Coerce ``values`` into a 1-D int64 vector, validating the shape."""
+    array = np.asarray(values)
+    if array.ndim != 1:
+        raise ValueError(f"{name} must be one-dimensional, got shape {array.shape}")
+    if array.size and not np.issubdtype(array.dtype, np.integer):
+        if not np.issubdtype(array.dtype, np.floating):
+            raise TypeError(f"{name} must contain integers, got dtype {array.dtype}")
+        rounded = np.rint(array)
+        if not np.array_equal(rounded, array):
+            raise TypeError(f"{name} must contain integers, got fractional values")
+        array = rounded
+    return array.astype(_INDEX_DTYPE, copy=False)
+
+
+class IndexArray:
+    """The ``(src, dst)`` pair array of an embedding gather-reduce.
+
+    Parameters
+    ----------
+    src:
+        Embedding-table row gathered by each lookup.  Length equals the total
+        number of lookups ``n`` in the mini-batch.
+    dst:
+        Output slot each gathered vector is reduced into.  Same length as
+        ``src``.  For a mini-batch of ``B`` samples with one pooled output per
+        sample, ``dst`` values lie in ``[0, B)``.
+    num_rows:
+        Number of rows in the embedding table (used for validation).
+    num_outputs:
+        Number of reduced outputs ``B``.  Defaults to ``max(dst) + 1``.
+
+    Notes
+    -----
+    The example of Figure 2(a) in the paper is expressed as::
+
+        IndexArray(src=[1, 2, 4, 0, 2], dst=[0, 0, 0, 1, 1], num_rows=6)
+
+    meaning sample 0 reduces rows ``{1, 2, 4}`` and sample 1 reduces rows
+    ``{0, 2}``.
+    """
+
+    __slots__ = ("src", "dst", "num_rows", "num_outputs")
+
+    def __init__(
+        self,
+        src: Iterable[int],
+        dst: Iterable[int],
+        num_rows: int,
+        num_outputs: int | None = None,
+    ) -> None:
+        src_vec = _as_index_vector(src, "src")
+        dst_vec = _as_index_vector(dst, "dst")
+        if src_vec.shape != dst_vec.shape:
+            raise ValueError(
+                f"src and dst must have equal length, got {src_vec.size} and {dst_vec.size}"
+            )
+        if num_rows <= 0:
+            raise ValueError(f"num_rows must be positive, got {num_rows}")
+        if src_vec.size:
+            lo, hi = int(src_vec.min()), int(src_vec.max())
+            if lo < 0 or hi >= num_rows:
+                raise ValueError(
+                    f"src ids must lie in [0, {num_rows}), got range [{lo}, {hi}]"
+                )
+        if num_outputs is None:
+            num_outputs = int(dst_vec.max()) + 1 if dst_vec.size else 0
+        if dst_vec.size:
+            lo, hi = int(dst_vec.min()), int(dst_vec.max())
+            if lo < 0 or hi >= num_outputs:
+                raise ValueError(
+                    f"dst ids must lie in [0, {num_outputs}), got range [{lo}, {hi}]"
+                )
+        elif num_outputs < 0:
+            raise ValueError(f"num_outputs must be non-negative, got {num_outputs}")
+        self.src = src_vec
+        self.dst = dst_vec
+        self.num_rows = int(num_rows)
+        self.num_outputs = int(num_outputs)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_lookups(
+        cls, lookups: Sequence[Sequence[int]], num_rows: int
+    ) -> "IndexArray":
+        """Build from per-sample lookup lists.
+
+        ``lookups[b]`` holds the table rows gathered for sample ``b``; the
+        resulting ``dst`` is ``b`` repeated ``len(lookups[b])`` times.
+        """
+        src: list[int] = []
+        dst: list[int] = []
+        for sample, rows in enumerate(lookups):
+            src.extend(int(r) for r in rows)
+            dst.extend([sample] * len(rows))
+        return cls(src, dst, num_rows, num_outputs=len(lookups))
+
+    @classmethod
+    def from_offsets(
+        cls, indices: Iterable[int], offsets: Iterable[int], num_rows: int
+    ) -> "IndexArray":
+        """Build from the flat ``(indices, offsets)`` EmbeddingBag encoding.
+
+        ``offsets[b]`` is the position in ``indices`` where sample ``b``'s
+        lookups begin, mirroring ``torch.nn.EmbeddingBag``.
+        """
+        indices_vec = _as_index_vector(indices, "indices")
+        offsets_vec = _as_index_vector(offsets, "offsets")
+        if offsets_vec.size == 0:
+            return cls([], [], num_rows, num_outputs=0)
+        if offsets_vec[0] != 0:
+            raise ValueError("offsets must start at zero")
+        if np.any(np.diff(offsets_vec) < 0):
+            raise ValueError("offsets must be non-decreasing")
+        if offsets_vec[-1] > indices_vec.size:
+            raise ValueError("offsets reference past the end of indices")
+        bounds = np.append(offsets_vec, indices_vec.size)
+        counts = np.diff(bounds)
+        dst = np.repeat(np.arange(offsets_vec.size, dtype=_INDEX_DTYPE), counts)
+        return cls(indices_vec, dst, num_rows, num_outputs=offsets_vec.size)
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+    @property
+    def num_lookups(self) -> int:
+        """Total number of gathers ``n`` in the mini-batch."""
+        return int(self.src.size)
+
+    def unique_sources(self) -> np.ndarray:
+        """Distinct table rows touched, in ascending order.
+
+        These are exactly the rows that receive a coalesced gradient during
+        backpropagation (the scatter targets of Figure 2(b)).
+        """
+        return np.unique(self.src)
+
+    def num_unique_sources(self) -> int:
+        """Number of distinct rows touched (``u`` throughout the paper)."""
+        return int(self.unique_sources().size)
+
+    def coalescing_ratio(self) -> float:
+        """Fraction by which coalescing shrinks the expanded gradients.
+
+        Defined as ``u / n``; a value of 1.0 means no index was re-used
+        (nothing coalesces), small values mean heavy re-use and aggressive
+        shrinkage, cf. Figure 5(b).
+        """
+        if self.num_lookups == 0:
+            return 1.0
+        return self.num_unique_sources() / self.num_lookups
+
+    def lookups_per_output(self) -> np.ndarray:
+        """Number of gathers feeding each reduced output slot."""
+        return np.bincount(self.dst, minlength=self.num_outputs).astype(_INDEX_DTYPE)
+
+    def pairs(self) -> np.ndarray:
+        """Return the ``(n, 2)`` array of ``(src, dst)`` pairs."""
+        return np.stack([self.src, self.dst], axis=1)
+
+    def index_bytes(self, index_itemsize: int = 8) -> int:
+        """Size in bytes of the pair array (both halves)."""
+        return 2 * self.num_lookups * index_itemsize
+
+    # ------------------------------------------------------------------
+    # Dunder plumbing
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.num_lookups
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IndexArray):
+            return NotImplemented
+        return (
+            self.num_rows == other.num_rows
+            and self.num_outputs == other.num_outputs
+            and np.array_equal(self.src, other.src)
+            and np.array_equal(self.dst, other.dst)
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - identity hashing only
+        return id(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"IndexArray(n={self.num_lookups}, num_rows={self.num_rows}, "
+            f"num_outputs={self.num_outputs}, unique={self.num_unique_sources()})"
+        )
+
+
+def concatenate(arrays: Sequence[IndexArray]) -> IndexArray:
+    """Concatenate index arrays of several tables into one flat array.
+
+    Row ids are offset so each table occupies a disjoint id range, mirroring
+    how multiple embedding tables are laid out back-to-back in a single
+    address space (Section II-A).  Output slots are offset the same way so
+    every table keeps its own reduced outputs.
+    """
+    if not arrays:
+        raise ValueError("need at least one IndexArray to concatenate")
+    src_parts: list[np.ndarray] = []
+    dst_parts: list[np.ndarray] = []
+    row_base = 0
+    out_base = 0
+    for array in arrays:
+        src_parts.append(array.src + row_base)
+        dst_parts.append(array.dst + out_base)
+        row_base += array.num_rows
+        out_base += array.num_outputs
+    return IndexArray(
+        np.concatenate(src_parts),
+        np.concatenate(dst_parts),
+        num_rows=row_base,
+        num_outputs=out_base,
+    )

@@ -1,0 +1,52 @@
+"""Dataset substrate: popularity distributions, histograms and generators.
+
+Synthetic, calibrated stand-ins for the paper's public datasets (Amazon,
+MovieLens, Alibaba, Criteo, plus the Random control) and the machinery that
+converts them into the index arrays and CTR batches the experiments consume.
+"""
+
+from .datasets import DATASETS, PAPER_ORDER, DatasetProfile, dataset_names, get_dataset
+from .distributions import LookupDistribution, UniformDistribution, ZipfDistribution
+from .generator import (
+    CTRBatch,
+    SyntheticCTRStream,
+    generate_index_array,
+    generate_table_indices,
+)
+from .trace import (
+    EmpiricalDistribution,
+    distribution_from_trace,
+    load_trace,
+    save_trace,
+)
+from .histogram import (
+    empirical_probability_function,
+    gini_coefficient,
+    lookup_histogram,
+    sorted_probability,
+    top_fraction_mass,
+)
+
+__all__ = [
+    "CTRBatch",
+    "EmpiricalDistribution",
+    "DATASETS",
+    "DatasetProfile",
+    "LookupDistribution",
+    "PAPER_ORDER",
+    "SyntheticCTRStream",
+    "UniformDistribution",
+    "ZipfDistribution",
+    "dataset_names",
+    "distribution_from_trace",
+    "load_trace",
+    "save_trace",
+    "empirical_probability_function",
+    "generate_index_array",
+    "generate_table_indices",
+    "get_dataset",
+    "gini_coefficient",
+    "lookup_histogram",
+    "sorted_probability",
+    "top_fraction_mass",
+]

@@ -1,0 +1,149 @@
+"""Synthetic stand-ins for the paper's public recommendation datasets.
+
+The paper drives its locality studies (Figures 5 and 6) with four public
+datasets plus a uniform-random control:
+
+* **Amazon Review (Books)** — product-review stream over a multi-million
+  item catalog with a moderately heavy popularity tail;
+* **MovieLens-20M** — ratings over a *small* catalog (~27K movies) with
+  pronounced head concentration, so repeated lookups are extremely common;
+* **Alibaba Taobao UserBehavior** — clicks/purchases over ~4M items,
+  long-tailed e-commerce behaviour;
+* **Criteo Ad Kaggle** — display-advertising features; the largest
+  categorical feature is hashed to ~10^6-10^7 ids with strong skew;
+* **Random** — uniform likelihood, the no-locality control.
+
+We do not ship the raw datasets (they are multi-GB downloads with their own
+licenses); instead each profile pins a calibrated
+:class:`~repro.data.distributions.ZipfDistribution` whose catalog size
+matches the dataset's largest embedding table and whose skew reproduces the
+qualitative ordering of Figure 5(a)/(b): MovieLens coalesces hardest,
+Amazon/Alibaba moderately, Criteo in between, Random barely at all.  The
+substitution is recorded in DESIGN.md; every experiment consumes only these
+lookup statistics, never raw records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Tuple
+
+from .distributions import LookupDistribution, UniformDistribution, ZipfDistribution
+
+__all__ = ["DatasetProfile", "DATASETS", "get_dataset", "dataset_names"]
+
+
+@dataclass(frozen=True)
+class DatasetProfile:
+    """A named, calibrated lookup-popularity profile.
+
+    Attributes
+    ----------
+    name:
+        Key used throughout experiments and benches (lowercase).
+    display_name:
+        Label as it appears in the paper's figures.
+    num_rows:
+        Catalog size of the dataset's *largest* embedding table — the table
+        Figure 5(a) plots.
+    description:
+        What the real dataset is and how the stand-in was calibrated.
+    factory:
+        Zero-argument callable building the distribution (kept as a factory
+        so profiles stay cheap until used; distributions cache internally).
+    """
+
+    name: str
+    display_name: str
+    num_rows: int
+    description: str
+    factory: Callable[[], LookupDistribution] = field(repr=False)
+
+    def distribution(self) -> LookupDistribution:
+        """Instantiate (or rebuild) the calibrated distribution."""
+        dist = self.factory()
+        if dist.num_rows != self.num_rows:
+            raise AssertionError(
+                f"profile {self.name!r} factory built {dist.num_rows} rows, "
+                f"expected {self.num_rows}"
+            )
+        return dist
+
+
+def _make_profiles() -> Dict[str, DatasetProfile]:
+    profiles = (
+        DatasetProfile(
+            name="random",
+            display_name="Random",
+            num_rows=1_000_000,
+            description=(
+                "Uniform random lookups over a DLRM-default 1M-row table; "
+                "the paper's locality-free control."
+            ),
+            factory=lambda: UniformDistribution(1_000_000),
+        ),
+        DatasetProfile(
+            name="amazon",
+            display_name="Amazon",
+            num_rows=2_300_000,
+            description=(
+                "Amazon Review (Books): ~2.3M items; moderate power-law "
+                "popularity (s=0.85) - a long tail of rarely-reviewed books."
+            ),
+            factory=lambda: ZipfDistribution(2_300_000, exponent=0.85, shift=5.0),
+        ),
+        DatasetProfile(
+            name="movielens",
+            display_name="MovieLens",
+            num_rows=26_700,
+            description=(
+                "MovieLens-20M: only ~26.7K movies, heavily head-concentrated "
+                "(s=1.05) - the profile with the most gradient coalescing."
+            ),
+            factory=lambda: ZipfDistribution(26_700, exponent=1.05, shift=3.0),
+        ),
+        DatasetProfile(
+            name="alibaba",
+            display_name="Alibaba",
+            num_rows=4_100_000,
+            description=(
+                "Alibaba Taobao UserBehavior: ~4.1M items; long-tailed "
+                "e-commerce clicks (s=0.95)."
+            ),
+            factory=lambda: ZipfDistribution(4_100_000, exponent=0.95, shift=5.0),
+        ),
+        DatasetProfile(
+            name="criteo",
+            display_name="Criteo Ads",
+            num_rows=1_300_000,
+            description=(
+                "Criteo Ad Kaggle: largest hashed categorical feature "
+                "(~1.3M ids) with strong head skew (s=1.1) typical of ad "
+                "traffic."
+            ),
+            factory=lambda: ZipfDistribution(1_300_000, exponent=1.1, shift=3.0),
+        ),
+    )
+    return {profile.name: profile for profile in profiles}
+
+
+#: Registry of all calibrated profiles, keyed by lowercase name.
+DATASETS: Dict[str, DatasetProfile] = _make_profiles()
+
+#: Figure ordering used by the paper's plots.
+PAPER_ORDER: Tuple[str, ...] = ("random", "amazon", "movielens", "alibaba", "criteo")
+
+
+def dataset_names() -> Tuple[str, ...]:
+    """All registered profile names in the paper's figure order."""
+    return PAPER_ORDER
+
+
+def get_dataset(name: str) -> DatasetProfile:
+    """Look up a dataset profile by (case-insensitive) name."""
+    try:
+        return DATASETS[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset {name!r}; expected one of {sorted(DATASETS)}"
+        ) from None

@@ -1,0 +1,93 @@
+"""Lookup-histogram analysis — the paper's Figure 5(a) methodology.
+
+Section III-B: "we establish a histogram that counts the number of lookups
+for each distinct index ID within a given embedding table.  The sorted
+histogram is then utilized to generate the probability function of each
+embedding table entry's likelihood of potential lookups."  These utilities
+implement that pipeline so measured index streams (from the synthetic
+dataset profiles, or from any user-supplied trace) can be converted into the
+sorted probability functions that drive the locality experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "lookup_histogram",
+    "sorted_probability",
+    "empirical_probability_function",
+    "top_fraction_mass",
+    "gini_coefficient",
+]
+
+
+def lookup_histogram(ids: np.ndarray, num_rows: int) -> np.ndarray:
+    """Count lookups per distinct table entry.
+
+    Parameters
+    ----------
+    ids:
+        1-D stream of lookup ids (e.g. one epoch of a training dataset's
+        index arrays for a single table).
+    num_rows:
+        Table height; ids must lie in ``[0, num_rows)``.
+    """
+    ids = np.asarray(ids)
+    if ids.ndim != 1:
+        raise ValueError(f"ids must be 1-D, got shape {ids.shape}")
+    if ids.size and (ids.min() < 0 or ids.max() >= num_rows):
+        raise ValueError(f"ids must lie in [0, {num_rows})")
+    return np.bincount(ids, minlength=num_rows).astype(np.int64)
+
+
+def sorted_probability(histogram: np.ndarray) -> np.ndarray:
+    """Sort a histogram descending and normalize to a probability function.
+
+    The result is directly comparable to
+    :meth:`repro.data.distributions.LookupDistribution.probabilities`.
+    """
+    histogram = np.asarray(histogram, dtype=np.float64)
+    if histogram.ndim != 1:
+        raise ValueError(f"histogram must be 1-D, got shape {histogram.shape}")
+    if np.any(histogram < 0):
+        raise ValueError("histogram counts must be non-negative")
+    total = histogram.sum()
+    if total == 0:
+        raise ValueError("histogram is empty - no lookups recorded")
+    return np.sort(histogram)[::-1] / total
+
+
+def empirical_probability_function(ids: np.ndarray, num_rows: int) -> np.ndarray:
+    """End-to-end Figure 5(a) pipeline: ids -> histogram -> sorted probability."""
+    return sorted_probability(lookup_histogram(ids, num_rows))
+
+
+def top_fraction_mass(probability: np.ndarray, fraction: float) -> float:
+    """Mass captured by the hottest ``fraction`` of entries of a sorted PDF."""
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction must lie in (0, 1], got {fraction}")
+    probability = np.asarray(probability, dtype=np.float64)
+    top_rows = max(1, int(round(fraction * probability.size)))
+    return float(probability[:top_rows].sum())
+
+
+def gini_coefficient(probability: np.ndarray) -> float:
+    """Gini coefficient of a probability function (0 = uniform, ->1 = skewed).
+
+    A scalar summary of lookup-locality skew, handy for comparing dataset
+    profiles in tests and reports.
+    """
+    probability = np.asarray(probability, dtype=np.float64)
+    if probability.ndim != 1 or probability.size == 0:
+        raise ValueError("probability must be a non-empty 1-D vector")
+    if np.any(probability < 0):
+        raise ValueError("probabilities must be non-negative")
+    total = probability.sum()
+    if total <= 0:
+        raise ValueError("probability mass must be positive")
+    ascending = np.sort(probability / total)
+    count = ascending.size
+    # Standard formulation over the Lorenz curve of the sorted mass.
+    coefficient = (2.0 * np.sum(np.arange(1, count + 1) * ascending) - (count + 1)) / count
+    return float(coefficient)

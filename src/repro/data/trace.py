@@ -1,0 +1,111 @@
+"""Index-trace persistence: save and replay real lookup streams.
+
+The paper drives its locality studies from public datasets' index ids
+(Section III-B).  Users with access to those datasets (or production
+traces) can export each table's per-batch ``(src, dst)`` arrays with
+:func:`save_trace` and replay them through every experiment in this
+repository with :func:`load_trace` — the experiments only consume
+:class:`~repro.core.indexing.IndexArray` objects, so a replayed trace is a
+drop-in replacement for the synthetic profiles.
+
+The on-disk format is a single ``.npz`` with, per table ``t``:
+``src_t``, ``dst_t``, and scalar ``num_rows_t`` / ``num_outputs_t`` — plain
+NumPy, no pickling, portable across platforms.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Sequence
+
+import numpy as np
+
+from ..core.indexing import IndexArray
+from .distributions import LookupDistribution
+from .histogram import empirical_probability_function
+
+__all__ = ["save_trace", "load_trace", "EmpiricalDistribution", "distribution_from_trace"]
+
+
+def save_trace(path: str | Path, indices: Sequence[IndexArray]) -> Path:
+    """Persist one batch's per-table index arrays to ``path`` (.npz).
+
+    Returns the written path.  Raises on empty input to avoid creating
+    ambiguous trace files.
+    """
+    if not indices:
+        raise ValueError("cannot save an empty trace")
+    path = Path(path)
+    payload: dict[str, np.ndarray] = {"num_tables": np.asarray(len(indices))}
+    for table_id, index in enumerate(indices):
+        payload[f"src_{table_id}"] = index.src
+        payload[f"dst_{table_id}"] = index.dst
+        payload[f"num_rows_{table_id}"] = np.asarray(index.num_rows)
+        payload[f"num_outputs_{table_id}"] = np.asarray(index.num_outputs)
+    np.savez_compressed(path, **payload)
+    return path
+
+
+def load_trace(path: str | Path) -> List[IndexArray]:
+    """Load a trace written by :func:`save_trace`.
+
+    Validation happens in the :class:`IndexArray` constructor, so corrupted
+    or hand-rolled files fail loudly rather than producing silent nonsense.
+    """
+    path = Path(path)
+    with np.load(path) as archive:
+        if "num_tables" not in archive:
+            raise ValueError(f"{path} is not a repro index trace")
+        num_tables = int(archive["num_tables"])
+        indices = []
+        for table_id in range(num_tables):
+            try:
+                src = archive[f"src_{table_id}"]
+                dst = archive[f"dst_{table_id}"]
+                num_rows = int(archive[f"num_rows_{table_id}"])
+                num_outputs = int(archive[f"num_outputs_{table_id}"])
+            except KeyError as missing:
+                raise ValueError(
+                    f"{path} is truncated: missing array {missing}"
+                ) from None
+            indices.append(
+                IndexArray(src, dst, num_rows=num_rows, num_outputs=num_outputs)
+            )
+    return indices
+
+
+class EmpiricalDistribution(LookupDistribution):
+    """A popularity distribution measured from a trace.
+
+    Built via the paper's histogram methodology — count lookups per id,
+    sort, normalize — so replayed traces can feed the same
+    ``expected_unique`` machinery the calibrated profiles use.
+    """
+
+    def __init__(self, probabilities: np.ndarray) -> None:
+        probabilities = np.asarray(probabilities, dtype=np.float64)
+        if probabilities.ndim != 1 or probabilities.size == 0:
+            raise ValueError("probabilities must be a non-empty vector")
+        if np.any(probabilities < 0):
+            raise ValueError("probabilities must be non-negative")
+        total = probabilities.sum()
+        if total <= 0:
+            raise ValueError("probability mass must be positive")
+        super().__init__(probabilities.size)
+        self._measured = np.sort(probabilities / total)[::-1]
+
+    def _compute_probabilities(self) -> np.ndarray:
+        return self._measured
+
+
+def distribution_from_trace(
+    indices: Sequence[IndexArray], table: int = 0
+) -> EmpiricalDistribution:
+    """Measure one table's popularity distribution from a loaded trace."""
+    if not 0 <= table < len(indices):
+        raise ValueError(f"trace has {len(indices)} tables, requested {table}")
+    index = indices[table]
+    if index.num_lookups == 0:
+        raise ValueError("cannot measure a distribution from an empty table")
+    probabilities = empirical_probability_function(index.src, index.num_rows)
+    return EmpiricalDistribution(probabilities)

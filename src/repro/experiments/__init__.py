@@ -1,0 +1,83 @@
+"""Experiment harness: one module per table/figure of the paper's evaluation.
+
+Each module exposes a ``figN_*``/``tableN_*`` function returning structured
+rows plus a ``format_*`` renderer; the ``benchmarks/`` directory wires them
+into pytest-benchmark targets that regenerate the corresponding artifact.
+"""
+
+from .breakdown import (
+    BreakdownRow,
+    fig4_breakdown,
+    fig12_breakdown,
+    format_fig4,
+    format_fig12,
+)
+from .energy import EnergyRow, default_energy_model, fig14_energy, format_fig14
+from .gradient_size import (
+    GradientSizeRow,
+    ProbabilityPoint,
+    fig5a_probability_functions,
+    fig5b_gradient_sizes,
+    format_fig5a,
+    format_fig5b,
+)
+from .plotting import bar_chart, series_chart, stacked_bar_chart
+from .report import format_table, normalize
+from .sensitivity import (
+    LinkSweepRow,
+    SensitivityRow,
+    fig16_batch_sensitivity,
+    fig17_dim_sensitivity,
+    format_link_sweep,
+    format_sensitivity,
+    link_bandwidth_sweep,
+)
+from .speedup import SpeedupRow, fig13_speedup, format_fig13, speedup_summary
+from .tables import format_table1, format_table2, table1_rows, table2_rows
+from .traffic import TrafficRow, fig6_traffic, format_fig6
+from .utilization import UtilizationRow, fig15_utilization, format_fig15
+
+__all__ = [
+    "BreakdownRow",
+    "EnergyRow",
+    "GradientSizeRow",
+    "LinkSweepRow",
+    "ProbabilityPoint",
+    "SensitivityRow",
+    "SpeedupRow",
+    "TrafficRow",
+    "UtilizationRow",
+    "bar_chart",
+    "default_energy_model",
+    "fig12_breakdown",
+    "fig13_speedup",
+    "fig14_energy",
+    "fig15_utilization",
+    "fig16_batch_sensitivity",
+    "fig17_dim_sensitivity",
+    "fig4_breakdown",
+    "fig5a_probability_functions",
+    "fig5b_gradient_sizes",
+    "fig6_traffic",
+    "format_fig12",
+    "format_fig13",
+    "format_fig14",
+    "format_fig15",
+    "format_fig4",
+    "format_fig5a",
+    "format_fig5b",
+    "format_fig6",
+    "format_link_sweep",
+    "format_sensitivity",
+    "format_table",
+    "format_table1",
+    "format_table2",
+    "link_bandwidth_sweep",
+    "normalize",
+    "series_chart",
+    "stacked_bar_chart",
+    "speedup_summary",
+    "table1_rows",
+    "table2_rows",
+    "fig6_traffic",
+]

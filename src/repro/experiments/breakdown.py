@@ -1,0 +1,199 @@
+"""Figure 4 and Figure 12: training-time breakdowns per primitive.
+
+Figure 4 characterizes the CPU-centric baselines (CPU-only vs CPU-GPU over
+RM1-4 x batch 1024/2048/4096), stacking the seven primitive latencies and
+reporting latency normalized to the fastest configuration of each model.
+
+Figure 12 widens the comparison to all four design points and batch 8192,
+replacing the baseline backward path with casting + casted gather-reduce for
+the "Ours" systems, and reports (right axis) the speedup Tensor Casting
+brings to the gradient expand-coalesce step alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..model.configs import ALL_MODELS, ModelConfig
+from ..runtime.systems import (
+    CPUGPUSystem,
+    CPUOnlySystem,
+    IterationResult,
+    NMPSystem,
+    SystemHardware,
+    compute_workload,
+)
+from .report import format_table
+
+__all__ = [
+    "BreakdownRow",
+    "fig4_breakdown",
+    "fig12_breakdown",
+    "format_fig4",
+    "format_fig12",
+    "FIG4_BATCHES",
+    "FIG12_BATCHES",
+]
+
+FIG4_BATCHES: Tuple[int, ...] = (1024, 2048, 4096)
+FIG12_BATCHES: Tuple[int, ...] = (1024, 2048, 4096, 8192)
+
+#: Order of the stacked-bar segments in Figure 4's legend.
+FIG4_OPS = (
+    "FWD (Gather)",
+    "FWD (DNN)",
+    "BWD (DNN)",
+    "BWD (Expand)",
+    "BWD (Coalesce:sort)",
+    "BWD (Coalesce:accu)",
+    "BWD (Scatter)",
+)
+
+#: Figure 12 adds the casted path and merges the two coalesce sub-steps.
+FIG12_OPS = (
+    "FWD (Gather)",
+    "FWD (DNN)",
+    "BWD (DNN)",
+    "BWD (Expand)",
+    "BWD (Coalesce:accu)",
+    "BWD (Coalesce:sort)",
+    "BWD (Scatter)",
+    "FWD (Casting)",
+    "BWD (T.Casted Gather)",
+)
+
+
+@dataclass(frozen=True)
+class BreakdownRow:
+    """One stacked bar: a (model, batch, system) cell of the figure."""
+
+    model: str
+    batch: int
+    system: str
+    ops: Dict[str, float]
+    total_latency: float
+    normalized_latency: float
+    tcast_benefit: float | None = None
+
+    def fraction(self, op: str) -> float:
+        """Share of accumulated latency spent in ``op``."""
+        accumulated = sum(self.ops.values())
+        if accumulated == 0.0:
+            return 0.0
+        return self.ops.get(op, 0.0) / accumulated
+
+
+def _collect_ops(result: IterationResult, op_names: Sequence[str]) -> Dict[str, float]:
+    return {op: result.breakdown.get(op, 0.0) for op in op_names}
+
+
+def fig4_breakdown(
+    models: Sequence[ModelConfig] = ALL_MODELS,
+    batches: Sequence[int] = FIG4_BATCHES,
+    dataset: str = "random",
+    hardware: SystemHardware | None = None,
+) -> List[BreakdownRow]:
+    """Reproduce Figure 4: CPU-only vs CPU-GPU primitive breakdowns.
+
+    Normalized latency uses the paper's convention: each model normalizes to
+    its fastest configuration (CPU-GPU at batch 1024).
+    """
+    hardware = hardware or SystemHardware()
+    systems = (CPUOnlySystem(hardware), CPUGPUSystem(hardware, casting=False))
+    rows: List[BreakdownRow] = []
+    for config in models:
+        results = []
+        for batch in batches:
+            stats = compute_workload(config, batch, dataset=dataset)
+            for system in systems:
+                results.append((batch, system.name, system.run_iteration(stats)))
+        reference = min(result.total for _, _, result in results)
+        for batch, system_name, result in results:
+            rows.append(
+                BreakdownRow(
+                    model=config.name,
+                    batch=batch,
+                    system=system_name,
+                    ops=_collect_ops(result, FIG4_OPS),
+                    total_latency=result.total,
+                    normalized_latency=result.total / reference,
+                )
+            )
+    return rows
+
+
+def fig12_breakdown(
+    models: Sequence[ModelConfig] = ALL_MODELS,
+    batches: Sequence[int] = FIG12_BATCHES,
+    dataset: str = "random",
+    hardware: SystemHardware | None = None,
+) -> List[BreakdownRow]:
+    """Reproduce Figure 12: four design points, accumulated latencies.
+
+    Bars are normalized to ``Baseline(CPU)`` of the same (model, batch), and
+    the ``tcast_benefit`` field carries the right-axis metric: baseline
+    expand-coalesce latency over the casting-path latency (casting stage +
+    casted gather-reduce), for the casting systems.
+    """
+    hardware = hardware or SystemHardware()
+    systems = (
+        CPUGPUSystem(hardware, casting=False),
+        NMPSystem(hardware, casting=False),
+        CPUGPUSystem(hardware, casting=True),
+        NMPSystem(hardware, casting=True),
+    )
+    rows: List[BreakdownRow] = []
+    for config in models:
+        for batch in batches:
+            stats = compute_workload(config, batch, dataset=dataset)
+            results = {s.name: s.run_iteration(stats) for s in systems}
+            baseline_accumulated = sum(
+                results["Baseline(CPU)"].breakdown.get(op, 0.0) for op in FIG12_OPS
+            )
+            expand_coalesce = results["Baseline(CPU)"].expand_coalesce_latency()
+            for name, result in results.items():
+                benefit = None
+                if "Ours" in name:
+                    casting_path = result.casting_path_latency()
+                    if casting_path > 0:
+                        benefit = expand_coalesce / casting_path
+                accumulated = sum(result.breakdown.get(op, 0.0) for op in FIG12_OPS)
+                rows.append(
+                    BreakdownRow(
+                        model=config.name,
+                        batch=batch,
+                        system=name,
+                        ops=_collect_ops(result, FIG12_OPS),
+                        total_latency=result.total,
+                        normalized_latency=accumulated / baseline_accumulated,
+                        tcast_benefit=benefit,
+                    )
+                )
+    return rows
+
+
+def format_fig4(rows: Sequence[BreakdownRow]) -> str:
+    """Render Figure 4 rows: per-primitive shares plus normalized latency."""
+    headers = ["Model", "Batch", "System"] + [op for op in FIG4_OPS] + ["Norm.latency"]
+    table_rows = []
+    for row in rows:
+        table_rows.append(
+            [row.model, row.batch, row.system]
+            + [f"{row.fraction(op) * 100:.1f}%" for op in FIG4_OPS]
+            + [f"{row.normalized_latency:.2f}x"]
+        )
+    return format_table(headers, table_rows)
+
+
+def format_fig12(rows: Sequence[BreakdownRow]) -> str:
+    """Render Figure 12 rows: normalized stacks plus the casting benefit."""
+    headers = ["Model", "Batch", "System", "Accum.latency(norm)", "T.Cast benefit"]
+    table_rows = []
+    for row in rows:
+        benefit = f"{row.tcast_benefit:.1f}x" if row.tcast_benefit else "-"
+        table_rows.append(
+            [row.model, row.batch, row.system,
+             f"{row.normalized_latency:.3f}", benefit]
+        )
+    return format_table(headers, table_rows)

@@ -1,0 +1,118 @@
+"""Figure 14: energy consumption of every design point.
+
+Energy = per-device power x busy/idle time from the simulated timeline (the
+paper measures with ``powerstat``/``nvidia-smi`` and a Micron DDR4 power
+calculator; our :mod:`repro.sim.energy` plays those roles).  Results are
+normalized to ``Baseline(CPU)`` of the same (model, batch) — the figure's
+convention — so faster systems that idle expensive devices less show energy
+wins on both axes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..model.configs import ALL_MODELS, ModelConfig
+from ..runtime.systems import SystemHardware, compute_workload, design_points
+from ..runtime.timeline import (
+    RESOURCE_CPU,
+    RESOURCE_GPU,
+    RESOURCE_LINK,
+    RESOURCE_NMP,
+    RESOURCE_PCIE,
+)
+from ..sim.energy import DevicePower, EnergyModel
+from .report import format_table
+
+__all__ = [
+    "EnergyRow",
+    "default_energy_model",
+    "fig14_energy",
+    "format_fig14",
+]
+
+FIG14_BATCHES: Tuple[int, ...] = (1024, 2048, 4096, 8192)
+
+#: DDR4 access energy (pJ per byte = 8 x ~2.5 pJ/bit incl. IO), Micron-style.
+_DRAM_PJ_PER_BYTE = 20.0
+
+
+def default_energy_model(hardware: SystemHardware) -> EnergyModel:
+    """Build the Figure 14 power book from the hardware's specs."""
+    cpu_spec = hardware.cpu.spec
+    gpu_spec = hardware.gpu.spec
+    pool_spec = hardware.nmp.spec
+    return EnergyModel(
+        {
+            RESOURCE_CPU: DevicePower(
+                active_w=cpu_spec.active_power_w, idle_w=cpu_spec.idle_power_w
+            ),
+            RESOURCE_GPU: DevicePower(
+                active_w=gpu_spec.active_power_w, idle_w=gpu_spec.idle_power_w
+            ),
+            RESOURCE_NMP: DevicePower(
+                active_w=pool_spec.ranks * pool_spec.rank_active_power_w,
+                idle_w=pool_spec.ranks * pool_spec.rank_idle_power_w,
+                pj_per_byte=_DRAM_PJ_PER_BYTE,
+            ),
+            # Links burn I/O power folded into their endpoints' boards.
+            RESOURCE_PCIE: DevicePower(active_w=0.0, idle_w=0.0),
+            RESOURCE_LINK: DevicePower(active_w=0.0, idle_w=0.0),
+        }
+    )
+
+
+@dataclass(frozen=True)
+class EnergyRow:
+    """Energy of one (model, batch, system) cell, normalized to Baseline(CPU)."""
+
+    model: str
+    batch: int
+    system: str
+    joules: float
+    normalized: float
+    per_resource: Dict[str, float]
+
+
+def fig14_energy(
+    models: Sequence[ModelConfig] = ALL_MODELS,
+    batches: Sequence[int] = FIG14_BATCHES,
+    dataset: str = "random",
+    hardware: SystemHardware | None = None,
+) -> List[EnergyRow]:
+    """Reproduce Figure 14 over the requested grid."""
+    hardware = hardware or SystemHardware()
+    systems = design_points(hardware)
+    energy_model = default_energy_model(hardware)
+    rows: List[EnergyRow] = []
+    for config in models:
+        for batch in batches:
+            stats = compute_workload(config, batch, dataset=dataset)
+            reports = {}
+            for name, system in systems.items():
+                result = system.run_iteration(stats)
+                reports[name] = energy_model.energy(result.timeline)
+            reference = reports["Baseline(CPU)"].total
+            for name, report in reports.items():
+                rows.append(
+                    EnergyRow(
+                        model=config.name,
+                        batch=batch,
+                        system=name,
+                        joules=report.total,
+                        normalized=report.total / reference,
+                        per_resource=dict(report.per_resource),
+                    )
+                )
+    return rows
+
+
+def format_fig14(rows: Sequence[EnergyRow]) -> str:
+    """Render normalized energy per (model, batch, system)."""
+    headers = ["Model", "Batch", "System", "Energy (J)", "Normalized"]
+    table_rows = [
+        [r.model, r.batch, r.system, f"{r.joules:.3f}", f"{r.normalized:.3f}"]
+        for r in rows
+    ]
+    return format_table(headers, table_rows)

@@ -1,0 +1,169 @@
+"""Figure 5: dataset locality and its effect on gradient-tensor sizes.
+
+Figure 5(a) plots, per dataset, the sorted probability function of embedding
+table lookups (the paper derives it from a lookup histogram; we generate it
+both analytically from the calibrated distribution and empirically from
+sampled index streams).
+
+Figure 5(b) measures the size of the gradient tensor as it flows backward:
+``B`` backpropagated vectors expand to exactly ``gathers x B`` vectors, then
+coalesce down to the number of *distinct* rows gathered — so locality (how
+often lookups repeat) directly sets the coalesced size.  The paper's setup:
+10 gathers per table, batches 1024-4096, sizes normalized to the
+backpropagated tensor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.indexing import IndexArray
+from ..data.datasets import PAPER_ORDER, get_dataset
+from ..data.generator import generate_index_array
+from ..data.histogram import empirical_probability_function
+from .report import format_table
+
+__all__ = [
+    "ProbabilityPoint",
+    "GradientSizeRow",
+    "fig5a_probability_functions",
+    "fig5b_gradient_sizes",
+    "format_fig5a",
+    "format_fig5b",
+    "FIG5_BATCHES",
+    "FIG5_GATHERS_PER_TABLE",
+]
+
+FIG5_BATCHES: Tuple[int, ...] = (1024, 2048, 4096)
+#: The paper's Figure 5/6 experiments assume each table is gathered 10x.
+FIG5_GATHERS_PER_TABLE = 10
+
+
+@dataclass(frozen=True)
+class ProbabilityPoint:
+    """One sampled point of a dataset's sorted probability function."""
+
+    dataset: str
+    rank_fraction: float
+    probability: float
+    cumulative_mass: float
+
+
+@dataclass(frozen=True)
+class GradientSizeRow:
+    """One Figure 5(b) bar triple, normalized to the backpropagated size."""
+
+    dataset: str
+    batch: int
+    backpropagated: float
+    expanded: float
+    coalesced: float
+
+
+def fig5a_probability_functions(
+    datasets: Sequence[str] = PAPER_ORDER,
+    points: int = 20,
+    empirical_samples: int = 0,
+    seed: int = 0,
+) -> List[ProbabilityPoint]:
+    """Reproduce Figure 5(a): sorted lookup-probability functions.
+
+    Returns ``points`` log-spaced samples of each dataset's probability
+    function with cumulative mass.  With ``empirical_samples > 0`` the
+    function is instead estimated from that many sampled lookups through the
+    histogram pipeline (Section III-B's methodology, useful for validating
+    the analytic curves).
+    """
+    if points <= 1:
+        raise ValueError(f"need at least 2 points, got {points}")
+    rows: List[ProbabilityPoint] = []
+    for name in datasets:
+        profile = get_dataset(name)
+        distribution = profile.distribution()
+        if empirical_samples > 0:
+            rng = np.random.default_rng(seed)
+            ids = distribution.sample(empirical_samples, rng)
+            probabilities = empirical_probability_function(ids, profile.num_rows)
+        else:
+            probabilities = distribution.probabilities()
+        cumulative = np.cumsum(probabilities)
+        num_rows = probabilities.size
+        ranks = np.unique(
+            np.logspace(0, np.log10(num_rows), points).astype(np.int64) - 1
+        )
+        for rank in ranks:
+            rows.append(
+                ProbabilityPoint(
+                    dataset=profile.display_name,
+                    rank_fraction=(rank + 1) / num_rows,
+                    probability=float(probabilities[rank]),
+                    cumulative_mass=float(cumulative[rank]),
+                )
+            )
+    return rows
+
+
+def fig5b_gradient_sizes(
+    datasets: Sequence[str] = PAPER_ORDER,
+    batches: Sequence[int] = FIG5_BATCHES,
+    gathers_per_table: int = FIG5_GATHERS_PER_TABLE,
+    seed: int = 0,
+) -> List[GradientSizeRow]:
+    """Reproduce Figure 5(b): gradient sizes before/after expand + coalesce.
+
+    Sizes are in units of the backpropagated gradient tensor (so
+    ``backpropagated == 1.0`` and ``expanded == gathers_per_table`` exactly,
+    as the paper notes), with the coalesced size measured by actually
+    sampling an index array and counting distinct rows.
+    """
+    rows: List[GradientSizeRow] = []
+    for name in datasets:
+        profile = get_dataset(name)
+        distribution = profile.distribution()
+        for batch in batches:
+            rng = np.random.default_rng(seed)
+            index: IndexArray = generate_index_array(
+                distribution, batch, gathers_per_table, rng
+            )
+            unique = index.num_unique_sources()
+            rows.append(
+                GradientSizeRow(
+                    dataset=profile.display_name,
+                    batch=batch,
+                    backpropagated=1.0,
+                    expanded=float(gathers_per_table),
+                    coalesced=unique / batch,
+                )
+            )
+    return rows
+
+
+def format_fig5a(rows: Sequence[ProbabilityPoint], per_dataset: int = 5) -> str:
+    """Render a compact view: head probabilities and cumulative masses."""
+    headers = ["Dataset", "Top rank fraction", "Probability", "Cumulative mass"]
+    table_rows = []
+    seen: dict[str, int] = {}
+    for row in rows:
+        count = seen.get(row.dataset, 0)
+        if count >= per_dataset:
+            continue
+        seen[row.dataset] = count + 1
+        table_rows.append(
+            [row.dataset, f"{row.rank_fraction:.2e}",
+             f"{row.probability:.3e}", f"{row.cumulative_mass:.3f}"]
+        )
+    return format_table(headers, table_rows)
+
+
+def format_fig5b(rows: Sequence[GradientSizeRow]) -> str:
+    """Render the Figure 5(b) size triples (normalized)."""
+    headers = ["Dataset", "Batch", "Backpropagated", "Expanded", "Coalesced"]
+    table_rows = [
+        [r.dataset, r.batch, f"{r.backpropagated:.1f}",
+         f"{r.expanded:.1f}", f"{r.coalesced:.2f}"]
+        for r in rows
+    ]
+    return format_table(headers, table_rows)

@@ -1,0 +1,130 @@
+"""Terminal-friendly figure rendering: bars and series as ASCII art.
+
+The paper's figures are stacked-bar and line charts; these helpers render
+the experiment rows in the same visual idiom without a plotting dependency,
+so `python -m repro fig13 --plot` (and the benches under ``-s``) can show
+the *shape* of each result right in the terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+__all__ = ["bar_chart", "stacked_bar_chart", "series_chart"]
+
+#: Glyphs used for stacked-bar segments, cycled in legend order.
+_SEGMENT_GLYPHS = "#=+*o%@&"
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart: one row per (label, value).
+
+    Bars scale to the maximum value; each row prints the numeric value so
+    the chart is quantitative, not just decorative.
+    """
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not labels:
+        return "(empty chart)"
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    peak = max(values)
+    if peak < 0:
+        raise ValueError("bar values must be non-negative")
+    label_width = max(len(str(label)) for label in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        if value < 0:
+            raise ValueError("bar values must be non-negative")
+        filled = 0 if peak == 0 else int(round(width * value / peak))
+        lines.append(
+            f"{str(label).ljust(label_width)} |{'#' * filled:<{width}}| "
+            f"{value:g}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def stacked_bar_chart(
+    labels: Sequence[str],
+    segments: Sequence[Mapping[str, float]],
+    width: int = 50,
+) -> str:
+    """Stacked horizontal bars (the Figure 4/12 idiom).
+
+    ``segments[i]`` maps segment name to its value for bar ``i``; segment
+    order follows the first bar's insertion order and a legend line maps
+    glyphs back to names.
+    """
+    if len(labels) != len(segments):
+        raise ValueError("labels and segments must have equal length")
+    if not labels:
+        return "(empty chart)"
+    segment_names: List[str] = []
+    for bar in segments:
+        for name, value in bar.items():
+            if value < 0:
+                raise ValueError("segment values must be non-negative")
+            if name not in segment_names:
+                segment_names.append(name)
+    glyph_of: Dict[str, str] = {
+        name: _SEGMENT_GLYPHS[i % len(_SEGMENT_GLYPHS)]
+        for i, name in enumerate(segment_names)
+    }
+    totals = [sum(bar.values()) for bar in segments]
+    peak = max(totals)
+    if peak <= 0:
+        raise ValueError("stacked bars need positive total mass")
+    label_width = max(len(str(label)) for label in labels)
+    lines = []
+    for label, bar, total in zip(labels, segments, totals):
+        cells: List[str] = []
+        for name in segment_names:
+            value = bar.get(name, 0.0)
+            if value < 0:
+                raise ValueError("segment values must be non-negative")
+            cells.append(glyph_of[name] * int(round(width * value / peak)))
+        body = "".join(cells)[:width]
+        lines.append(
+            f"{str(label).ljust(label_width)} |{body:<{width}}| {total:g}"
+        )
+    legend = "  ".join(f"{glyph_of[name]}={name}" for name in segment_names)
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)
+
+
+def series_chart(
+    points: Sequence[Tuple[float, float]],
+    height: int = 12,
+    width: int = 60,
+    title: str = "",
+) -> str:
+    """A sparse scatter/line chart for (x, y) series (the Figure 13 idiom)."""
+    if not points:
+        return "(empty chart)"
+    if height <= 1 or width <= 1:
+        raise ValueError("height and width must exceed 1")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in points:
+        col = int(round((x - x_lo) / x_span * (width - 1)))
+        row = int(round((y - y_lo) / y_span * (height - 1)))
+        grid[height - 1 - row][col] = "*"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_hi:10.3g} +{'-' * width}+")
+    for row in grid:
+        lines.append(f"{'':10s} |{''.join(row)}|")
+    lines.append(f"{y_lo:10.3g} +{'-' * width}+")
+    lines.append(f"{'':10s}  {x_lo:<10.4g}{'':{max(width - 20, 0)}}{x_hi:>10.4g}")
+    return "\n".join(lines)

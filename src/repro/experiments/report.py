@@ -1,0 +1,47 @@
+"""Shared row/series formatting for experiment outputs.
+
+Every experiment module returns plain data (lists of dataclass rows); these
+helpers render them as aligned text tables so benches and examples print the
+same rows the paper's figures plot.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["format_table", "format_float", "normalize"]
+
+
+def format_float(value: float, digits: int = 3) -> str:
+    """Human-friendly fixed-point rendering (no exponent noise in tables)."""
+    if value == 0:
+        return "0"
+    if abs(value) >= 1000:
+        return f"{value:,.0f}"
+    return f"{value:.{digits}g}" if abs(value) < 0.01 else f"{value:.{digits}f}"
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render rows as an aligned monospace table with a header rule."""
+    rendered: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        rendered.append(
+            [format_float(c) if isinstance(c, float) else str(c) for c in row]
+        )
+    widths = [max(len(r[i]) for r in rendered) for i in range(len(headers))]
+    lines = []
+    for row_id, row in enumerate(rendered):
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+        if row_id == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def normalize(values: Sequence[float], reference: float | None = None) -> List[float]:
+    """Scale values so the reference (default: first element) equals 1.0."""
+    if not values:
+        return []
+    ref = reference if reference is not None else values[0]
+    if ref == 0:
+        raise ValueError("cannot normalize by zero")
+    return [v / ref for v in values]

@@ -1,0 +1,95 @@
+"""Figure 13: end-to-end training-throughput speedup of every design point.
+
+The headline result: speedup of ``Baseline(NMP)``, ``Ours(CPU)`` and
+``Ours(NMP)`` over ``Baseline(CPU)`` across RM1-4 and batches 1024-8192,
+measured on end-to-end iteration makespan (overlap included — this is where
+hiding the casting stage pays off, unlike the accumulated-latency view of
+Figure 12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import mean
+from typing import Dict, List, Sequence, Tuple
+
+from ..model.configs import ALL_MODELS, ModelConfig
+from ..runtime.systems import SystemHardware, compute_workload, design_points
+from .report import format_table
+
+__all__ = ["SpeedupRow", "fig13_speedup", "speedup_summary", "format_fig13"]
+
+FIG13_BATCHES: Tuple[int, ...] = (1024, 2048, 4096, 8192)
+
+
+@dataclass(frozen=True)
+class SpeedupRow:
+    """Speedups over Baseline(CPU) for one (model, batch) cell."""
+
+    model: str
+    batch: int
+    baseline_seconds: float
+    speedups: Dict[str, float]
+
+
+def fig13_speedup(
+    models: Sequence[ModelConfig] = ALL_MODELS,
+    batches: Sequence[int] = FIG13_BATCHES,
+    dataset: str = "random",
+    hardware: SystemHardware | None = None,
+) -> List[SpeedupRow]:
+    """Reproduce Figure 13 over the requested grid."""
+    systems = design_points(hardware or SystemHardware())
+    baseline = systems["Baseline(CPU)"]
+    rows: List[SpeedupRow] = []
+    for config in models:
+        for batch in batches:
+            stats = compute_workload(config, batch, dataset=dataset)
+            base_total = baseline.run_iteration(stats).total
+            speedups = {}
+            for name, system in systems.items():
+                if name == baseline.name:
+                    continue
+                speedups[name] = base_total / system.run_iteration(stats).total
+            rows.append(
+                SpeedupRow(
+                    model=config.name,
+                    batch=batch,
+                    baseline_seconds=base_total,
+                    speedups=speedups,
+                )
+            )
+    return rows
+
+
+def speedup_summary(rows: Sequence[SpeedupRow]) -> Dict[str, Dict[str, float]]:
+    """Min/mean/max speedup per system — the numbers the abstract quotes."""
+    by_system: Dict[str, List[float]] = {}
+    for row in rows:
+        for system, value in row.speedups.items():
+            by_system.setdefault(system, []).append(value)
+    return {
+        system: {"min": min(vals), "mean": mean(vals), "max": max(vals)}
+        for system, vals in by_system.items()
+    }
+
+
+def format_fig13(rows: Sequence[SpeedupRow]) -> str:
+    """Render the speedup grid plus the per-system summary."""
+    if not rows:
+        return "(no rows)"
+    system_names = list(rows[0].speedups)
+    headers = ["Model", "Batch", "Baseline(CPU)"] + system_names
+    table_rows = []
+    for row in rows:
+        table_rows.append(
+            [row.model, row.batch, f"{row.baseline_seconds * 1e3:.1f} ms"]
+            + [f"{row.speedups[s]:.2f}x" for s in system_names]
+        )
+    summary = speedup_summary(rows)
+    footer_lines = [
+        f"{system}: min {stats['min']:.2f}x / mean {stats['mean']:.2f}x / "
+        f"max {stats['max']:.2f}x"
+        for system, stats in summary.items()
+    ]
+    return format_table(headers, table_rows) + "\n" + "\n".join(footer_lines)

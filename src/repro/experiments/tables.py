@@ -1,0 +1,59 @@
+"""Tables I and II: configuration tables of the paper, regenerated.
+
+Table I is the disaggregated memory architecture (verified against the
+DRAM-spec arithmetic: 32 ranks of DDR4-3200 must yield 25.6 GB/s each and
+819.2 GB/s aggregate); Table II is the four recommendation-model
+configurations, rendered from :mod:`repro.model.configs` so any drift
+between code and documentation is impossible.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..model.configs import ALL_MODELS, ModelConfig
+from ..sim.specs import NMPPoolSpec, TABLE_I_POOL
+from .report import format_table
+
+__all__ = ["table1_rows", "table2_rows", "format_table1", "format_table2"]
+
+
+def table1_rows(pool: NMPPoolSpec = TABLE_I_POOL) -> List[List[str]]:
+    """Regenerate Table I from the pool spec."""
+    per_rank = pool.dram.peak_bandwidth / 1e9
+    aggregate = pool.peak_aggregate_bandwidth / 1e9
+    return [
+        ["DRAM specification", pool.dram.name.split("-")[0]],
+        ["Number of ranks", str(pool.ranks)],
+        ["Effective memory bandwidth (per rank)", f"{per_rank:.1f} GB/sec"],
+        ["Effective memory bandwidth (in aggregate)", f"{aggregate:.1f} GB/sec"],
+    ]
+
+
+def table2_rows(models: Sequence[ModelConfig] = ALL_MODELS) -> List[List[str]]:
+    """Regenerate Table II from the model configs."""
+    rows = []
+    for config in models:
+        rows.append(
+            [
+                config.name,
+                str(config.num_tables),
+                str(config.gathers_per_table),
+                "-".join(str(w) for w in config.bottom_mlp),
+                "-".join(str(w) for w in config.top_mlp),
+            ]
+        )
+    return rows
+
+
+def format_table1(pool: NMPPoolSpec = TABLE_I_POOL) -> str:
+    """Render Table I."""
+    return format_table(["Parameter", "Value"], table1_rows(pool))
+
+
+def format_table2(models: Sequence[ModelConfig] = ALL_MODELS) -> str:
+    """Render Table II."""
+    return format_table(
+        ["Model", "# of Tables", "Gathers/table", "Bottom MLP", "Top MLP"],
+        table2_rows(models),
+    )

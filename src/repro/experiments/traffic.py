@@ -1,0 +1,97 @@
+"""Figure 6: memory read/write traffic of the embedding-layer primitives.
+
+For each dataset the paper derives analytically how many bytes each
+primitive loads and stores, assuming 10 gathers per table; the coalesce bar
+counts only the accumulation step (the sort moves index-sized data).  Sizes
+are normalized to the backpropagated gradient tensor so bars are comparable
+across datasets.  This reproduction adds the casted gather-reduce bar so the
+2x memory-intensity reduction is visible in the same units.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from ..core import traffic as traffic_model
+from ..data.datasets import PAPER_ORDER, get_dataset
+from ..data.generator import generate_index_array
+from .gradient_size import FIG5_GATHERS_PER_TABLE
+from .report import format_table
+
+__all__ = ["TrafficRow", "fig6_traffic", "format_fig6"]
+
+
+@dataclass(frozen=True)
+class TrafficRow:
+    """One primitive's read/write bytes for one dataset (normalized)."""
+
+    dataset: str
+    primitive: str
+    reads: float
+    writes: float
+
+    @property
+    def total(self) -> float:
+        return self.reads + self.writes
+
+
+def fig6_traffic(
+    datasets: Sequence[str] = PAPER_ORDER,
+    batch: int = 2048,
+    gathers_per_table: int = FIG5_GATHERS_PER_TABLE,
+    dim: int = 64,
+    itemsize: int = 4,
+    seed: int = 0,
+    include_casted: bool = False,
+) -> List[TrafficRow]:
+    """Reproduce Figure 6 (optionally extended with the casted primitive).
+
+    Traffic is normalized to the backpropagated gradient tensor
+    (``batch x dim x itemsize`` bytes), matching the figure's "data size
+    (normalized)" axis.
+    """
+    primitives = ["Gather", "Expand", "Coalesce", "Scatter"]
+    if include_casted:
+        primitives.append("T.Casted Gather")
+    reference = batch * dim * itemsize
+    rows: List[TrafficRow] = []
+    for name in datasets:
+        profile = get_dataset(name)
+        distribution = profile.distribution()
+        rng = np.random.default_rng(seed)
+        index = generate_index_array(distribution, batch, gathers_per_table, rng)
+        n = index.num_lookups
+        u = index.num_unique_sources()
+        traffic_by_primitive = {
+            "Gather": traffic_model.gather_reduce_traffic(n, batch, dim, itemsize),
+            "Expand": traffic_model.expand_traffic(n, batch, dim, itemsize),
+            "Coalesce": traffic_model.coalesce_accumulate_traffic(n, u, dim, itemsize),
+            "Scatter": traffic_model.scatter_traffic(u, dim, itemsize),
+            "T.Casted Gather": traffic_model.casted_gather_reduce_traffic(
+                n, u, dim, itemsize
+            ),
+        }
+        for primitive in primitives:
+            traffic = traffic_by_primitive[primitive]
+            rows.append(
+                TrafficRow(
+                    dataset=profile.display_name,
+                    primitive=primitive,
+                    reads=traffic.reads / reference,
+                    writes=traffic.writes / reference,
+                )
+            )
+    return rows
+
+
+def format_fig6(rows: Sequence[TrafficRow]) -> str:
+    """Render normalized read/write traffic per (dataset, primitive)."""
+    headers = ["Dataset", "Primitive", "Reads", "Writes", "Total"]
+    table_rows = [
+        [r.dataset, r.primitive, f"{r.reads:.2f}", f"{r.writes:.2f}", f"{r.total:.2f}"]
+        for r in rows
+    ]
+    return format_table(headers, table_rows)

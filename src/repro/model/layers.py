@@ -1,0 +1,226 @@
+"""Dense DNN layers with explicit forward/backward passes (no autograd).
+
+The recommendation models of the paper pair sparse embedding layers with
+dense MLP stacks (Figure 1: a bottom MLP over continuous features and a top
+MLP over the feature interaction).  These layers are implemented from
+scratch on NumPy with hand-derived gradients so the whole training loop —
+dense and sparse — is self-contained and verifiable by finite differences.
+
+Every layer also reports its forward/backward FLOP counts; the performance
+model (:mod:`repro.sim.gpu`, :mod:`repro.sim.cpu`) consumes those to place
+the DNN portion of training on the roofline.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["Linear", "ReLU", "Sigmoid", "MLP"]
+
+
+class Linear:
+    """Fully-connected layer ``y = x @ W + b``.
+
+    Parameters are stored as ``W`` with shape ``(in_features, out_features)``
+    and ``b`` with shape ``(out_features,)``; gradients accumulate into
+    ``dW``/``db`` on :meth:`backward`.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator | None = None,
+        dtype: np.dtype = np.float64,
+    ) -> None:
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("layer dimensions must be positive")
+        rng = rng or np.random.default_rng(0)
+        # He initialization keeps ReLU stacks trainable at RM4 depths.
+        scale = np.sqrt(2.0 / in_features)
+        self.W = (rng.standard_normal((in_features, out_features)) * scale).astype(dtype)
+        self.b = np.zeros(out_features, dtype=dtype)
+        self.dW = np.zeros_like(self.W)
+        self.db = np.zeros_like(self.b)
+        self._x: np.ndarray | None = None
+
+    @property
+    def in_features(self) -> int:
+        return self.W.shape[0]
+
+    @property
+    def out_features(self) -> int:
+        return self.W.shape[1]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Compute ``x @ W + b``, caching ``x`` for the backward pass."""
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ValueError(
+                f"expected input (batch, {self.in_features}), got {x.shape}"
+            )
+        self._x = x
+        return x @ self.W + self.b
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        """Accumulate ``dW``/``db`` and return the input gradient."""
+        if self._x is None:
+            raise RuntimeError("backward called before forward")
+        self.dW += self._x.T @ dout
+        self.db += dout.sum(axis=0)
+        return dout @ self.W.T
+
+    def zero_grad(self) -> None:
+        """Reset accumulated parameter gradients to zero."""
+        self.dW.fill(0.0)
+        self.db.fill(0.0)
+
+    def parameters(self) -> list[tuple[np.ndarray, np.ndarray]]:
+        """``(param, grad)`` pairs for the optimizer."""
+        return [(self.W, self.dW), (self.b, self.db)]
+
+    def forward_flops(self, batch: int) -> int:
+        """Multiply-accumulate count of the forward GEMM (2 flops per MAC)."""
+        return 2 * batch * self.in_features * self.out_features
+
+    def backward_flops(self, batch: int) -> int:
+        """FLOPs of the two backward GEMMs (weight grad + input grad)."""
+        return 4 * batch * self.in_features * self.out_features
+
+
+class ReLU:
+    """Rectified linear activation, ``y = max(x, 0)``."""
+
+    def __init__(self) -> None:
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return x * self._mask
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        return dout * self._mask
+
+    def zero_grad(self) -> None:  # pragma: no cover - stateless
+        pass
+
+    def parameters(self) -> list[tuple[np.ndarray, np.ndarray]]:
+        return []
+
+    def forward_flops(self, batch: int) -> int:
+        return 0
+
+    def backward_flops(self, batch: int) -> int:
+        return 0
+
+
+class Sigmoid:
+    """Logistic activation, used standalone when a probability is needed.
+
+    The training path prefers the fused
+    :func:`repro.model.loss.bce_with_logits` for numerical stability; this
+    layer exists for inference-style probability outputs.
+    """
+
+    def __init__(self) -> None:
+        self._y: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        # Piecewise-stable sigmoid avoids overflow for large |x|.
+        y = np.empty_like(x, dtype=np.float64)
+        pos = x >= 0
+        y[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+        ex = np.exp(x[~pos])
+        y[~pos] = ex / (1.0 + ex)
+        self._y = y
+        return y.astype(x.dtype)
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self._y is None:
+            raise RuntimeError("backward called before forward")
+        return dout * self._y * (1.0 - self._y)
+
+    def zero_grad(self) -> None:  # pragma: no cover - stateless
+        pass
+
+    def parameters(self) -> list[tuple[np.ndarray, np.ndarray]]:
+        return []
+
+    def forward_flops(self, batch: int) -> int:
+        return 0
+
+    def backward_flops(self, batch: int) -> int:
+        return 0
+
+
+class MLP:
+    """A stack of :class:`Linear` layers with ReLU between them.
+
+    ``sizes`` lists every layer width including input and output, e.g.
+    ``MLP((256, 128, 64))`` is the paper's RM1 bottom MLP.  The final layer
+    is linear (no activation) so it can feed either the interaction stage or
+    the logit loss directly.
+    """
+
+    def __init__(
+        self,
+        sizes: Sequence[int],
+        rng: np.random.Generator | None = None,
+        dtype: np.dtype = np.float64,
+    ) -> None:
+        if len(sizes) < 2:
+            raise ValueError("MLP needs at least input and output sizes")
+        rng = rng or np.random.default_rng(0)
+        self.layers: list[Linear | ReLU] = []
+        for depth, (fan_in, fan_out) in enumerate(zip(sizes[:-1], sizes[1:])):
+            self.layers.append(Linear(fan_in, fan_out, rng=rng, dtype=dtype))
+            if depth < len(sizes) - 2:
+                self.layers.append(ReLU())
+        self.sizes = tuple(int(s) for s in sizes)
+
+    @property
+    def in_features(self) -> int:
+        return self.sizes[0]
+
+    @property
+    def out_features(self) -> int:
+        return self.sizes[-1]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            dout = layer.backward(dout)
+        return dout
+
+    def zero_grad(self) -> None:
+        for layer in self.layers:
+            layer.zero_grad()
+
+    def parameters(self) -> list[tuple[np.ndarray, np.ndarray]]:
+        params: list[tuple[np.ndarray, np.ndarray]] = []
+        for layer in self.layers:
+            params.extend(layer.parameters())
+        return params
+
+    def forward_flops(self, batch: int) -> int:
+        """Total forward FLOPs for a mini-batch of ``batch`` samples."""
+        return sum(layer.forward_flops(batch) for layer in self.layers)
+
+    def backward_flops(self, batch: int) -> int:
+        """Total backward FLOPs for a mini-batch of ``batch`` samples."""
+        return sum(layer.backward_flops(batch) for layer in self.layers)
+
+    def parameter_bytes(self, itemsize: int = 4) -> int:
+        """Model-parameter footprint, used for memory-traffic rooflines."""
+        count = 0
+        for layer in self.layers:
+            if isinstance(layer, Linear):
+                count += layer.W.size + layer.b.size
+        return count * itemsize

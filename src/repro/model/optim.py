@@ -1,0 +1,252 @@
+"""Optimizers with dense and sparse (row-coalesced) update rules.
+
+Section II-B of the paper explains *why* gradient coalescing is mandatory:
+"ML frameworks are designed to support a variety of optimization algorithms
+(e.g., RMSprop, Adagrad, momentum, ...) which require the (potentially
+multiple) gradients for updating a given model parameter ... to first be
+accumulated into a single value".  These optimizers encode that contract:
+
+* :meth:`Optimizer.apply_dense` updates a whole parameter tensor (MLP
+  weights), and
+* :meth:`Optimizer.apply_sparse` updates only the ``rows`` of an embedding
+  table that received a coalesced gradient, touching per-row optimizer state
+  lazily — exactly the access pattern the gradient-scatter traffic model
+  (:func:`repro.core.traffic.scatter_traffic`) accounts for.
+
+RMSprop implements Equation 1 of the paper and Adagrad Equation 2,
+symbol-for-symbol.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+__all__ = ["Optimizer", "SGD", "Momentum", "Adagrad", "RMSprop", "Adam"]
+
+
+class Optimizer(ABC):
+    """Base class holding per-parameter state keyed by tensor identity.
+
+    State tensors are allocated lazily on first update, matching how
+    embedding-table state is only ever touched for rows that train.
+    """
+
+    #: Name used by the traffic model to size state read-modify-writes.
+    traffic_name = "sgd"
+
+    def __init__(self, lr: float) -> None:
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = float(lr)
+        self._state: dict[int, dict[str, np.ndarray]] = {}
+
+    def _state_for(self, param: np.ndarray) -> dict[str, np.ndarray]:
+        key = id(param)
+        if key not in self._state:
+            self._state[key] = self._init_state(param)
+        return self._state[key]
+
+    def _init_state(self, param: np.ndarray) -> dict[str, np.ndarray]:
+        """Allocate zeroed state tensors shaped like ``param`` (default none)."""
+        return {}
+
+    def state_tensors(self, param: np.ndarray) -> dict[str, np.ndarray]:
+        """Expose (and lazily create) the state tensors attached to ``param``."""
+        return self._state_for(param)
+
+    @abstractmethod
+    def apply_dense(self, param: np.ndarray, grad: np.ndarray) -> None:
+        """Update a dense parameter tensor in place."""
+
+    def apply_sparse(
+        self, param: np.ndarray, rows: np.ndarray, grads: np.ndarray
+    ) -> None:
+        """Update only ``param[rows]`` with the coalesced ``grads``.
+
+        ``rows`` must be unique — enforced upstream by
+        :func:`repro.core.scatter.scatter_with_optimizer` — because the
+        update rules below are not additive in the gradient.
+        """
+        self._apply_rows(param, rows, grads)
+
+    @abstractmethod
+    def _apply_rows(
+        self, param: np.ndarray, rows: np.ndarray, grads: np.ndarray
+    ) -> None:
+        ...
+
+    def step(self, parameters: list[tuple[np.ndarray, np.ndarray]]) -> None:
+        """Apply dense updates over ``(param, grad)`` pairs (MLP layers)."""
+        for param, grad in parameters:
+            self.apply_dense(param, grad)
+
+
+class SGD(Optimizer):
+    """Plain stochastic gradient descent: ``W <- W - lr * G``."""
+
+    traffic_name = "sgd"
+
+    def apply_dense(self, param: np.ndarray, grad: np.ndarray) -> None:
+        param -= self.lr * grad
+
+    def _apply_rows(
+        self, param: np.ndarray, rows: np.ndarray, grads: np.ndarray
+    ) -> None:
+        param[rows] -= self.lr * grads
+
+
+class Momentum(Optimizer):
+    """SGD with heavy-ball momentum: ``V <- m*V + G;  W <- W - lr*V``."""
+
+    traffic_name = "momentum"
+
+    def __init__(self, lr: float, momentum: float = 0.9) -> None:
+        super().__init__(lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must lie in [0, 1), got {momentum}")
+        self.momentum = float(momentum)
+
+    def _init_state(self, param: np.ndarray) -> dict[str, np.ndarray]:
+        return {"velocity": np.zeros_like(param, dtype=np.float64)}
+
+    def apply_dense(self, param: np.ndarray, grad: np.ndarray) -> None:
+        velocity = self._state_for(param)["velocity"]
+        velocity *= self.momentum
+        velocity += grad
+        param -= self.lr * velocity
+
+    def _apply_rows(
+        self, param: np.ndarray, rows: np.ndarray, grads: np.ndarray
+    ) -> None:
+        velocity = self._state_for(param)["velocity"]
+        velocity[rows] = self.momentum * velocity[rows] + grads
+        param[rows] -= self.lr * velocity[rows]
+
+
+class Adagrad(Optimizer):
+    """Adagrad — Equation 2 of the paper.
+
+    ``A_i = A_{i-1} + G_i^2;  W_i = W_{i-1} - lr * G_i / sqrt(eps + A_i)``
+    """
+
+    traffic_name = "adagrad"
+
+    def __init__(self, lr: float, eps: float = 1e-10) -> None:
+        super().__init__(lr)
+        if eps <= 0:
+            raise ValueError(f"eps must be positive, got {eps}")
+        self.eps = float(eps)
+
+    def _init_state(self, param: np.ndarray) -> dict[str, np.ndarray]:
+        return {"accumulator": np.zeros_like(param, dtype=np.float64)}
+
+    def apply_dense(self, param: np.ndarray, grad: np.ndarray) -> None:
+        acc = self._state_for(param)["accumulator"]
+        acc += grad * grad
+        param -= self.lr * grad / np.sqrt(self.eps + acc)
+
+    def _apply_rows(
+        self, param: np.ndarray, rows: np.ndarray, grads: np.ndarray
+    ) -> None:
+        acc = self._state_for(param)["accumulator"]
+        acc[rows] += grads * grads
+        param[rows] -= self.lr * grads / np.sqrt(self.eps + acc[rows])
+
+
+class RMSprop(Optimizer):
+    """RMSprop — Equation 1 of the paper.
+
+    ``A_i = g*A_{i-1} + (1-g)*G_i^2;  W_i = W_{i-1} - lr * G_i / sqrt(eps + A_i)``
+    """
+
+    traffic_name = "rmsprop"
+
+    def __init__(self, lr: float, gamma: float = 0.9, eps: float = 1e-8) -> None:
+        super().__init__(lr)
+        if not 0.0 <= gamma < 1.0:
+            raise ValueError(f"gamma must lie in [0, 1), got {gamma}")
+        if eps <= 0:
+            raise ValueError(f"eps must be positive, got {eps}")
+        self.gamma = float(gamma)
+        self.eps = float(eps)
+
+    def _init_state(self, param: np.ndarray) -> dict[str, np.ndarray]:
+        return {"accumulator": np.zeros_like(param, dtype=np.float64)}
+
+    def apply_dense(self, param: np.ndarray, grad: np.ndarray) -> None:
+        acc = self._state_for(param)["accumulator"]
+        acc *= self.gamma
+        acc += (1.0 - self.gamma) * grad * grad
+        param -= self.lr * grad / np.sqrt(self.eps + acc)
+
+    def _apply_rows(
+        self, param: np.ndarray, rows: np.ndarray, grads: np.ndarray
+    ) -> None:
+        acc = self._state_for(param)["accumulator"]
+        acc[rows] = self.gamma * acc[rows] + (1.0 - self.gamma) * grads * grads
+        param[rows] -= self.lr * grads / np.sqrt(self.eps + acc[rows])
+
+
+class Adam(Optimizer):
+    """Adam with lazy (per-row) bias correction for sparse tables.
+
+    Dense tensors use the standard global step count; embedding rows each
+    carry their own update count, so a rarely-touched row's first update is
+    bias-corrected as *its* first step — the "lazy Adam" semantics sparse
+    frameworks implement, and a second optimizer state tensor that the
+    scatter traffic model charges for (``OPTIMIZER_STATE_SLOTS["adam"]``).
+    """
+
+    traffic_name = "adam"
+
+    def __init__(
+        self,
+        lr: float,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ) -> None:
+        super().__init__(lr)
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError("beta1 and beta2 must lie in [0, 1)")
+        if eps <= 0:
+            raise ValueError(f"eps must be positive, got {eps}")
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.eps = float(eps)
+
+    def _init_state(self, param: np.ndarray) -> dict[str, np.ndarray]:
+        return {
+            "first_moment": np.zeros_like(param, dtype=np.float64),
+            "second_moment": np.zeros_like(param, dtype=np.float64),
+            "steps": np.zeros(param.shape[0] if param.ndim > 1 else 1,
+                              dtype=np.int64),
+        }
+
+    def apply_dense(self, param: np.ndarray, grad: np.ndarray) -> None:
+        state = self._state_for(param)
+        state["steps"] += 1
+        step = int(state["steps"].flat[0])
+        m, v = state["first_moment"], state["second_moment"]
+        m *= self.beta1
+        m += (1.0 - self.beta1) * grad
+        v *= self.beta2
+        v += (1.0 - self.beta2) * grad * grad
+        m_hat = m / (1.0 - self.beta1**step)
+        v_hat = v / (1.0 - self.beta2**step)
+        param -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def _apply_rows(
+        self, param: np.ndarray, rows: np.ndarray, grads: np.ndarray
+    ) -> None:
+        state = self._state_for(param)
+        state["steps"][rows] += 1
+        steps = state["steps"][rows].astype(np.float64)
+        m, v = state["first_moment"], state["second_moment"]
+        m[rows] = self.beta1 * m[rows] + (1.0 - self.beta1) * grads
+        v[rows] = self.beta2 * v[rows] + (1.0 - self.beta2) * grads * grads
+        m_hat = m[rows] / (1.0 - self.beta1**steps)[:, None]
+        v_hat = v[rows] / (1.0 - self.beta2**steps)[:, None]
+        param[rows] -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

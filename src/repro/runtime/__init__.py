@@ -1,0 +1,71 @@
+"""Software runtime: execution timelines, system design points, trainers.
+
+The co-designed runtime of Section IV-B lives here — the Figure 9 overlap
+of casting with forward propagation (:mod:`~repro.runtime.systems`), the
+timeline machinery behind it (:mod:`~repro.runtime.timeline`), and a
+wall-clock-instrumented functional trainer (:mod:`~repro.runtime.trainer`).
+"""
+
+from .systems import (
+    CPUGPUSystem,
+    CPUOnlySystem,
+    IterationResult,
+    NMPSystem,
+    OP_BWD_ACCU,
+    OP_BWD_DNN,
+    OP_BWD_EXPAND,
+    OP_BWD_SCATTER,
+    OP_BWD_SORT,
+    OP_BWD_TCAST,
+    OP_CAST_XFER,
+    OP_CASTING,
+    OP_FWD_DNN,
+    OP_FWD_GATHER,
+    SystemHardware,
+    TrainingSystem,
+    WorkloadStats,
+    compute_workload,
+    design_points,
+)
+from .timeline import (
+    RESOURCE_CPU,
+    RESOURCE_GPU,
+    RESOURCE_LINK,
+    RESOURCE_NMP,
+    RESOURCE_PCIE,
+    Span,
+    Timeline,
+)
+from .trainer import FunctionalTrainer, PhaseTimings, TrainingReport
+
+__all__ = [
+    "CPUGPUSystem",
+    "CPUOnlySystem",
+    "FunctionalTrainer",
+    "IterationResult",
+    "NMPSystem",
+    "OP_BWD_ACCU",
+    "OP_BWD_DNN",
+    "OP_BWD_EXPAND",
+    "OP_BWD_SCATTER",
+    "OP_BWD_SORT",
+    "OP_BWD_TCAST",
+    "OP_CASTING",
+    "OP_CAST_XFER",
+    "OP_FWD_DNN",
+    "OP_FWD_GATHER",
+    "PhaseTimings",
+    "RESOURCE_CPU",
+    "RESOURCE_GPU",
+    "RESOURCE_LINK",
+    "RESOURCE_NMP",
+    "RESOURCE_PCIE",
+    "Span",
+    "SystemHardware",
+    "Timeline",
+    "TrainingReport",
+    "TrainingSystem",
+    "WorkloadStats",
+    "compute_workload",
+    "design_points",
+]

@@ -1,0 +1,60 @@
+"""Hardware substrate: cycle-level DRAM, device models, links and energy.
+
+Implements the paper's emulation methodology (Section V): a from-scratch
+cycle-level DDR4 simulator measures per-pattern effective bandwidth, which
+the CPU/GPU/NMP latency models consume as a proxy for primitive execution
+time.  Specs for every device (including the Table I disaggregated pool)
+live in :mod:`~repro.sim.specs`.
+"""
+
+from .cache import CachedCPUModel, HotRowCacheSpec
+from .cpu import CPUModel
+from .dram import BURST_BYTES, DDR4_2400, DDR4_3200, DRAMChannel, DRAMTiming
+from .energy import DevicePower, EnergyModel, EnergyReport
+from .gpu import GPUModel
+from .interconnect import Link
+from .memsys import AddressMapping, PatternBandwidth, build_gather_requests, build_sequential_requests
+from .nmp import NMPPoolModel
+from .specs import (
+    CPUSpec,
+    DEFAULT_CPU,
+    DEFAULT_GPU,
+    DEFAULT_NMP_LINK,
+    GPUSpec,
+    LinkSpec,
+    NMPPoolSpec,
+    NVLINK,
+    PCIE_GEN3,
+    TABLE_I_POOL,
+)
+
+__all__ = [
+    "AddressMapping",
+    "BURST_BYTES",
+    "CPUModel",
+    "CPUSpec",
+    "CachedCPUModel",
+    "DDR4_2400",
+    "DDR4_3200",
+    "DEFAULT_CPU",
+    "DEFAULT_GPU",
+    "DEFAULT_NMP_LINK",
+    "DRAMChannel",
+    "DRAMTiming",
+    "DevicePower",
+    "EnergyModel",
+    "EnergyReport",
+    "GPUModel",
+    "GPUSpec",
+    "HotRowCacheSpec",
+    "Link",
+    "LinkSpec",
+    "NMPPoolModel",
+    "NMPPoolSpec",
+    "NVLINK",
+    "PCIE_GEN3",
+    "PatternBandwidth",
+    "TABLE_I_POOL",
+    "build_gather_requests",
+    "build_sequential_requests",
+]

@@ -1,0 +1,266 @@
+"""Cycle-level DDR4 DRAM channel model (the paper's Ramulator stand-in).
+
+The paper's evaluation methodology (Section V) "utilizes a cycle-level DRAM
+simulator to measure the effective memory throughput of the memory system
+when fed in with the appropriate DRAM commands", then uses that effective
+throughput as a proxy for NMP execution time.  This module reproduces that
+methodology from scratch:
+
+* :class:`DRAMTiming` — a DDR4 timing/geometry spec (tCK, CL, tRCD, tRP,
+  tRAS, tCCD, burst length, bank count);
+* :class:`DRAMChannel` — an event-driven bank/row-buffer model with an
+  FR-FCFS-style scheduling window and a shared data bus, returning the cycle
+  count for a request stream;
+* :func:`effective_bandwidth` — bytes-over-time for a stream, the number the
+  higher-level device models consume.
+
+Fidelity notes (documented simplifications): write timing reuses read CAS
+latency (no separate CWL/tWR modelling), refresh is ignored (it costs a few
+percent uniformly and cancels out of normalized results), and tFAW is
+approximated by the scheduling window.  Row-buffer behaviour — the
+first-order determinant of gather/scatter efficiency — is modelled exactly:
+row hits pay CL only, row conflicts pay tRAS-constrained precharge +
+activate + CL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+__all__ = [
+    "DRAMTiming",
+    "DDR4_2400",
+    "DDR4_3200",
+    "Request",
+    "DRAMChannel",
+    "effective_bandwidth",
+]
+
+#: Bytes delivered per column access (BL8 on an 8-byte-wide rank interface).
+BURST_BYTES = 64
+
+
+@dataclass(frozen=True)
+class DRAMTiming:
+    """DDR4 speed-bin timing and geometry for one rank.
+
+    All timing fields are in memory-clock cycles; ``tck_ns`` converts to
+    wall-clock.  ``io_bytes_per_cycle`` reflects the double data rate of the
+    8-byte rank interface (two 8-byte beats per clock).
+    """
+
+    name: str
+    tck_ns: float
+    cl: int
+    trcd: int
+    trp: int
+    tras: int
+    tccd: int = 4
+    trrd: int = 6  # activate-to-activate, any bank (tRRD_L)
+    tfaw: int = 26  # at most 4 activates per rolling tFAW window
+    cwl: int = 0  # CAS write latency; 0 means the JEDEC-typical CL - 2
+    twtr: int = 8  # write-to-read bus turnaround
+    twr: int = 18  # write recovery before precharge
+    trefi: int = 9360  # average refresh interval (7.8 us)
+    trfc: int = 420  # refresh cycle time (~350 ns for 8 Gb devices)
+    burst_cycles: int = 4  # BL8 occupies 4 clocks on a DDR bus
+    banks: int = 16
+    row_bytes: int = 8192  # per-rank page: 1KB per chip x8 chips
+    io_bytes_per_cycle: int = 16
+
+    def __post_init__(self) -> None:
+        if min(self.tck_ns, self.cl, self.trcd, self.trp, self.tras) <= 0:
+            raise ValueError("all DRAM timing parameters must be positive")
+        if self.banks <= 0 or self.row_bytes < BURST_BYTES:
+            raise ValueError("implausible DRAM geometry")
+        if self.trefi <= self.trfc:
+            raise ValueError("tREFI must exceed tRFC")
+
+    @property
+    def write_latency(self) -> int:
+        """Effective CAS write latency (CL - 2 unless overridden)."""
+        return self.cwl if self.cwl > 0 else max(self.cl - 2, 1)
+
+    @property
+    def refresh_overhead(self) -> float:
+        """Fraction of time the rank is refreshing (throughput steal)."""
+        return self.trfc / self.trefi
+
+    @property
+    def peak_bandwidth(self) -> float:
+        """Pin bandwidth of one rank in bytes/second."""
+        return self.io_bytes_per_cycle / (self.tck_ns * 1e-9)
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        """Convert memory-clock cycles to seconds."""
+        return cycles * self.tck_ns * 1e-9
+
+
+#: Commodity host-memory speed bin (4 channels of this is the paper's
+#: ~80 GB/s CPU memory system of Figure 3).
+DDR4_2400 = DRAMTiming(
+    name="DDR4-2400", tck_ns=1.0 / 1.2, cl=16, trcd=16, trp=16, tras=39,
+    trrd=6, tfaw=26,
+)
+
+#: Table I speed bin: 25.6 GB/s per rank, 32 ranks = 819.2 GB/s aggregate.
+DDR4_3200 = DRAMTiming(
+    name="DDR4-3200", tck_ns=0.625, cl=22, trcd=22, trp=22, tras=52,
+    trrd=8, tfaw=34,
+)
+
+#: A memory request: one 64-byte column access to ``(bank, row)``.
+Request = Tuple[int, int, bool]  # (bank, row, is_write)
+
+
+class _BankState:
+    """Open row, earliest next-command cycle, activate and write history."""
+
+    __slots__ = ("open_row", "ready", "activated_at", "last_write_end")
+
+    def __init__(self) -> None:
+        self.open_row: int | None = None
+        self.ready: float = 0.0
+        self.activated_at: float = -(10**9)
+        self.last_write_end: float = -(10**9)
+
+
+class DRAMChannel:
+    """One DDR4 channel/rank with FR-FCFS-windowed scheduling.
+
+    Parameters
+    ----------
+    timing:
+        The speed-bin spec.
+    window:
+        How many oldest pending requests the scheduler may choose among each
+        issue slot.  ``window=1`` degenerates to strict FCFS; 16 approximates
+        a commodity controller's reorder capacity.
+    """
+
+    def __init__(self, timing: DRAMTiming, window: int = 16) -> None:
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        self.timing = timing
+        self.window = window
+
+    def _service_estimate(
+        self,
+        bank: _BankState,
+        row: int,
+        is_write: bool,
+        bus_free: float,
+        activate_floor: float,
+        read_floor: float,
+    ) -> Tuple[float, float, bool, float]:
+        """Earliest ``(data_start, cas, is_hit, act)`` for a request on ``bank``.
+
+        ``activate_floor`` is the earliest cycle the rank-level tRRD/tFAW
+        constraints allow another activate; ``read_floor`` is the earliest a
+        *read* CAS may issue after outstanding writes (tWTR bus turnaround);
+        ``act`` is the activate cycle actually chosen (meaningless for hits).
+        """
+        timing = self.timing
+        act = 0.0
+        if bank.open_row == row:
+            cas = bank.ready
+            hit = True
+        elif bank.open_row is None:
+            act = max(bank.ready, activate_floor)
+            cas = act + timing.trcd
+            hit = False
+        else:
+            # Precharge respects tRAS since activation and write recovery
+            # (tWR) after the bank's last write burst.
+            precharge = max(
+                bank.ready,
+                bank.activated_at + timing.tras,
+                bank.last_write_end + timing.twr,
+            )
+            act = max(precharge + timing.trp, activate_floor)
+            cas = act + timing.trcd
+            hit = False
+        if not is_write:
+            cas = max(cas, read_floor)
+        latency = timing.write_latency if is_write else timing.cl
+        data_start = max(cas + latency, bus_free)
+        return data_start, cas, hit, act
+
+    def simulate(self, requests: Sequence[Request]) -> float:
+        """Run the request stream, returning total cycles until last data beat."""
+        timing = self.timing
+        banks = [_BankState() for _ in range(timing.banks)]
+        bus_free = 0.0
+        finish = 0.0
+        last_activate = -float(timing.trrd)
+        recent_activates: List[float] = []  # last <=3 older activates, for tFAW
+        read_floor = 0.0  # earliest next read CAS (tWTR after writes)
+        pending: List[Request] = list(requests)
+        position = 0
+        while position < len(pending):
+            activate_floor = last_activate + timing.trrd
+            if len(recent_activates) == 3:
+                activate_floor = max(
+                    activate_floor, recent_activates[0] + timing.tfaw
+                )
+            window_end = min(position + self.window, len(pending))
+            best_index = position
+            best_start = None
+            for i in range(position, window_end):
+                bank_id, row, is_write = pending[i]
+                start, _, hit, _ = self._service_estimate(
+                    banks[bank_id % timing.banks], row, is_write,
+                    bus_free, activate_floor, read_floor,
+                )
+                # FR-FCFS: earliest-ready first, with age as the tiebreak
+                # (list order already encodes age).
+                if best_start is None or start < best_start:
+                    best_start = start
+                    best_index = i
+            bank_id, row, is_write = pending.pop(best_index)
+            pending.insert(position, (bank_id, row, is_write))
+            position += 1
+            bank = banks[bank_id % timing.banks]
+            data_start, cas, hit, act = self._service_estimate(
+                bank, row, is_write, bus_free, activate_floor, read_floor
+            )
+            if not hit:
+                bank.activated_at = act
+                bank.open_row = row
+                recent_activates.append(act)
+                if len(recent_activates) > 3:
+                    recent_activates.pop(0)
+                last_activate = act
+            data_end = data_start + timing.burst_cycles
+            if is_write:
+                bank.last_write_end = data_end
+                read_floor = max(read_floor, data_end + timing.twtr)
+            bus_free = data_end
+            # Next CAS to this bank no sooner than tCCD after this one, and
+            # never while its data is still on the bus.
+            latency = timing.write_latency if is_write else timing.cl
+            bank.ready = max(data_start - latency + timing.tccd, cas + timing.tccd)
+            finish = max(finish, data_end)
+        # Refresh is modeled analytically: the rank is unavailable for
+        # tRFC out of every tREFI, stretching the stream uniformly.
+        return finish / (1.0 - timing.refresh_overhead)
+
+    def effective_bandwidth(self, requests: Sequence[Request]) -> float:
+        """Achieved bytes/second for the stream (64 bytes per request)."""
+        if not requests:
+            raise ValueError("cannot measure bandwidth of an empty stream")
+        cycles = self.simulate(requests)
+        seconds = self.timing.cycles_to_seconds(cycles)
+        return len(requests) * BURST_BYTES / seconds
+
+    def efficiency(self, requests: Sequence[Request]) -> float:
+        """Achieved fraction of pin bandwidth for the stream, in (0, 1]."""
+        return self.effective_bandwidth(requests) / self.timing.peak_bandwidth
+
+
+def effective_bandwidth(
+    requests: Sequence[Request], timing: DRAMTiming, window: int = 16
+) -> float:
+    """Convenience wrapper: bytes/second achieved by ``requests`` on ``timing``."""
+    return DRAMChannel(timing, window=window).effective_bandwidth(requests)

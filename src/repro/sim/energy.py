@@ -1,0 +1,86 @@
+"""Energy accounting for the Figure 14 comparison.
+
+Follows the paper's methodology: measure (here: model) each device's power,
+multiply by its execution time from the timeline, and sum.  Devices carry an
+active and an idle power — a busy GPU burns board power, an idle one still
+burns its baseline — so a system that finishes faster *and* keeps fewer
+devices waiting wins twice.  The DRAM pool additionally charges a
+Micron-power-calculator-style per-byte access energy on top of per-rank
+background power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+__all__ = ["DevicePower", "EnergyModel", "EnergyReport"]
+
+
+@dataclass(frozen=True)
+class DevicePower:
+    """Active/idle power of one schedulable resource, in watts.
+
+    ``pj_per_byte`` adds a data-movement energy proportional to the bytes a
+    resource's spans report (used for the DRAM pool; zero for socket-level
+    CPU/GPU numbers, which already fold DRAM access into board power).
+    """
+
+    active_w: float
+    idle_w: float
+    pj_per_byte: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.active_w < self.idle_w:
+            raise ValueError("active power cannot be below idle power")
+        if min(self.active_w, self.idle_w, self.pj_per_byte) < 0:
+            raise ValueError("power figures must be non-negative")
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Per-resource and total energy of one training iteration, in joules."""
+
+    per_resource: Dict[str, float]
+    total: float
+
+
+class EnergyModel:
+    """Convert a timeline's busy/idle occupancy into joules.
+
+    Parameters
+    ----------
+    device_powers:
+        Map of resource name (as used by the timeline) to its power spec.
+        Resources absent from a timeline contribute nothing; resources
+        present in the timeline but missing here raise, so silent
+        under-counting is impossible.
+    """
+
+    def __init__(self, device_powers: Mapping[str, DevicePower]) -> None:
+        if not device_powers:
+            raise ValueError("need at least one device power entry")
+        self.device_powers = dict(device_powers)
+
+    def energy(self, timeline) -> EnergyReport:
+        """Energy of every resource over the timeline's makespan.
+
+        ``timeline`` is a :class:`repro.runtime.timeline.Timeline`; imported
+        structurally (duck-typed) to keep sim free of runtime imports.
+        """
+        makespan = timeline.makespan()
+        per_resource: Dict[str, float] = {}
+        for resource in timeline.resources():
+            try:
+                power = self.device_powers[resource]
+            except KeyError:
+                raise KeyError(
+                    f"no power spec for resource {resource!r}; "
+                    f"known: {sorted(self.device_powers)}"
+                ) from None
+            busy = timeline.busy_time(resource)
+            idle = max(makespan - busy, 0.0)
+            joules = power.active_w * busy + power.idle_w * idle
+            joules += power.pj_per_byte * 1e-12 * timeline.bytes_moved(resource)
+            per_resource[resource] = joules
+        return EnergyReport(per_resource=per_resource, total=sum(per_resource.values()))

@@ -1,0 +1,85 @@
+"""GPU execution model: the GEMM-optimized TPU of the paper's systems.
+
+The GPU trains the dense DNN layers (Section II-C) and, in the co-designed
+runtime, runs the casting stage of Tensor Casting during forward propagation
+(Section IV-B).  DNN time is a per-layer roofline — GEMM FLOPs against
+``peak_flops x efficiency``, activation/weight traffic against HBM streaming
+bandwidth — plus a fixed kernel-launch overhead that keeps the paper's tiny
+RM1/RM2 MLPs from disappearing (they are launch-bound, not FLOP-bound, which
+is exactly why they contribute "less than 1%" of CPU-GPU training time).
+Casting time is radix-sort throughput plus streaming scan/cumsum passes.
+"""
+
+from __future__ import annotations
+
+from ..core import traffic as traffic_model
+from .specs import GPUSpec
+
+__all__ = ["GPUModel"]
+
+
+class GPUModel:
+    """Latency model of the V100-class accelerator."""
+
+    def __init__(self, spec: GPUSpec | None = None) -> None:
+        self.spec = spec or GPUSpec()
+
+    def stream_bandwidth(self) -> float:
+        """Effective HBM bytes/s for dense streams."""
+        return self.spec.hbm_bandwidth * self.spec.stream_efficiency
+
+    def gather_bandwidth(self) -> float:
+        """Effective HBM bytes/s for irregular gathers."""
+        return self.spec.hbm_bandwidth * self.spec.gather_efficiency
+
+    def time_dnn(
+        self,
+        flops: int,
+        num_layers: int,
+        touched_bytes: int = 0,
+    ) -> float:
+        """One DNN pass (forward or backward) over the batch.
+
+        Parameters
+        ----------
+        flops:
+            GEMM FLOPs of the pass (use the ModelConfig accounting).
+        num_layers:
+            Kernel launches charged at ``kernel_overhead_s`` each.
+        touched_bytes:
+            Activations + parameters moved through HBM.
+        """
+        if flops < 0 or num_layers < 0:
+            raise ValueError("flops and num_layers must be non-negative")
+        compute = flops / (self.spec.peak_flops * self.spec.flops_efficiency)
+        memory = touched_bytes / self.stream_bandwidth()
+        return max(compute, memory) + num_layers * self.spec.kernel_overhead_s
+
+    def time_sort(self, n: int) -> float:
+        """Device radix sort over ``n`` key-value pairs (CUB-class)."""
+        if n == 0:
+            return 0.0
+        return n / self.spec.sort_rate_keys_per_s + self.spec.kernel_overhead_s
+
+    def time_casting(self, n: int) -> float:
+        """Tensor Casting (Algorithm 2) on the GPU.
+
+        Sort-by-key over the ``(src, dst)`` pairs, then bandwidth-bound
+        boundary-scan and cumulative-sum kernels over the index arrays.
+        This is the red "FWD (Casting)" bar of Figure 12 — hidden under
+        forward propagation by the runtime, but it reappears as the critical
+        path once NMP makes everything else fast (Section VI-A).
+        """
+        if n == 0:
+            return 0.0
+        scan_bytes = traffic_model.casting_traffic(n).total
+        scan_time = scan_bytes / self.stream_bandwidth() + 2 * self.spec.kernel_overhead_s
+        return self.time_sort(n) + scan_time
+
+    def time_stream(self, num_bytes: int) -> float:
+        """Dense on-device copy/transform."""
+        if num_bytes < 0:
+            raise ValueError(f"num_bytes must be non-negative, got {num_bytes}")
+        if num_bytes == 0:
+            return 0.0
+        return num_bytes / self.stream_bandwidth() + self.spec.kernel_overhead_s

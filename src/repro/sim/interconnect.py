@@ -1,0 +1,39 @@
+"""Interconnect transfer-time model (PCIe, NVLink, the NMP-GPU link).
+
+Transfers are latency-plus-bandwidth: a fixed per-transfer setup cost and a
+payload term over the link's effective (post-protocol-overhead) bandwidth.
+This is the model behind two of the paper's observations: index-array
+uploads for casting are "negligible as its size is only in the order of
+several MBs" (Section IV-B), while shipping *coalesced gradients* to a
+remote pool is decidedly not — which is why Baseline(NMP) underperforms
+Ours(CPU) in Figure 13.
+"""
+
+from __future__ import annotations
+
+from .specs import LinkSpec
+
+__all__ = ["Link"]
+
+
+class Link:
+    """A point-to-point link executing bulk transfers."""
+
+    def __init__(self, spec: LinkSpec) -> None:
+        self.spec = spec
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    def transfer_time(self, num_bytes: int) -> float:
+        """Seconds to move ``num_bytes`` (zero bytes still pays latency)."""
+        if num_bytes < 0:
+            raise ValueError(f"num_bytes must be non-negative, got {num_bytes}")
+        return self.spec.latency_s + num_bytes / self.spec.effective_bandwidth
+
+    def bandwidth_bound_time(self, num_bytes: int) -> float:
+        """Pure bandwidth term, for asymptotic analyses."""
+        if num_bytes < 0:
+            raise ValueError(f"num_bytes must be non-negative, got {num_bytes}")
+        return num_bytes / self.spec.effective_bandwidth

@@ -1,0 +1,178 @@
+"""Address mapping and access-pattern bandwidth measurement.
+
+Bridges the algorithm-level primitives to the cycle-level DRAM model: build
+the 64-byte request streams that an embedding gather/scatter or a sequential
+tensor sweep would issue, run them through :class:`~repro.sim.dram.DRAMChannel`,
+and cache the measured *efficiency* (achieved fraction of pin bandwidth) per
+access pattern.  Device models multiply these efficiencies into their peak
+bandwidths — exactly how the paper converts Ramulator measurements into an
+"effective memory throughput ... utilized as a proxy" (Section V).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from .dram import BURST_BYTES, DRAMChannel, DRAMTiming, Request
+
+__all__ = [
+    "AddressMapping",
+    "build_gather_requests",
+    "build_sequential_requests",
+    "PatternBandwidth",
+]
+
+
+@dataclass(frozen=True)
+class AddressMapping:
+    """Physical address decomposition for one rank.
+
+    Row-interleaved banking: consecutive DRAM pages map to consecutive banks,
+    so sequential sweeps activate the next page on another bank while the
+    current page streams — the standard commodity layout.
+    """
+
+    row_bytes: int = 8192
+    banks: int = 16
+
+    def locate(self, byte_address: int) -> Tuple[int, int]:
+        """Map a byte address to ``(bank, row)``."""
+        if byte_address < 0:
+            raise ValueError("byte_address must be non-negative")
+        page = byte_address // self.row_bytes
+        return page % self.banks, page // self.banks
+
+
+def build_gather_requests(
+    row_starts: np.ndarray,
+    vec_bytes: int,
+    mapping: AddressMapping,
+    is_write: bool = False,
+) -> List[Request]:
+    """Requests for gathering (or scattering) whole embedding vectors.
+
+    Each vector occupies ``vec_bytes / 64`` consecutive bursts starting at
+    its byte address; vectors land wherever the address mapping puts them.
+    """
+    if vec_bytes <= 0 or vec_bytes % BURST_BYTES:
+        raise ValueError(
+            f"vec_bytes must be a positive multiple of {BURST_BYTES}, got {vec_bytes}"
+        )
+    bursts = vec_bytes // BURST_BYTES
+    requests: List[Request] = []
+    for start in row_starts:
+        base = int(start)
+        for burst in range(bursts):
+            bank, row = mapping.locate(base + burst * BURST_BYTES)
+            requests.append((bank, row, is_write))
+    return requests
+
+
+def build_sequential_requests(
+    total_bytes: int, mapping: AddressMapping, is_write: bool = False
+) -> List[Request]:
+    """Requests for a dense sequential sweep of ``total_bytes``."""
+    if total_bytes <= 0:
+        raise ValueError(f"total_bytes must be positive, got {total_bytes}")
+    requests: List[Request] = []
+    for address in range(0, total_bytes, BURST_BYTES):
+        bank, row = mapping.locate(address)
+        requests.append((bank, row, is_write))
+    return requests
+
+
+class PatternBandwidth:
+    """Cached per-pattern efficiency measurements for one DRAM speed bin.
+
+    Patterns:
+
+    * ``"sequential"`` — dense streaming reads (expanded-gradient sweeps,
+      activation traffic);
+    * ``"sequential_write"`` — dense streaming writes;
+    * ``"random_gather"`` — whole-vector reads at uniformly random table
+      offsets (embedding gathers);
+    * ``"random_rmw"`` — read-modify-write of whole vectors at random
+      offsets (the gradient-scatter update: read row, write row back),
+      which additionally pays write-recovery and bus-turnaround time.
+
+    The random-pattern efficiencies depend on the vector width (wider
+    vectors amortize each row activation over more bursts), so they are
+    keyed by ``vec_bytes``.
+    """
+
+    #: Vectors simulated per measurement; enough for the efficiency to
+    #: stabilize while keeping the cycle model fast.
+    SAMPLE_VECTORS = 2048
+    SAMPLE_SEQUENTIAL_BYTES = 1 << 20
+    #: Synthetic table footprint the random offsets are drawn from; large
+    #: enough that row-buffer reuse across lookups is negligible, matching
+    #: the low-locality gathers of Section II-B.
+    SAMPLE_REGION_BYTES = 1 << 28
+
+    def __init__(
+        self,
+        timing: DRAMTiming,
+        mapping: AddressMapping | None = None,
+        window: int = 16,
+        seed: int = 1234,
+    ) -> None:
+        self.timing = timing
+        self.mapping = mapping or AddressMapping(
+            row_bytes=timing.row_bytes, banks=timing.banks
+        )
+        self.window = window
+        self._seed = seed
+        self._cache: Dict[Tuple[str, int], float] = {}
+
+    def _measure(self, pattern: str, vec_bytes: int) -> float:
+        channel = DRAMChannel(self.timing, window=self.window)
+        if pattern == "sequential":
+            requests = build_sequential_requests(
+                self.SAMPLE_SEQUENTIAL_BYTES, self.mapping
+            )
+        elif pattern == "sequential_write":
+            requests = build_sequential_requests(
+                self.SAMPLE_SEQUENTIAL_BYTES, self.mapping, is_write=True
+            )
+        elif pattern == "random_gather":
+            rng = np.random.default_rng(self._seed)
+            slots = self.SAMPLE_REGION_BYTES // vec_bytes
+            starts = rng.integers(0, slots, self.SAMPLE_VECTORS) * vec_bytes
+            requests = build_gather_requests(starts, vec_bytes, self.mapping)
+        elif pattern == "random_rmw":
+            rng = np.random.default_rng(self._seed)
+            slots = self.SAMPLE_REGION_BYTES // vec_bytes
+            starts = rng.integers(0, slots, self.SAMPLE_VECTORS // 2) * vec_bytes
+            requests = []
+            for start in starts:
+                requests.extend(
+                    build_gather_requests(
+                        np.array([start]), vec_bytes, self.mapping
+                    )
+                )
+                requests.extend(
+                    build_gather_requests(
+                        np.array([start]), vec_bytes, self.mapping, is_write=True
+                    )
+                )
+        else:
+            raise ValueError(
+                f"unknown pattern {pattern!r}; expected one of 'sequential', "
+                f"'sequential_write', 'random_gather', 'random_rmw'"
+            )
+        return channel.efficiency(requests)
+
+    def efficiency(self, pattern: str, vec_bytes: int = BURST_BYTES) -> float:
+        """Measured fraction of pin bandwidth for ``pattern`` (cached)."""
+        keyed_by_width = pattern in ("random_gather", "random_rmw")
+        key = (pattern, vec_bytes if keyed_by_width else 0)
+        if key not in self._cache:
+            self._cache[key] = self._measure(pattern, vec_bytes)
+        return self._cache[key]
+
+    def bandwidth(self, pattern: str, vec_bytes: int = BURST_BYTES) -> float:
+        """Effective bytes/second of one rank under ``pattern``."""
+        return self.efficiency(pattern, vec_bytes) * self.timing.peak_bandwidth

@@ -1,0 +1,187 @@
+"""Self-validation: rerun the reproduction's correctness and shape checks.
+
+``validate_all()`` executes the same checks the paper's Section V describes
+("we thoroughly validate the functional equivalence between the baseline
+gradient expand-coalesce primitive and our proposed tensor casted gradient
+gather-reduce operator") plus the headline shape anchors, returning a
+structured report.  Exposed on the CLI as ``python -m repro validate`` so a
+fresh install can prove itself in one command.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List
+
+import numpy as np
+
+from .core.coalesce import expand_coalesce
+from .core.gather_reduce import tcasted_grad_gather_reduce
+from .core.indexing import IndexArray
+from .core.traffic import casting_reduction_factor
+from .data.distributions import UniformDistribution, ZipfDistribution
+from .data.generator import generate_index_array
+from .model.configs import RM1, get_model
+from .model.dlrm import DLRM
+from .model.optim import Adagrad
+from .runtime.systems import SystemHardware, compute_workload, design_points
+
+__all__ = ["CheckResult", "ValidationReport", "validate_all"]
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Outcome of one validation check."""
+
+    name: str
+    passed: bool
+    detail: str
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """All check outcomes plus an overall verdict."""
+
+    checks: List[CheckResult]
+
+    @property
+    def passed(self) -> bool:
+        return all(check.passed for check in self.checks)
+
+    def summary(self) -> str:
+        lines = []
+        for check in self.checks:
+            mark = "PASS" if check.passed else "FAIL"
+            lines.append(f"[{mark}] {check.name}: {check.detail}")
+        verdict = "ALL CHECKS PASSED" if self.passed else "VALIDATION FAILED"
+        lines.append(verdict)
+        return "\n".join(lines)
+
+
+def _check_functional_equivalence(rng: np.random.Generator) -> CheckResult:
+    """Casted backward equals baseline backward over random index arrays."""
+    trials = 25
+    for trial in range(trials):
+        num_rows = int(rng.integers(5, 500))
+        batch = int(rng.integers(1, 40))
+        lookups = int(rng.integers(1, 12))
+        index = IndexArray(
+            rng.integers(0, num_rows, batch * lookups),
+            np.repeat(np.arange(batch), lookups),
+            num_rows=num_rows,
+            num_outputs=batch,
+        )
+        grads = rng.standard_normal((batch, 8))
+        rows_b, coal_b = expand_coalesce(index, grads)
+        rows_c, coal_c = tcasted_grad_gather_reduce(index, grads)
+        if not (np.array_equal(rows_b, rows_c) and np.allclose(coal_b, coal_c)):
+            return CheckResult(
+                "functional equivalence", False,
+                f"mismatch at trial {trial} (rows={num_rows}, batch={batch})",
+            )
+    return CheckResult(
+        "functional equivalence", True,
+        f"{trials} random index arrays: casted == expand-coalesce",
+    )
+
+
+def _check_training_trajectories(rng: np.random.Generator) -> CheckResult:
+    """Whole training runs are bit-identical across backward modes."""
+    config = RM1.with_overrides(
+        num_tables=2, gathers_per_table=4, rows_per_table=200,
+        bottom_mlp=(8, 4), top_mlp=(4, 1), embedding_dim=4,
+    )
+    losses = {}
+    for mode in ("baseline", "casted"):
+        model = DLRM(config, rng=np.random.default_rng(0))
+        optimizer = Adagrad(lr=0.05)
+        data_rng = np.random.default_rng(1)
+        run = []
+        for _ in range(5):
+            dense = data_rng.standard_normal((16, 8))
+            indices = [
+                IndexArray(
+                    data_rng.integers(0, 200, 64),
+                    np.repeat(np.arange(16), 4), 200, 16,
+                )
+                for _ in range(2)
+            ]
+            labels = data_rng.integers(0, 2, 16).astype(float)
+            run.append(model.train_step(dense, indices, labels, optimizer,
+                                        mode=mode).loss)
+        losses[mode] = run
+    identical = losses["baseline"] == losses["casted"]
+    return CheckResult(
+        "training trajectories", identical,
+        "5-step Adagrad runs bit-identical across backward modes"
+        if identical else f"diverged: {losses}",
+    )
+
+
+def _check_reduction_guarantee(rng: np.random.Generator) -> CheckResult:
+    """Casting's >=2x memory-intensity reduction on every dataset shape."""
+    distributions = [
+        UniformDistribution(100_000),
+        ZipfDistribution(100_000, exponent=0.8),
+        ZipfDistribution(10_000, exponent=1.3),
+    ]
+    worst = float("inf")
+    for dist in distributions:
+        index = generate_index_array(dist, batch=1024, lookups_per_sample=10, rng=rng)
+        factor = casting_reduction_factor(
+            index.num_lookups, 1024, index.num_unique_sources(), dim=64
+        )
+        worst = min(worst, factor)
+    return CheckResult(
+        "2x reduction guarantee", worst >= 2.0,
+        f"minimum reduction factor {worst:.3f} (must be >= 2)",
+    )
+
+
+def _check_system_ordering(rng: np.random.Generator) -> CheckResult:
+    """Figure 13's ordering on a representative cell."""
+    systems = design_points(SystemHardware())
+    stats = compute_workload(get_model("RM1"), 2048)
+    totals = {name: s.run_iteration(stats).total for name, s in systems.items()}
+    ordered = (
+        totals["Ours(NMP)"] < totals["Ours(CPU)"]
+        < totals["Baseline(NMP)"] < totals["Baseline(CPU)"]
+    )
+    ranking = " < ".join(sorted(totals, key=totals.get))
+    return CheckResult("system ordering", ordered, ranking)
+
+
+def _check_speedup_bands(rng: np.random.Generator) -> CheckResult:
+    """Headline bands on the default grid corner points."""
+    systems = design_points(SystemHardware())
+    violations = []
+    for model_name, batch in (("RM1", 1024), ("RM4", 8192)):
+        stats = compute_workload(get_model(model_name), batch)
+        base = systems["Baseline(CPU)"].run_iteration(stats).total
+        nmp = base / systems["Ours(NMP)"].run_iteration(stats).total
+        cpu = base / systems["Ours(CPU)"].run_iteration(stats).total
+        if not 1.9 <= nmp <= 21.0:
+            violations.append(f"Ours(NMP)@{model_name}/b{batch}={nmp:.2f}")
+        if not 1.2 <= cpu <= 2.8:
+            violations.append(f"Ours(CPU)@{model_name}/b{batch}={cpu:.2f}")
+    return CheckResult(
+        "speedup bands", not violations,
+        "corner cells inside the paper's 1.9-21x / 1.2-2.8x bands"
+        if not violations else ", ".join(violations),
+    )
+
+
+#: The registered checks, run in order.
+_CHECKS: List[Callable[[np.random.Generator], CheckResult]] = [
+    _check_functional_equivalence,
+    _check_training_trajectories,
+    _check_reduction_guarantee,
+    _check_system_ordering,
+    _check_speedup_bands,
+]
+
+
+def validate_all(seed: int = 0) -> ValidationReport:
+    """Run every registered check and return the report."""
+    rng = np.random.default_rng(seed)
+    return ValidationReport(checks=[check(rng) for check in _CHECKS])

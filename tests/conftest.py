@@ -1,0 +1,44 @@
+"""Shared fixtures for the Tensor Casting reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.indexing import IndexArray
+from repro.runtime.systems import SystemHardware
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic per-test generator."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def paper_index() -> IndexArray:
+    """The worked example of Figures 2/7/8: batch 2, lookups {1,2,4} and {0,2}."""
+    return IndexArray(src=[1, 2, 4, 0, 2], dst=[0, 0, 0, 1, 1], num_rows=6)
+
+
+def make_random_index(
+    rng: np.random.Generator,
+    num_rows: int = 100,
+    batch: int = 8,
+    lookups: int = 5,
+) -> IndexArray:
+    """Helper: a pooled-bag index array with uniform lookups."""
+    src = rng.integers(0, num_rows, batch * lookups)
+    dst = np.repeat(np.arange(batch), lookups)
+    return IndexArray(src, dst, num_rows=num_rows, num_outputs=batch)
+
+
+@pytest.fixture(scope="session")
+def shared_hardware() -> SystemHardware:
+    """One hardware description per session.
+
+    DRAM-pattern efficiencies are measured by the cycle-level simulator on
+    first use and cached inside the device models, so sharing the instance
+    keeps the suite fast.
+    """
+    return SystemHardware()

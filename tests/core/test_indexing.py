@@ -1,0 +1,194 @@
+"""Unit tests for the (src, dst) index-array abstraction."""
+
+import numpy as np
+import pytest
+
+from repro.core.indexing import IndexArray, concatenate
+
+
+class TestConstruction:
+    def test_basic_construction(self):
+        index = IndexArray([0, 1], [0, 0], num_rows=2)
+        assert index.num_lookups == 2
+        assert index.num_rows == 2
+        assert index.num_outputs == 1
+
+    def test_paper_example_shape(self, paper_index):
+        assert paper_index.num_lookups == 5
+        assert paper_index.num_outputs == 2
+        assert paper_index.num_rows == 6
+
+    def test_num_outputs_inferred_from_dst(self):
+        index = IndexArray([0, 1, 2], [0, 3, 1], num_rows=5)
+        assert index.num_outputs == 4
+
+    def test_explicit_num_outputs_kept(self):
+        index = IndexArray([0], [0], num_rows=2, num_outputs=7)
+        assert index.num_outputs == 7
+
+    def test_accepts_numpy_arrays(self):
+        index = IndexArray(np.array([1, 2]), np.array([0, 1]), num_rows=3)
+        assert index.src.dtype == np.int64
+        assert index.dst.dtype == np.int64
+
+    def test_accepts_integral_floats(self):
+        index = IndexArray(np.array([1.0, 2.0]), np.array([0.0, 1.0]), num_rows=3)
+        assert index.src.tolist() == [1, 2]
+
+    def test_rejects_fractional_floats(self):
+        with pytest.raises(TypeError, match="integers"):
+            IndexArray([1.5], [0], num_rows=3)
+
+    def test_rejects_string_ids(self):
+        with pytest.raises(TypeError):
+            IndexArray(np.array(["a"]), np.array([0]), num_rows=3)
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError, match="equal length"):
+            IndexArray([0, 1], [0], num_rows=2)
+
+    def test_rejects_2d_input(self):
+        with pytest.raises(ValueError, match="one-dimensional"):
+            IndexArray(np.zeros((2, 2), dtype=int), np.zeros(4, dtype=int), num_rows=2)
+
+    def test_rejects_out_of_range_src(self):
+        with pytest.raises(ValueError, match="src ids"):
+            IndexArray([5], [0], num_rows=5)
+
+    def test_rejects_negative_src(self):
+        with pytest.raises(ValueError, match="src ids"):
+            IndexArray([-1], [0], num_rows=5)
+
+    def test_rejects_out_of_range_dst(self):
+        with pytest.raises(ValueError, match="dst ids"):
+            IndexArray([0], [2], num_rows=5, num_outputs=2)
+
+    def test_rejects_nonpositive_num_rows(self):
+        with pytest.raises(ValueError, match="num_rows"):
+            IndexArray([], [], num_rows=0)
+
+    def test_empty_index_allowed(self):
+        index = IndexArray([], [], num_rows=10)
+        assert index.num_lookups == 0
+        assert index.num_outputs == 0
+
+
+class TestFromLookups:
+    def test_paper_example(self, paper_index):
+        built = IndexArray.from_lookups([[1, 2, 4], [0, 2]], num_rows=6)
+        assert built == paper_index
+
+    def test_empty_sample_contributes_nothing(self):
+        built = IndexArray.from_lookups([[1], [], [2]], num_rows=3)
+        assert built.num_outputs == 3
+        assert built.src.tolist() == [1, 2]
+        assert built.dst.tolist() == [0, 2]
+
+    def test_no_samples(self):
+        built = IndexArray.from_lookups([], num_rows=3)
+        assert built.num_lookups == 0
+
+
+class TestFromOffsets:
+    def test_matches_from_lookups(self, paper_index):
+        built = IndexArray.from_offsets([1, 2, 4, 0, 2], [0, 3], num_rows=6)
+        assert built == paper_index
+
+    def test_trailing_empty_bag(self):
+        built = IndexArray.from_offsets([1, 2], [0, 2, 2], num_rows=3)
+        assert built.num_outputs == 3
+        assert built.lookups_per_output().tolist() == [2, 0, 0]
+
+    def test_rejects_nonzero_start(self):
+        with pytest.raises(ValueError, match="start at zero"):
+            IndexArray.from_offsets([1, 2], [1, 2], num_rows=3)
+
+    def test_rejects_decreasing_offsets(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            IndexArray.from_offsets([1, 2], [0, 2, 1], num_rows=3)
+
+    def test_rejects_offset_past_end(self):
+        with pytest.raises(ValueError, match="past the end"):
+            IndexArray.from_offsets([1, 2], [0, 5], num_rows=3)
+
+    def test_empty_offsets(self):
+        built = IndexArray.from_offsets([], [], num_rows=3)
+        assert built.num_lookups == 0
+
+
+class TestDerivedViews:
+    def test_unique_sources_sorted(self, paper_index):
+        assert paper_index.unique_sources().tolist() == [0, 1, 2, 4]
+
+    def test_num_unique_sources(self, paper_index):
+        assert paper_index.num_unique_sources() == 4
+
+    def test_coalescing_ratio(self, paper_index):
+        assert paper_index.coalescing_ratio() == pytest.approx(4 / 5)
+
+    def test_coalescing_ratio_no_duplicates(self):
+        index = IndexArray([0, 1, 2], [0, 0, 0], num_rows=3)
+        assert index.coalescing_ratio() == 1.0
+
+    def test_coalescing_ratio_empty(self):
+        assert IndexArray([], [], num_rows=3).coalescing_ratio() == 1.0
+
+    def test_lookups_per_output(self, paper_index):
+        assert paper_index.lookups_per_output().tolist() == [3, 2]
+
+    def test_lookups_per_output_counts_all(self, rng):
+        from tests.conftest import make_random_index
+
+        index = make_random_index(rng, batch=6, lookups=4)
+        counts = index.lookups_per_output()
+        assert counts.sum() == index.num_lookups
+        assert counts.tolist() == [4] * 6
+
+    def test_pairs_shape_and_content(self, paper_index):
+        pairs = paper_index.pairs()
+        assert pairs.shape == (5, 2)
+        assert pairs[:, 0].tolist() == paper_index.src.tolist()
+        assert pairs[:, 1].tolist() == paper_index.dst.tolist()
+
+    def test_index_bytes(self, paper_index):
+        assert paper_index.index_bytes() == 2 * 5 * 8
+        assert paper_index.index_bytes(index_itemsize=4) == 2 * 5 * 4
+
+    def test_len(self, paper_index):
+        assert len(paper_index) == 5
+
+    def test_repr_mentions_geometry(self, paper_index):
+        text = repr(paper_index)
+        assert "n=5" in text and "num_rows=6" in text
+
+    def test_equality_and_inequality(self, paper_index):
+        same = IndexArray([1, 2, 4, 0, 2], [0, 0, 0, 1, 1], num_rows=6)
+        different = IndexArray([1, 2, 4, 0, 3], [0, 0, 0, 1, 1], num_rows=6)
+        assert paper_index == same
+        assert paper_index != different
+        assert paper_index != "not an index"
+
+
+class TestConcatenate:
+    def test_offsets_row_ids(self):
+        a = IndexArray([0, 1], [0, 0], num_rows=2)
+        b = IndexArray([0], [0], num_rows=3)
+        merged = concatenate([a, b])
+        assert merged.src.tolist() == [0, 1, 2]
+        assert merged.num_rows == 5
+        assert merged.num_outputs == 2
+
+    def test_offsets_output_ids(self):
+        a = IndexArray([0], [0], num_rows=1, num_outputs=2)
+        b = IndexArray([0], [1], num_rows=1, num_outputs=2)
+        merged = concatenate([a, b])
+        assert merged.dst.tolist() == [0, 3]
+        assert merged.num_outputs == 4
+
+    def test_single_array_roundtrip(self, paper_index):
+        merged = concatenate([paper_index])
+        assert merged == paper_index
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            concatenate([])

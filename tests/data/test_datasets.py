@@ -1,0 +1,62 @@
+"""Tests for the calibrated dataset profiles."""
+
+import pytest
+
+from repro.data.datasets import DATASETS, PAPER_ORDER, dataset_names, get_dataset
+
+
+class TestRegistry:
+    def test_all_five_paper_datasets_present(self):
+        assert set(PAPER_ORDER) == {"random", "amazon", "movielens", "alibaba", "criteo"}
+
+    def test_dataset_names_in_paper_order(self):
+        assert dataset_names() == PAPER_ORDER
+
+    def test_get_dataset_case_insensitive(self):
+        assert get_dataset("MovieLens") is DATASETS["movielens"]
+
+    def test_get_dataset_unknown(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            get_dataset("netflix")
+
+    def test_profiles_have_descriptions(self):
+        for profile in DATASETS.values():
+            assert len(profile.description) > 20
+
+
+class TestCalibration:
+    def test_random_is_uniform(self):
+        dist = get_dataset("random").distribution()
+        probs = dist.probabilities()
+        assert probs.max() == pytest.approx(probs.min())
+
+    def test_catalog_sizes_reflect_real_datasets(self):
+        """MovieLens is a tiny catalog; Amazon/Alibaba are multi-million."""
+        assert get_dataset("movielens").num_rows < 50_000
+        assert get_dataset("amazon").num_rows > 1_000_000
+        assert get_dataset("alibaba").num_rows > 1_000_000
+
+    def test_factory_num_rows_consistent(self):
+        for profile in DATASETS.values():
+            assert profile.distribution().num_rows == profile.num_rows
+
+    def test_real_datasets_skewed(self):
+        """Section III-B: 'a subset of table entries exhibit high access
+        frequencies' - every real profile concentrates mass in its head."""
+        for name in ("amazon", "movielens", "alibaba", "criteo"):
+            dist = get_dataset(name).distribution()
+            assert dist.top_mass(0.01) > 0.2
+
+    def test_movielens_coalesces_hardest(self):
+        """Figure 5(b) qualitative ordering at batch 4096, 10 gathers."""
+        draws = 40_960
+        ratios = {
+            name: get_dataset(name).distribution().expected_coalescing_ratio(draws)
+            for name in PAPER_ORDER
+        }
+        assert ratios["movielens"] == min(ratios.values())
+        assert ratios["random"] == max(ratios.values())
+
+    def test_random_barely_coalesces(self):
+        dist = get_dataset("random").distribution()
+        assert dist.expected_coalescing_ratio(40_960) > 0.95

@@ -1,0 +1,139 @@
+"""Tests for the lookup-popularity distributions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.distributions import UniformDistribution, ZipfDistribution
+
+
+class TestUniform:
+    def test_probabilities_flat_and_normalized(self):
+        dist = UniformDistribution(100)
+        probs = dist.probabilities()
+        assert probs.shape == (100,)
+        assert np.allclose(probs, 0.01)
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_sample_range_and_determinism(self):
+        dist = UniformDistribution(50)
+        a = dist.sample(200, np.random.default_rng(1))
+        b = dist.sample(200, np.random.default_rng(1))
+        assert np.array_equal(a, b)
+        assert a.min() >= 0 and a.max() < 50
+
+    def test_sample_zero(self):
+        assert UniformDistribution(10).sample(0, np.random.default_rng(0)).size == 0
+
+    def test_sample_negative_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            UniformDistribution(10).sample(-1, np.random.default_rng(0))
+
+    def test_expected_unique_closed_form(self):
+        dist = UniformDistribution(100)
+        # E[u] = N(1 - (1 - 1/N)^n)
+        expected = 100 * (1 - (1 - 0.01) ** 50)
+        assert dist.expected_unique(50) == pytest.approx(expected, rel=1e-9)
+
+    def test_expected_unique_caps_at_num_rows(self):
+        dist = UniformDistribution(10)
+        assert dist.expected_unique(10_000) <= 10.0 + 1e-9
+
+    def test_expected_unique_zero(self):
+        assert UniformDistribution(10).expected_unique(0) == 0.0
+
+    def test_rejects_nonpositive_rows(self):
+        with pytest.raises(ValueError, match="positive"):
+            UniformDistribution(0)
+
+    def test_top_mass_proportional(self):
+        dist = UniformDistribution(1000)
+        assert dist.top_mass(0.1) == pytest.approx(0.1, rel=1e-6)
+
+
+class TestZipf:
+    def test_probabilities_descending_and_normalized(self):
+        dist = ZipfDistribution(500, exponent=1.0)
+        probs = dist.probabilities()
+        assert np.all(np.diff(probs) <= 0)
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_higher_exponent_more_skew(self):
+        mild = ZipfDistribution(1000, exponent=0.5)
+        steep = ZipfDistribution(1000, exponent=1.5)
+        assert steep.top_mass(0.01) > mild.top_mass(0.01)
+
+    def test_shift_flattens_head(self):
+        sharp = ZipfDistribution(1000, exponent=1.0, shift=0.0)
+        flat = ZipfDistribution(1000, exponent=1.0, shift=50.0)
+        assert flat.probabilities()[0] < sharp.probabilities()[0]
+
+    def test_sampling_matches_analytic_uniques(self):
+        dist = ZipfDistribution(5000, exponent=1.0)
+        rng = np.random.default_rng(0)
+        draws = 20_000
+        sampled_unique = np.unique(dist.sample(draws, rng)).size
+        expected = dist.expected_unique(draws)
+        assert sampled_unique == pytest.approx(expected, rel=0.05)
+
+    def test_sampling_head_heavier_than_tail(self):
+        dist = ZipfDistribution(1000, exponent=1.2)
+        ids = dist.sample(50_000, np.random.default_rng(2))
+        head_hits = np.count_nonzero(ids < 10)
+        tail_hits = np.count_nonzero(ids >= 990)
+        assert head_hits > 10 * tail_hits
+
+    def test_expected_unique_monotone_in_draws(self):
+        dist = ZipfDistribution(2000, exponent=1.0)
+        values = [dist.expected_unique(n) for n in (10, 100, 1000, 10_000)]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_expected_coalescing_ratio_decreases(self):
+        """More draws -> more re-hits -> better coalescing (Figure 5b)."""
+        dist = ZipfDistribution(2000, exponent=1.0)
+        ratios = [dist.expected_coalescing_ratio(n) for n in (100, 1000, 10_000)]
+        assert all(a > b for a, b in zip(ratios, ratios[1:]))
+
+    def test_rejects_bad_exponent(self):
+        with pytest.raises(ValueError, match="exponent"):
+            ZipfDistribution(10, exponent=0.0)
+
+    def test_rejects_negative_shift(self):
+        with pytest.raises(ValueError, match="shift"):
+            ZipfDistribution(10, exponent=1.0, shift=-1.0)
+
+    def test_rank_permutation_is_bijection(self):
+        dist = ZipfDistribution(64, exponent=1.0)
+        perm = dist.rank_permutation(np.random.default_rng(0))
+        assert sorted(perm.tolist()) == list(range(64))
+
+    def test_top_mass_bad_fraction(self):
+        with pytest.raises(ValueError, match="fraction"):
+            ZipfDistribution(10, exponent=1.0).top_mass(0.0)
+
+    def test_repr_mentions_parameters(self):
+        text = repr(ZipfDistribution(10, exponent=1.25, shift=2.0))
+        assert "1.25" in text and "10" in text
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    num_rows=st.integers(2, 2000),
+    exponent=st.floats(0.2, 2.0),
+    draws=st.integers(1, 5000),
+)
+def test_property_expected_unique_bounds(num_rows, exponent, draws):
+    """0 < E[u] <= min(n, N) for any distribution and draw count."""
+    dist = ZipfDistribution(num_rows, exponent=exponent)
+    expected = dist.expected_unique(draws)
+    assert 0.0 < expected <= min(draws, num_rows) + 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(num_rows=st.integers(2, 500), draws=st.integers(1, 2000))
+def test_property_uniform_unique_below_zipf_lookups(num_rows, draws):
+    """Uniform lookups coalesce the least: E[u] uniform >= E[u] skewed."""
+    uniform = UniformDistribution(num_rows).expected_unique(draws)
+    skewed = ZipfDistribution(num_rows, exponent=1.5).expected_unique(draws)
+    assert uniform >= skewed - 1e-9

@@ -1,0 +1,92 @@
+"""Tests for the Figure 5(a) histogram methodology."""
+
+import numpy as np
+import pytest
+
+from repro.data.histogram import (
+    empirical_probability_function,
+    gini_coefficient,
+    lookup_histogram,
+    sorted_probability,
+    top_fraction_mass,
+)
+
+
+class TestLookupHistogram:
+    def test_counts(self):
+        hist = lookup_histogram(np.array([0, 1, 1, 3]), num_rows=5)
+        assert hist.tolist() == [1, 2, 0, 1, 0]
+
+    def test_empty_stream(self):
+        assert lookup_histogram(np.empty(0, int), num_rows=3).tolist() == [0, 0, 0]
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match=r"\[0, 3\)"):
+            lookup_histogram(np.array([3]), num_rows=3)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-D"):
+            lookup_histogram(np.zeros((2, 2), int), num_rows=3)
+
+
+class TestSortedProbability:
+    def test_sorted_and_normalized(self):
+        probs = sorted_probability(np.array([1, 4, 0, 5]))
+        assert probs.tolist() == [0.5, 0.4, 0.1, 0.0]
+
+    def test_rejects_empty_histogram(self):
+        with pytest.raises(ValueError, match="empty"):
+            sorted_probability(np.zeros(4))
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            sorted_probability(np.array([1, -1]))
+
+
+class TestPipeline:
+    def test_matches_underlying_distribution(self):
+        """Histogram of a large uniform sample approaches the flat PDF."""
+        rng = np.random.default_rng(0)
+        ids = rng.integers(0, 20, 100_000)
+        probs = empirical_probability_function(ids, 20)
+        assert probs[0] == pytest.approx(0.05, rel=0.1)
+        assert probs[-1] == pytest.approx(0.05, rel=0.1)
+
+    def test_skewed_stream_measured_as_skewed(self):
+        ids = np.array([0] * 90 + [1] * 10)
+        probs = empirical_probability_function(ids, 5)
+        assert probs[0] == pytest.approx(0.9)
+
+
+class TestSummaries:
+    def test_top_fraction_mass(self):
+        probs = np.array([0.7, 0.2, 0.05, 0.05])
+        assert top_fraction_mass(probs, 0.25) == pytest.approx(0.7)
+        assert top_fraction_mass(probs, 1.0) == pytest.approx(1.0)
+
+    def test_top_fraction_rejects_bad_fraction(self):
+        with pytest.raises(ValueError, match="fraction"):
+            top_fraction_mass(np.array([1.0]), 1.5)
+
+    def test_gini_uniform_is_zero(self):
+        assert gini_coefficient(np.full(100, 0.01)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_gini_concentrated_near_one(self):
+        probs = np.zeros(1000)
+        probs[0] = 1.0
+        assert gini_coefficient(probs) > 0.99
+
+    def test_gini_monotone_in_skew(self):
+        mild = np.sort(1.0 / (np.arange(1, 101) ** 0.5))[::-1]
+        steep = np.sort(1.0 / (np.arange(1, 101) ** 1.5))[::-1]
+        assert gini_coefficient(steep / steep.sum()) > gini_coefficient(
+            mild / mild.sum()
+        )
+
+    def test_gini_rejects_empty(self):
+        with pytest.raises(ValueError):
+            gini_coefficient(np.empty(0))
+
+    def test_gini_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            gini_coefficient(np.array([0.5, -0.5]))

@@ -1,0 +1,111 @@
+"""Tests for index-trace persistence and replay."""
+
+import numpy as np
+import pytest
+
+from repro.core.indexing import IndexArray
+from repro.data.trace import (
+    EmpiricalDistribution,
+    distribution_from_trace,
+    load_trace,
+    save_trace,
+)
+
+
+@pytest.fixture
+def sample_trace(rng):
+    return [
+        IndexArray(
+            rng.integers(0, 200, 60),
+            np.repeat(np.arange(12), 5),
+            num_rows=200,
+            num_outputs=12,
+        )
+        for _ in range(3)
+    ]
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, tmp_path, sample_trace):
+        path = save_trace(tmp_path / "trace.npz", sample_trace)
+        loaded = load_trace(path)
+        assert len(loaded) == 3
+        for original, restored in zip(sample_trace, loaded):
+            assert original == restored
+
+    def test_preserves_geometry(self, tmp_path, sample_trace):
+        path = save_trace(tmp_path / "trace.npz", sample_trace)
+        loaded = load_trace(path)
+        assert loaded[0].num_rows == 200
+        assert loaded[0].num_outputs == 12
+
+    def test_rejects_empty_trace(self, tmp_path):
+        with pytest.raises(ValueError, match="empty"):
+            save_trace(tmp_path / "trace.npz", [])
+
+    def test_rejects_foreign_npz(self, tmp_path):
+        foreign = tmp_path / "foreign.npz"
+        np.savez(foreign, stuff=np.arange(3))
+        with pytest.raises(ValueError, match="not a repro index trace"):
+            load_trace(foreign)
+
+    def test_rejects_truncated_file(self, tmp_path):
+        truncated = tmp_path / "truncated.npz"
+        np.savez(truncated, num_tables=np.asarray(2),
+                 src_0=np.array([0]), dst_0=np.array([0]),
+                 num_rows_0=np.asarray(1), num_outputs_0=np.asarray(1))
+        with pytest.raises(ValueError, match="truncated"):
+            load_trace(truncated)
+
+    def test_replayed_trace_drives_experiments(self, tmp_path, sample_trace):
+        """A loaded trace is a drop-in IndexArray: the casting invariant
+        must hold on it."""
+        from repro.core import expand_coalesce, tcasted_grad_gather_reduce
+
+        path = save_trace(tmp_path / "trace.npz", sample_trace)
+        index = load_trace(path)[0]
+        grads = np.random.default_rng(0).standard_normal((12, 4))
+        rows_b, coal_b = expand_coalesce(index, grads)
+        rows_c, coal_c = tcasted_grad_gather_reduce(index, grads)
+        assert np.array_equal(rows_b, rows_c)
+        assert np.allclose(coal_b, coal_c)
+
+
+class TestEmpiricalDistribution:
+    def test_measured_probabilities_sorted(self):
+        dist = EmpiricalDistribution(np.array([0.1, 0.6, 0.3]))
+        probs = dist.probabilities()
+        assert probs.tolist() == [0.6, 0.3, 0.1]
+
+    def test_normalizes_counts(self):
+        dist = EmpiricalDistribution(np.array([2.0, 6.0, 2.0]))
+        assert dist.probabilities().sum() == pytest.approx(1.0)
+
+    def test_sampling_follows_measurement(self):
+        dist = EmpiricalDistribution(np.array([0.9, 0.1]))
+        ids = dist.sample(10_000, np.random.default_rng(0))
+        head_share = np.count_nonzero(ids == 0) / ids.size
+        assert head_share == pytest.approx(0.9, abs=0.02)
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            EmpiricalDistribution(np.empty(0))
+        with pytest.raises(ValueError, match="non-negative"):
+            EmpiricalDistribution(np.array([0.5, -0.5]))
+        with pytest.raises(ValueError, match="positive"):
+            EmpiricalDistribution(np.zeros(3))
+
+    def test_distribution_from_trace(self, sample_trace):
+        dist = distribution_from_trace(sample_trace, table=1)
+        assert dist.num_rows == 200
+        expected = dist.expected_unique(60)
+        assert 0 < expected <= 60
+
+    def test_distribution_from_trace_bad_table(self, sample_trace):
+        with pytest.raises(ValueError, match="tables"):
+            distribution_from_trace(sample_trace, table=7)
+
+    def test_distribution_from_empty_table(self):
+        empty = [IndexArray([], [], num_rows=10, num_outputs=0)]
+        with pytest.raises(ValueError, match="empty"):
+            distribution_from_trace(empty)

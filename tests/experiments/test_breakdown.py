@@ -1,0 +1,106 @@
+"""Tests for the Figure 4 / Figure 12 breakdown experiments."""
+
+import pytest
+
+from repro.experiments.breakdown import (
+    FIG4_OPS,
+    fig4_breakdown,
+    fig12_breakdown,
+    format_fig4,
+    format_fig12,
+)
+from repro.model.configs import RM1, RM4
+
+
+@pytest.fixture(scope="module")
+def fig4_rows(shared_hardware):
+    return fig4_breakdown(models=[RM1, RM4], batches=(1024, 2048),
+                          hardware=shared_hardware)
+
+
+@pytest.fixture(scope="module")
+def fig12_rows(shared_hardware):
+    return fig12_breakdown(models=[RM1], batches=(1024, 2048),
+                           hardware=shared_hardware)
+
+
+class TestFig4:
+    def test_grid_size(self, fig4_rows):
+        assert len(fig4_rows) == 2 * 2 * 2  # models x batches x systems
+
+    def test_fractions_sum_to_one(self, fig4_rows):
+        for row in fig4_rows:
+            assert sum(row.fraction(op) for op in FIG4_OPS) == pytest.approx(1.0)
+
+    def test_fastest_config_normalizes_to_one(self, fig4_rows):
+        rm1 = [r for r in fig4_rows if r.model == "RM1"]
+        assert min(r.normalized_latency for r in rm1) == pytest.approx(1.0)
+
+    def test_backward_embedding_dominates_rm1(self, fig4_rows):
+        """Section III-A: backprop of embeddings is 62-92% for the
+        embedding-intensive models."""
+        for row in fig4_rows:
+            if row.model == "RM1" and row.system == "Baseline(CPU)":
+                backward = sum(
+                    row.fraction(op) for op in FIG4_OPS if op.startswith("BWD")
+                    and "DNN" not in op
+                )
+                assert 0.62 <= backward <= 0.92
+
+    def test_mlp_negligible_rm1_cpu_gpu(self, fig4_rows):
+        for row in fig4_rows:
+            if row.model == "RM1" and row.system == "Baseline(CPU)":
+                mlp = row.fraction("FWD (DNN)") + row.fraction("BWD (DNN)")
+                assert mlp < 0.015
+
+    def test_cpu_only_gap_bigger_for_mlp_intensive(self, fig4_rows):
+        def gap(model):
+            only = next(r for r in fig4_rows
+                        if r.model == model and r.system == "CPU-only"
+                        and r.batch == 2048).total_latency
+            hybrid = next(r for r in fig4_rows
+                          if r.model == model and r.system == "Baseline(CPU)"
+                          and r.batch == 2048).total_latency
+            return only / hybrid
+
+        assert gap("RM4") > 2.0 * gap("RM1")
+
+    def test_formatting_runs(self, fig4_rows):
+        text = format_fig4(fig4_rows)
+        assert "RM1" in text and "Norm.latency" in text
+
+
+class TestFig12:
+    def test_four_systems_per_cell(self, fig12_rows):
+        systems = {r.system for r in fig12_rows}
+        assert systems == {"Baseline(CPU)", "Baseline(NMP)", "Ours(CPU)", "Ours(NMP)"}
+
+    def test_baseline_normalizes_to_one(self, fig12_rows):
+        for row in fig12_rows:
+            if row.system == "Baseline(CPU)":
+                assert row.normalized_latency == pytest.approx(1.0)
+
+    def test_casting_benefit_only_for_ours(self, fig12_rows):
+        for row in fig12_rows:
+            if "Ours" in row.system:
+                assert row.tcast_benefit is not None and row.tcast_benefit > 1.0
+            else:
+                assert row.tcast_benefit is None
+
+    def test_casting_benefit_in_paper_band(self, fig12_rows):
+        """Figure 12 right axis: 1.1-9.5x for the CPU design point."""
+        for row in fig12_rows:
+            if row.system == "Ours(CPU)":
+                assert 1.1 <= row.tcast_benefit <= 9.5
+
+    def test_accumulated_latency_drops_with_casting(self, fig12_rows):
+        by_key = {(r.system, r.batch): r for r in fig12_rows}
+        for batch in (1024, 2048):
+            assert (
+                by_key[("Ours(CPU)", batch)].normalized_latency
+                < by_key[("Baseline(CPU)", batch)].normalized_latency
+            )
+
+    def test_formatting_runs(self, fig12_rows):
+        text = format_fig12(fig12_rows)
+        assert "T.Cast benefit" in text

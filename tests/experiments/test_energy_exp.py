@@ -1,0 +1,56 @@
+"""Tests for the Figure 14 energy experiment."""
+
+import pytest
+
+from repro.experiments.energy import default_energy_model, fig14_energy, format_fig14
+from repro.model.configs import RM1, RM4
+
+
+@pytest.fixture(scope="module")
+def rows(shared_hardware):
+    return fig14_energy(models=[RM1, RM4], batches=(2048,),
+                        hardware=shared_hardware)
+
+
+class TestFig14:
+    def test_baseline_normalizes_to_one(self, rows):
+        for row in rows:
+            if row.system == "Baseline(CPU)":
+                assert row.normalized == pytest.approx(1.0)
+
+    def test_casting_saves_energy(self, rows):
+        """Figure 14: training-time reduction translates into energy."""
+        by_system = {(r.model, r.system): r.normalized for r in rows}
+        for model in ("RM1", "RM4"):
+            assert by_system[(model, "Ours(CPU)")] < 1.0
+            assert by_system[(model, "Ours(NMP)")] < 1.0
+
+    def test_ours_nmp_most_efficient_for_embedding_models(self, rows):
+        rm1 = {r.system: r.normalized for r in rows if r.model == "RM1"}
+        assert rm1["Ours(NMP)"] == min(rm1.values())
+
+    def test_ours_cpu_beats_baseline_nmp_energy(self, rows):
+        """Section VI-C: 'even the software-only Ours(CPU) provides
+        noticeable energy-efficiency improvements compared to
+        Baseline(NMP)'."""
+        rm1 = {r.system: r.normalized for r in rows if r.model == "RM1"}
+        assert rm1["Ours(CPU)"] < rm1["Baseline(NMP)"]
+
+    def test_joules_positive_and_resourced(self, rows):
+        for row in rows:
+            assert row.joules > 0
+            assert sum(row.per_resource.values()) == pytest.approx(row.joules)
+
+    def test_nmp_resource_only_in_nmp_systems(self, rows):
+        for row in rows:
+            if "NMP" in row.system:
+                assert "nmp" in row.per_resource
+            else:
+                assert "nmp" not in row.per_resource
+
+    def test_energy_model_covers_all_resources(self, shared_hardware):
+        model = default_energy_model(shared_hardware)
+        assert {"cpu", "gpu", "nmp", "pcie", "link"} <= set(model.device_powers)
+
+    def test_formatting_runs(self, rows):
+        assert "Normalized" in format_fig14(rows)

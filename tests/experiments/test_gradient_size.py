@@ -1,0 +1,88 @@
+"""Tests for the Figure 5 experiments."""
+
+import pytest
+
+from repro.experiments.gradient_size import (
+    fig5a_probability_functions,
+    fig5b_gradient_sizes,
+    format_fig5a,
+    format_fig5b,
+)
+
+
+class TestFig5a:
+    def test_all_datasets_present(self):
+        rows = fig5a_probability_functions(points=5)
+        datasets = {r.dataset for r in rows}
+        assert datasets == {"Random", "Amazon", "MovieLens", "Alibaba", "Criteo Ads"}
+
+    def test_probabilities_descend_within_dataset(self):
+        rows = fig5a_probability_functions(points=10)
+        by_dataset = {}
+        for row in rows:
+            by_dataset.setdefault(row.dataset, []).append(row)
+        for dataset_rows in by_dataset.values():
+            probs = [r.probability for r in dataset_rows]
+            assert all(a >= b for a, b in zip(probs, probs[1:]))
+
+    def test_cumulative_mass_monotone(self):
+        rows = fig5a_probability_functions(points=10)
+        by_dataset = {}
+        for row in rows:
+            by_dataset.setdefault(row.dataset, []).append(row)
+        for dataset_rows in by_dataset.values():
+            masses = [r.cumulative_mass for r in dataset_rows]
+            assert all(a <= b + 1e-12 for a, b in zip(masses, masses[1:]))
+            assert masses[-1] <= 1.0 + 1e-9
+
+    def test_random_flat_real_skewed(self):
+        rows = fig5a_probability_functions(points=8)
+        random_head = max(r.probability for r in rows if r.dataset == "Random")
+        criteo_head = max(r.probability for r in rows if r.dataset == "Criteo Ads")
+        assert criteo_head > 100 * random_head
+
+    def test_empirical_mode_runs(self):
+        rows = fig5a_probability_functions(
+            datasets=("movielens",), points=5, empirical_samples=10_000
+        )
+        assert all(r.probability >= 0 for r in rows)
+
+    def test_rejects_too_few_points(self):
+        with pytest.raises(ValueError, match="points"):
+            fig5a_probability_functions(points=1)
+
+    def test_formatting_runs(self):
+        text = format_fig5a(fig5a_probability_functions(points=5))
+        assert "Cumulative mass" in text
+
+
+class TestFig5b:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return fig5b_gradient_sizes(batches=(1024, 4096))
+
+    def test_expanded_exactly_gathers_multiple(self, rows):
+        """Figure 5(b) note: 'the expanded gradient size is precisely 10x
+        larger than the initial backpropagated gradients'."""
+        assert all(r.expanded == 10.0 for r in rows)
+
+    def test_backpropagated_is_unit(self, rows):
+        assert all(r.backpropagated == 1.0 for r in rows)
+
+    def test_coalesced_between_one_and_expanded(self, rows):
+        for row in rows:
+            assert 0.0 < row.coalesced <= row.expanded
+
+    def test_coalescing_improves_with_batch(self, rows):
+        """Section III-B: larger batches hit more, coalesce more."""
+        for dataset in {r.dataset for r in rows}:
+            small = next(r for r in rows if r.dataset == dataset and r.batch == 1024)
+            large = next(r for r in rows if r.dataset == dataset and r.batch == 4096)
+            assert large.coalesced <= small.coalesced + 1e-9
+
+    def test_random_coalesces_least(self, rows):
+        at_4096 = {r.dataset: r.coalesced for r in rows if r.batch == 4096}
+        assert at_4096["Random"] == max(at_4096.values())
+
+    def test_formatting_runs(self, rows):
+        assert "Coalesced" in format_fig5b(rows)

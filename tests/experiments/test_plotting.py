@@ -1,0 +1,111 @@
+"""Tests for the ASCII figure renderers."""
+
+import pytest
+
+from repro.experiments.plotting import bar_chart, series_chart, stacked_bar_chart
+
+
+class TestBarChart:
+    def test_bars_scale_to_peak(self):
+        text = bar_chart(["a", "b"], [1.0, 2.0], width=10)
+        lines = text.splitlines()
+        assert lines[1].count("#") == 10
+        assert lines[0].count("#") == 5
+
+    def test_values_printed(self):
+        text = bar_chart(["x"], [3.5], unit="x")
+        assert "3.5x" in text
+
+    def test_zero_values_render(self):
+        text = bar_chart(["a", "b"], [0.0, 1.0])
+        assert "0" in text
+
+    def test_all_zero_peak(self):
+        text = bar_chart(["a"], [0.0])
+        assert "#" not in text
+
+    def test_empty_chart(self):
+        assert bar_chart([], []) == "(empty chart)"
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError, match="equal length"):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_rejects_negative_values(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            bar_chart(["a"], [-1.0])
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError, match="width"):
+            bar_chart(["a"], [1.0], width=0)
+
+
+class TestStackedBarChart:
+    def test_segments_and_legend(self):
+        text = stacked_bar_chart(
+            ["bar1", "bar2"],
+            [{"fwd": 1.0, "bwd": 3.0}, {"fwd": 2.0, "bwd": 2.0}],
+            width=20,
+        )
+        assert "legend:" in text
+        assert "#=fwd" in text and "==bwd" in text
+
+    def test_totals_printed(self):
+        text = stacked_bar_chart(["b"], [{"a": 1.5, "b": 0.5}])
+        assert "2" in text
+
+    def test_missing_segment_treated_as_zero(self):
+        text = stacked_bar_chart(
+            ["x", "y"], [{"one": 1.0}, {"one": 1.0, "two": 1.0}]
+        )
+        lines = text.splitlines()
+        assert len(lines) == 3
+
+    def test_rejects_negative_segment(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            stacked_bar_chart(["x"], [{"a": -1.0}])
+
+    def test_rejects_zero_mass(self):
+        with pytest.raises(ValueError, match="positive"):
+            stacked_bar_chart(["x"], [{"a": 0.0}])
+
+    def test_empty(self):
+        assert stacked_bar_chart([], []) == "(empty chart)"
+
+    def test_figure12_style_usage(self, shared_hardware):
+        """Smoke-render an actual Figure 12 row set."""
+        from repro.experiments.breakdown import fig12_breakdown
+        from repro.model.configs import RM1
+
+        rows = fig12_breakdown(models=[RM1], batches=(1024,),
+                               hardware=shared_hardware)
+        text = stacked_bar_chart(
+            [r.system for r in rows], [r.ops for r in rows]
+        )
+        assert "Baseline(CPU)" in text
+
+
+class TestSeriesChart:
+    def test_corners_plotted(self):
+        text = series_chart([(0, 0), (10, 5)], height=5, width=20)
+        assert text.count("*") == 2
+
+    def test_title_included(self):
+        text = series_chart([(0, 1), (1, 2)], title="speedup vs batch")
+        assert "speedup vs batch" in text
+
+    def test_axis_labels_show_ranges(self):
+        text = series_chart([(100, 2.0), (200, 8.0)])
+        assert "100" in text and "200" in text
+        assert "8" in text
+
+    def test_flat_series_does_not_crash(self):
+        text = series_chart([(0, 3.0), (5, 3.0)])
+        assert "*" in text
+
+    def test_empty(self):
+        assert series_chart([]) == "(empty chart)"
+
+    def test_rejects_degenerate_geometry(self):
+        with pytest.raises(ValueError, match="exceed"):
+            series_chart([(0, 0)], height=1)

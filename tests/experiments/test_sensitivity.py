@@ -1,0 +1,80 @@
+"""Tests for the Section VI-D sensitivity studies (Figures 16-17, link sweep)."""
+
+import pytest
+
+from repro.experiments.sensitivity import (
+    fig16_batch_sensitivity,
+    fig17_dim_sensitivity,
+    format_link_sweep,
+    format_sensitivity,
+    link_bandwidth_sweep,
+)
+from repro.model.configs import RM1, RM4
+
+
+class TestFig16:
+    @pytest.fixture(scope="class")
+    def rows(self, shared_hardware):
+        return fig16_batch_sensitivity(models=[RM1], batches=(8192, 32768),
+                                       hardware=shared_hardware)
+
+    def test_robust_at_huge_batches(self, rows):
+        """Section VI-D: 'the effectiveness of Tensor Casting remains
+        robust across a wide range of training batch sizes'."""
+        for row in rows:
+            assert row.speedups["Ours(CPU)"] > 1.2
+            assert row.speedups["Ours(NMP)"] > 5.0
+
+    def test_nmp_speedup_grows_with_batch(self, rows):
+        small = next(r for r in rows if r.value == 8192)
+        large = next(r for r in rows if r.value == 32768)
+        assert large.speedups["Ours(NMP)"] >= small.speedups["Ours(NMP)"]
+
+    def test_reaches_paper_scale(self, rows):
+        """Figure 16: 'up to 15x throughput increase'."""
+        best = max(r.speedups["Ours(NMP)"] for r in rows)
+        assert 10.0 <= best <= 16.5
+
+    def test_formatting_runs(self, rows):
+        assert "batch" in format_sensitivity(rows)
+
+
+class TestFig17:
+    @pytest.fixture(scope="class")
+    def rows(self, shared_hardware):
+        return fig17_dim_sensitivity(models=[RM1, RM4], dims=(32, 256),
+                                     hardware=shared_hardware)
+
+    def test_speedups_at_all_dims(self, rows):
+        for row in rows:
+            assert row.speedups["Ours(NMP)"] > 1.5
+            assert row.speedups["Ours(CPU)"] > 1.1
+
+    def test_dim_values_swept(self, rows):
+        assert {r.value for r in rows} == {32, 256}
+
+    def test_parameter_label(self, rows):
+        assert all(r.parameter == "dim" for r in rows)
+
+
+class TestLinkSweep:
+    @pytest.fixture(scope="class")
+    def rows(self, shared_hardware):
+        return link_bandwidth_sweep(models=[RM1], bandwidths=(25e9, 150e9),
+                                    hardware=shared_hardware)
+
+    def test_baseline_link_achieves_most_performance(self, rows):
+        """Section VI-D: 25 GB/s already achieves ~99% of 150 GB/s."""
+        at_25 = next(r for r in rows if r.bandwidth_gbps == 25)
+        assert at_25.relative_performance > 0.95
+
+    def test_faster_link_never_slower(self, rows):
+        at_25 = next(r for r in rows if r.bandwidth_gbps == 25)
+        at_150 = next(r for r in rows if r.bandwidth_gbps == 150)
+        assert at_150.seconds <= at_25.seconds
+
+    def test_best_config_is_100_percent(self, rows):
+        assert max(r.relative_performance for r in rows) == pytest.approx(1.0)
+
+    def test_formatting_runs(self, rows):
+        assert "Rel. perf" in format_link_sweep(rows)

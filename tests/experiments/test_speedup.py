@@ -1,0 +1,76 @@
+"""Tests for the Figure 13 speedup experiment — the headline result."""
+
+import pytest
+
+from repro.experiments.speedup import fig13_speedup, format_fig13, speedup_summary
+from repro.model.configs import ALL_MODELS, RM1, RM4
+
+
+@pytest.fixture(scope="module")
+def rows(shared_hardware):
+    return fig13_speedup(models=ALL_MODELS, batches=(1024, 4096),
+                         hardware=shared_hardware)
+
+
+class TestFig13:
+    def test_grid_shape(self, rows):
+        assert len(rows) == 4 * 2
+        assert set(rows[0].speedups) == {"Baseline(NMP)", "Ours(CPU)", "Ours(NMP)"}
+
+    def test_all_speedups_above_one(self, rows):
+        for row in rows:
+            for value in row.speedups.values():
+                assert value > 1.0
+
+    def test_ours_nmp_always_fastest(self, rows):
+        for row in rows:
+            assert row.speedups["Ours(NMP)"] == max(row.speedups.values())
+
+    def test_ours_cpu_beats_baseline_nmp(self, rows):
+        """Section VI-B: 'our software-only Tensor Casting performs even
+        better than the baseline TensorDIMM-based NMP accelerator'."""
+        for row in rows:
+            assert row.speedups["Ours(CPU)"] > row.speedups["Baseline(NMP)"]
+
+    def test_embedding_intensive_gains_more(self, rows):
+        """RM1/2 speedups exceed RM3/4's - casting attacks embedding time."""
+        def nmp_speedup(model):
+            return max(
+                r.speedups["Ours(NMP)"] for r in rows if r.model == model
+            )
+
+        assert nmp_speedup("RM1") > 2 * nmp_speedup("RM4")
+
+    def test_ours_cpu_in_paper_band(self, rows):
+        """Software-only speedup band: the paper reports 1.2-1.6x at the
+        default batches, up to 2.8x at larger ones."""
+        for row in rows:
+            assert 1.1 <= row.speedups["Ours(CPU)"] <= 2.9
+
+    def test_ours_nmp_in_paper_band(self, rows):
+        """Memory-centric band: 2.0-15x (Section VI-B)."""
+        for row in rows:
+            assert 1.9 <= row.speedups["Ours(NMP)"] <= 16.0
+
+    def test_summary_statistics(self, rows):
+        summary = speedup_summary(rows)
+        for stats in summary.values():
+            assert stats["min"] <= stats["mean"] <= stats["max"]
+
+    def test_overall_average_near_paper(self, shared_hardware):
+        """Paper: Ours(NMP) averages 6.9x over the full grid."""
+        full = fig13_speedup(hardware=shared_hardware)
+        mean = speedup_summary(full)["Ours(NMP)"]["mean"]
+        assert 5.0 <= mean <= 9.0
+
+    def test_formatting_runs(self, rows):
+        text = format_fig13(rows)
+        assert "Ours(NMP)" in text and "mean" in text
+
+    def test_single_model_slice(self, shared_hardware):
+        rows = fig13_speedup(models=[RM1], batches=(2048,),
+                             hardware=shared_hardware)
+        assert len(rows) == 1 and rows[0].model == "RM1"
+
+    def test_baseline_seconds_positive(self, rows):
+        assert all(r.baseline_seconds > 0 for r in rows)

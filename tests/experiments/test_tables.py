@@ -1,0 +1,68 @@
+"""Tests for the Table I / Table II regenerators and report helpers."""
+
+import pytest
+
+from repro.experiments.report import format_float, format_table, normalize
+from repro.experiments.tables import (
+    format_table1,
+    format_table2,
+    table1_rows,
+    table2_rows,
+)
+
+
+class TestTable1:
+    def test_values_match_paper(self):
+        rows = {label: value for label, value in table1_rows()}
+        assert rows["DRAM specification"] == "DDR4"
+        assert rows["Number of ranks"] == "32"
+        assert rows["Effective memory bandwidth (per rank)"] == "25.6 GB/sec"
+        assert rows["Effective memory bandwidth (in aggregate)"] == "819.2 GB/sec"
+
+    def test_formatting(self):
+        text = format_table1()
+        assert "819.2" in text
+
+
+class TestTable2:
+    def test_all_models_rendered(self):
+        rows = table2_rows()
+        assert [r[0] for r in rows] == ["RM1", "RM2", "RM3", "RM4"]
+
+    def test_rm2_row_matches_paper(self):
+        rm2 = table2_rows()[1]
+        assert rm2 == ["RM2", "40", "80", "256-128-64", "512-128-1"]
+
+    def test_rm4_top_mlp_string(self):
+        rm4 = table2_rows()[3]
+        assert rm4[4] == "2048-2048-1024-1"
+
+    def test_formatting(self):
+        text = format_table2()
+        assert "Gathers/table" in text
+
+
+class TestReportHelpers:
+    def test_format_table_alignment(self):
+        text = format_table(["A", "BB"], [["x", "y"], ["longer", "z"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[1].startswith("-")
+
+    def test_format_float_styles(self):
+        assert format_float(0.0) == "0"
+        assert format_float(1234.5) == "1,234"
+        assert format_float(0.123456) == "0.123"
+
+    def test_normalize_default_reference(self):
+        assert normalize([2.0, 4.0]) == [1.0, 2.0]
+
+    def test_normalize_explicit_reference(self):
+        assert normalize([2.0, 4.0], reference=4.0) == [0.5, 1.0]
+
+    def test_normalize_rejects_zero_reference(self):
+        with pytest.raises(ValueError, match="zero"):
+            normalize([0.0, 1.0])
+
+    def test_normalize_empty(self):
+        assert normalize([]) == []

@@ -1,0 +1,58 @@
+"""Tests for the Figure 6 traffic experiment."""
+
+import pytest
+
+from repro.experiments.traffic import fig6_traffic, format_fig6
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return fig6_traffic(batch=2048)
+
+
+class TestFig6:
+    def test_four_primitives_per_dataset(self, rows):
+        by_dataset = {}
+        for row in rows:
+            by_dataset.setdefault(row.dataset, []).append(row.primitive)
+        for primitives in by_dataset.values():
+            assert primitives == ["Gather", "Expand", "Coalesce", "Scatter"]
+
+    def test_coalesce_and_scatter_dominate(self, rows):
+        """Section III-C: 'gradient coalesce and gradient scatter incur
+        significantly higher memory traffic than gather-reduce'."""
+        for dataset in {r.dataset for r in rows}:
+            of = {r.primitive: r.total for r in rows if r.dataset == dataset}
+            assert of["Coalesce"] > 1.5 * of["Gather"]
+
+    def test_expand_coalesce_aggregate_around_3x(self, rows):
+        """Section III-C: 'around 3x higher memory traffic'."""
+        for dataset in {r.dataset for r in rows}:
+            of = {r.primitive: r.total for r in rows if r.dataset == dataset}
+            ratio = (of["Expand"] + of["Coalesce"]) / of["Gather"]
+            assert 2.5 <= ratio <= 4.5
+
+    def test_scatter_tracks_locality(self, rows):
+        """Scatter traffic scales with unique rows - skewed datasets write
+        fewer rows."""
+        scatter = {r.dataset: r.total for r in rows if r.primitive == "Scatter"}
+        assert scatter["MovieLens"] < scatter["Random"]
+        assert scatter["Criteo Ads"] < scatter["Amazon"]
+
+    def test_casted_extension(self):
+        rows = fig6_traffic(batch=1024, include_casted=True)
+        primitives = {r.primitive for r in rows}
+        assert "T.Casted Gather" in primitives
+        for dataset in {r.dataset for r in rows}:
+            of = {r.primitive: r.total for r in rows if r.dataset == dataset}
+            reduction = (of["Expand"] + of["Coalesce"]) / of["T.Casted Gather"]
+            assert reduction >= 2.0
+
+    def test_reads_writes_nonnegative(self, rows):
+        for row in rows:
+            assert row.reads >= 0.0 and row.writes >= 0.0
+            assert row.total == pytest.approx(row.reads + row.writes)
+
+    def test_formatting_runs(self, rows):
+        text = format_fig6(rows)
+        assert "Coalesce" in text and "Writes" in text

@@ -1,0 +1,133 @@
+"""Cross-module property-based tests: invariants the whole stack must hold."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.casting import tensor_casting
+from repro.core.indexing import IndexArray
+from repro.model.configs import RM1
+from repro.runtime.systems import (
+    CPUGPUSystem,
+    NMPSystem,
+    WorkloadStats,
+    compute_workload,
+)
+from repro.runtime.timeline import Timeline
+
+
+# ----------------------------------------------------------------------
+# Timeline scheduler properties
+# ----------------------------------------------------------------------
+@settings(max_examples=40, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["cpu", "gpu", "nmp"]),
+            st.floats(0.0, 10.0),
+            st.integers(-1, 5),  # dependency: index of an earlier span or -1
+        ),
+        min_size=1,
+        max_size=25,
+    )
+)
+def test_property_timeline_schedules_are_physical(ops):
+    """For arbitrary op sequences with arbitrary back-references, the greedy
+    scheduler never overlaps spans on a resource and never starts a span
+    before its dependency ends."""
+    timeline = Timeline()
+    spans = []
+    dependencies = []
+    for resource, duration, dep in ops:
+        after = None
+        if spans and dep >= 0:
+            after = spans[dep % len(spans)]
+        dependencies.append(after)
+        spans.append(
+            timeline.schedule(resource, "op", duration, after=after)
+        )
+    timeline.validate()  # no overlap within any resource
+    for span, dependency in zip(spans, dependencies):
+        if dependency is not None:
+            assert span.start >= dependency.end - 1e-12
+    assert timeline.makespan() >= max(s.end for s in spans) - 1e-12
+
+
+@settings(max_examples=30, deadline=None)
+@given(durations=st.lists(st.floats(0.01, 5.0), min_size=2, max_size=15))
+def test_property_single_resource_makespan_is_sum(durations):
+    """On one resource the makespan equals the serial sum."""
+    timeline = Timeline()
+    for duration in durations:
+        timeline.schedule("cpu", "op", duration)
+    assert timeline.makespan() == pytest.approx(sum(durations))
+    assert timeline.utilization("cpu") == pytest.approx(1.0)
+
+
+# ----------------------------------------------------------------------
+# Performance-model monotonicity properties
+# ----------------------------------------------------------------------
+def _stats(n, u, batch=1024, dim=64):
+    return WorkloadStats(
+        model=RM1, batch=batch, n=n, u=u,
+        num_outputs=RM1.num_tables * batch, dim=dim,
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(100_000, 3_000_000),
+    u_fraction=st.floats(0.05, 1.0),
+)
+def test_property_more_lookups_never_faster(shared_hardware, n, u_fraction):
+    """Iteration latency is monotone in the lookup count for every system."""
+    u = max(1, int(n * u_fraction))
+    small = _stats(n, u)
+    large = _stats(n + 200_000, min(u + 100_000, n + 200_000))
+    for system in (
+        CPUGPUSystem(shared_hardware, casting=False),
+        CPUGPUSystem(shared_hardware, casting=True),
+        NMPSystem(shared_hardware, casting=True),
+    ):
+        assert system.run_iteration(large).total >= system.run_iteration(
+            small
+        ).total - 1e-12
+
+
+@settings(max_examples=20, deadline=None)
+@given(batch=st.sampled_from([256, 1024, 4096, 16384]))
+def test_property_casting_always_wins_end_to_end(shared_hardware, batch):
+    """Ours(CPU) beats Baseline(CPU) at any batch size (Figure 16's
+    robustness claim as a property)."""
+    stats = compute_workload(RM1, batch)
+    base = CPUGPUSystem(shared_hardware, casting=False).run_iteration(stats)
+    ours = CPUGPUSystem(shared_hardware, casting=True).run_iteration(stats)
+    assert ours.total < base.total
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    pairs=st.lists(
+        st.tuples(st.integers(0, 30), st.integers(0, 7)),
+        min_size=1, max_size=80,
+    )
+)
+def test_property_workload_u_equals_cast_width(pairs):
+    """The cast's coalesced width is the index array's unique-source count —
+    the same 'u' the analytic workload model predicts in expectation."""
+    src = np.array([p[0] for p in pairs])
+    dst = np.array([p[1] for p in pairs])
+    index = IndexArray(src, dst, num_rows=31, num_outputs=8)
+    cast = tensor_casting(index)
+    assert cast.num_coalesced == index.num_unique_sources()
+
+
+@settings(max_examples=15, deadline=None)
+@given(dim=st.sampled_from([16, 32, 64, 128, 256]))
+def test_property_wider_vectors_cost_more(shared_hardware, dim):
+    """Latency grows with the embedding width at fixed lookup counts."""
+    narrow = compute_workload(RM1, 1024, dim=dim)
+    wide = compute_workload(RM1, 1024, dim=dim * 2)
+    system = NMPSystem(shared_hardware, casting=True)
+    assert system.run_iteration(wide).total > system.run_iteration(narrow).total

@@ -1,0 +1,52 @@
+"""Tests for the self-validation module."""
+
+import pytest
+
+from repro.validation import CheckResult, ValidationReport, validate_all
+
+
+class TestValidationReport:
+    def test_all_pass_verdict(self):
+        report = ValidationReport(
+            checks=[CheckResult("a", True, "ok"), CheckResult("b", True, "ok")]
+        )
+        assert report.passed
+        assert "ALL CHECKS PASSED" in report.summary()
+
+    def test_single_failure_fails(self):
+        report = ValidationReport(
+            checks=[CheckResult("a", True, "ok"), CheckResult("b", False, "bad")]
+        )
+        assert not report.passed
+        assert "VALIDATION FAILED" in report.summary()
+        assert "[FAIL] b" in report.summary()
+
+
+class TestValidateAll:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return validate_all(seed=0)
+
+    def test_every_check_passes(self, report):
+        failing = [c.name for c in report.checks if not c.passed]
+        assert not failing, f"failing checks: {failing}"
+
+    def test_covers_the_papers_validations(self, report):
+        names = {c.name for c in report.checks}
+        assert "functional equivalence" in names
+        assert "training trajectories" in names
+        assert "2x reduction guarantee" in names
+        assert "system ordering" in names
+        assert "speedup bands" in names
+
+    def test_deterministic_given_seed(self):
+        first = validate_all(seed=3)
+        second = validate_all(seed=3)
+        assert [c.detail for c in first.checks] == [c.detail for c in second.checks]
+
+    def test_cli_validate_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["validate"]) == 0
+        out = capsys.readouterr().out
+        assert "ALL CHECKS PASSED" in out

@@ -1,0 +1,134 @@
+"""Tests for the embedding-bag layer and its two backward strategies."""
+
+import numpy as np
+import pytest
+
+from repro.core.indexing import IndexArray
+from repro.model.embedding import EmbeddingBag, SparseGradient
+from repro.model.optim import SGD
+from tests.conftest import make_random_index
+
+
+@pytest.fixture
+def bag(rng):
+    return EmbeddingBag(num_rows=50, dim=4, rng=rng)
+
+
+class TestForward:
+    def test_output_shape(self, bag, rng):
+        index = make_random_index(rng, num_rows=50, batch=6, lookups=3)
+        assert bag.forward(index).shape == (6, 4)
+
+    def test_pooling_sums_rows(self, bag):
+        index = IndexArray([1, 2], [0, 0], num_rows=50, num_outputs=1)
+        out = bag.forward(index)
+        assert np.allclose(out[0], bag.table[1] + bag.table[2])
+
+    def test_rejects_oversized_index_space(self, bag):
+        with pytest.raises(ValueError, match="addresses"):
+            bag.forward(IndexArray([0], [0], num_rows=100))
+
+    def test_geometry_properties(self, bag):
+        assert bag.num_rows == 50
+        assert bag.dim == 4
+        assert bag.footprint_bytes() == bag.table.nbytes
+
+
+class TestBackward:
+    def test_requires_forward_first(self, bag):
+        with pytest.raises(RuntimeError, match="before forward"):
+            bag.backward(np.ones((2, 4)))
+
+    def test_rejects_bad_mode(self, bag, rng):
+        bag.forward(make_random_index(rng, num_rows=50, batch=2, lookups=2))
+        with pytest.raises(ValueError, match="mode"):
+            bag.backward(np.ones((2, 4)), mode="magic")
+
+    def test_rejects_bad_gradient_shape(self, bag, rng):
+        bag.forward(make_random_index(rng, num_rows=50, batch=2, lookups=2))
+        with pytest.raises(ValueError, match="shape"):
+            bag.backward(np.ones((3, 4)))
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_baseline_and_casted_identical(self, seed):
+        """The paper's Section V functional-equivalence validation."""
+        rng = np.random.default_rng(seed)
+        bag = EmbeddingBag(num_rows=40, dim=3, rng=rng)
+        index = make_random_index(rng, num_rows=40, batch=8, lookups=6)
+        bag.forward(index)
+        grads = rng.standard_normal((8, 3))
+        base = bag.backward(grads, mode="baseline")
+        cast = bag.backward(grads, mode="casted")
+        assert np.array_equal(base.rows, cast.rows)
+        assert np.allclose(base.values, cast.values)
+
+    def test_precomputed_cast_matches_inline(self, bag, rng):
+        index = make_random_index(rng, num_rows=50, batch=5, lookups=4)
+        cast = bag.precompute_cast(index)
+        bag.forward(index)
+        grads = rng.standard_normal((5, 4))
+        with_precomputed = bag.backward(grads, mode="casted", cast=cast)
+        inline = bag.backward(grads, mode="casted")
+        assert np.array_equal(with_precomputed.rows, inline.rows)
+        assert np.allclose(with_precomputed.values, inline.values)
+
+    def test_gradient_matches_numeric(self, rng):
+        """Finite differences over a few table entries."""
+        bag = EmbeddingBag(num_rows=6, dim=2, rng=rng)
+        index = IndexArray([1, 2, 2], [0, 0, 1], num_rows=6, num_outputs=2)
+        weight = rng.standard_normal((2, 2))
+
+        def loss():
+            return float((bag.forward(index) * weight).sum())
+
+        bag.forward(index)
+        grad = bag.backward(weight, mode="casted")
+        dense = grad.to_dense(6)
+        eps = 1e-6
+        for row, col in [(1, 0), (2, 1), (0, 0)]:
+            old = bag.table[row, col]
+            bag.table[row, col] = old + eps
+            up = loss()
+            bag.table[row, col] = old - eps
+            down = loss()
+            bag.table[row, col] = old
+            assert dense[row, col] == pytest.approx((up - down) / (2 * eps), abs=1e-5)
+
+    def test_gradient_rows_are_forward_unique_sources(self, bag, rng):
+        index = make_random_index(rng, num_rows=50, batch=6, lookups=5)
+        bag.forward(index)
+        grad = bag.backward(np.ones((6, 4)))
+        assert np.array_equal(grad.rows, index.unique_sources())
+
+
+class TestSparseGradient:
+    def test_nnz_rows(self):
+        grad = SparseGradient(rows=np.array([1, 5]), values=np.ones((2, 3)))
+        assert grad.nnz_rows == 2
+
+    def test_to_dense_roundtrip(self):
+        grad = SparseGradient(rows=np.array([1, 3]), values=np.arange(4.0).reshape(2, 2))
+        dense = grad.to_dense(5)
+        assert dense.shape == (5, 2)
+        assert np.all(dense[[0, 2, 4]] == 0.0)
+        assert dense[1].tolist() == [0.0, 1.0]
+
+
+class TestApplyGradient:
+    def test_sgd_application(self, bag, rng):
+        index = make_random_index(rng, num_rows=50, batch=4, lookups=3)
+        bag.forward(index)
+        grads = np.ones((4, 4))
+        sparse = bag.backward(grads)
+        snapshot = bag.table.copy()
+        bag.apply_gradient(sparse, SGD(lr=0.1))
+        touched = sparse.rows
+        untouched = np.setdiff1d(np.arange(50), touched)
+        assert np.allclose(bag.table[untouched], snapshot[untouched])
+        assert np.allclose(bag.table[touched], snapshot[touched] - 0.1 * sparse.values)
+
+    def test_rejects_nonpositive_geometry(self):
+        with pytest.raises(ValueError):
+            EmbeddingBag(num_rows=0, dim=4)
+        with pytest.raises(ValueError):
+            EmbeddingBag(num_rows=4, dim=0)

@@ -1,0 +1,136 @@
+"""Tests for the feature-interaction stages, including gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.model.interaction import CatInteraction, DotInteraction, interaction_output_dim
+
+
+def numeric_gradient(f, x, eps=1e-6):
+    grad = np.zeros_like(x)
+    flat_x, flat_g = x.reshape(-1), grad.reshape(-1)
+    for i in range(flat_x.size):
+        old = flat_x[i]
+        flat_x[i] = old + eps
+        up = f()
+        flat_x[i] = old - eps
+        down = f()
+        flat_x[i] = old
+        flat_g[i] = (up - down) / (2 * eps)
+    return grad
+
+
+class TestOutputDim:
+    def test_cat_dim(self):
+        assert interaction_output_dim("cat", num_tables=10, dim=64) == 11 * 64
+
+    def test_dot_dim(self):
+        # 11 features -> 55 pairwise dots + the 64 dense passthrough.
+        assert interaction_output_dim("dot", num_tables=10, dim=64) == 64 + 55
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown interaction"):
+            interaction_output_dim("mystery", 2, 4)
+
+
+class TestCatInteraction:
+    def test_forward_concatenates_in_order(self, rng):
+        cat = CatInteraction()
+        dense = rng.standard_normal((3, 4))
+        embs = [rng.standard_normal((3, 4)) for _ in range(2)]
+        out = cat.forward(dense, embs)
+        assert out.shape == (3, 12)
+        assert np.array_equal(out[:, :4], dense)
+        assert np.array_equal(out[:, 4:8], embs[0])
+        assert np.array_equal(out[:, 8:], embs[1])
+
+    def test_backward_splits_gradient(self, rng):
+        cat = CatInteraction()
+        dense = rng.standard_normal((3, 4))
+        embs = [rng.standard_normal((3, 4)) for _ in range(2)]
+        cat.forward(dense, embs)
+        dout = rng.standard_normal((3, 12))
+        ddense, dembs = cat.backward(dout)
+        assert np.array_equal(ddense, dout[:, :4])
+        assert np.array_equal(dembs[1], dout[:, 8:])
+
+    def test_backward_before_forward(self):
+        with pytest.raises(RuntimeError):
+            CatInteraction().backward(np.ones((1, 4)))
+
+    def test_backward_rejects_bad_width(self, rng):
+        cat = CatInteraction()
+        cat.forward(rng.standard_normal((2, 4)), [rng.standard_normal((2, 4))])
+        with pytest.raises(ValueError, match="width"):
+            cat.backward(np.ones((2, 9)))
+
+    def test_rejects_mismatched_embedding_shape(self, rng):
+        cat = CatInteraction()
+        with pytest.raises(ValueError, match="share batch and dim"):
+            cat.forward(rng.standard_normal((2, 4)), [rng.standard_normal((2, 3))])
+
+    def test_zero_flops(self):
+        assert CatInteraction().forward_flops(8, 3, 4) == 0
+
+
+class TestDotInteraction:
+    def test_forward_shape(self, rng):
+        dot = DotInteraction()
+        dense = rng.standard_normal((3, 4))
+        embs = [rng.standard_normal((3, 4)) for _ in range(2)]
+        out = dot.forward(dense, embs)
+        assert out.shape == (3, 4 + 3)  # dense + C(3,2) dots
+
+    def test_forward_values_are_pairwise_dots(self, rng):
+        dot = DotInteraction()
+        dense = rng.standard_normal((1, 3))
+        emb = rng.standard_normal((1, 3))
+        out = dot.forward(dense, [emb])
+        assert out[0, 3] == pytest.approx(float(emb[0] @ dense[0]))
+
+    def test_dense_passthrough(self, rng):
+        dot = DotInteraction()
+        dense = rng.standard_normal((2, 3))
+        out = dot.forward(dense, [rng.standard_normal((2, 3))])
+        assert np.array_equal(out[:, :3], dense)
+
+    def test_gradient_check_dense(self, rng):
+        dot = DotInteraction()
+        dense = rng.standard_normal((2, 3))
+        embs = [rng.standard_normal((2, 3)) for _ in range(2)]
+
+        def loss():
+            return float(dot.forward(dense, embs).sum())
+
+        expected = numeric_gradient(loss, dense)
+        dot.forward(dense, embs)
+        width = 3 + 3
+        ddense, _ = dot.backward(np.ones((2, width)))
+        assert np.allclose(ddense, expected, atol=1e-5)
+
+    def test_gradient_check_embeddings(self, rng):
+        dot = DotInteraction()
+        dense = rng.standard_normal((2, 3))
+        embs = [rng.standard_normal((2, 3)) for _ in range(2)]
+
+        def loss():
+            return float(dot.forward(dense, embs).sum())
+
+        for t in range(2):
+            expected = numeric_gradient(loss, embs[t])
+            dot.forward(dense, embs)
+            _, dembs = dot.backward(np.ones((2, 6)))
+            assert np.allclose(dembs[t], expected, atol=1e-5)
+
+    def test_backward_before_forward(self):
+        with pytest.raises(RuntimeError):
+            DotInteraction().backward(np.ones((1, 4)))
+
+    def test_backward_rejects_bad_width(self, rng):
+        dot = DotInteraction()
+        dot.forward(rng.standard_normal((2, 3)), [rng.standard_normal((2, 3))])
+        with pytest.raises(ValueError, match="width"):
+            dot.backward(np.ones((2, 10)))
+
+    def test_flops_positive(self):
+        assert DotInteraction().forward_flops(8, 3, 4) > 0

@@ -1,0 +1,80 @@
+"""Tests for the BCE-with-logits loss."""
+
+import numpy as np
+import pytest
+
+from repro.model.loss import bce_with_logits, sigmoid
+
+
+class TestSigmoid:
+    def test_midpoint(self):
+        assert sigmoid(np.array([0.0]))[0] == pytest.approx(0.5)
+
+    def test_extremes_stable(self):
+        y = sigmoid(np.array([-1e5, 1e5]))
+        assert np.isfinite(y).all()
+        assert y[0] == pytest.approx(0.0, abs=1e-12)
+        assert y[1] == pytest.approx(1.0, abs=1e-12)
+
+    def test_complement_symmetry(self, rng):
+        z = rng.standard_normal(20)
+        assert np.allclose(sigmoid(z) + sigmoid(-z), 1.0)
+
+
+class TestBCEWithLogits:
+    def test_known_value_at_zero_logit(self):
+        loss, _ = bce_with_logits(np.zeros(4), np.array([0.0, 1.0, 0.0, 1.0]))
+        assert loss == pytest.approx(np.log(2.0))
+
+    def test_perfect_confident_prediction_near_zero(self):
+        loss, _ = bce_with_logits(np.array([50.0, -50.0]), np.array([1.0, 0.0]))
+        assert loss == pytest.approx(0.0, abs=1e-12)
+
+    def test_confidently_wrong_is_expensive(self):
+        loss, _ = bce_with_logits(np.array([50.0]), np.array([0.0]))
+        assert loss == pytest.approx(50.0, rel=1e-6)
+
+    def test_gradient_formula(self, rng):
+        logits = rng.standard_normal(8)
+        targets = rng.integers(0, 2, 8).astype(float)
+        _, dlogits = bce_with_logits(logits, targets)
+        assert np.allclose(dlogits, (sigmoid(logits) - targets) / 8)
+
+    def test_gradient_numeric(self, rng):
+        logits = rng.standard_normal(5)
+        targets = rng.integers(0, 2, 5).astype(float)
+        _, dlogits = bce_with_logits(logits, targets)
+        eps = 1e-6
+        for i in range(5):
+            bumped = logits.copy()
+            bumped[i] += eps
+            up, _ = bce_with_logits(bumped, targets)
+            bumped[i] -= 2 * eps
+            down, _ = bce_with_logits(bumped, targets)
+            assert dlogits[i] == pytest.approx((up - down) / (2 * eps), abs=1e-6)
+
+    def test_stable_for_extreme_logits(self):
+        loss, dlogits = bce_with_logits(np.array([1e4, -1e4]), np.array([0.0, 1.0]))
+        assert np.isfinite(loss)
+        assert np.isfinite(dlogits).all()
+
+    def test_fractional_targets_allowed(self):
+        loss, _ = bce_with_logits(np.array([0.0]), np.array([0.3]))
+        assert loss == pytest.approx(np.log(2.0))
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError, match="equal shape"):
+            bce_with_logits(np.zeros(3), np.zeros(2))
+
+    def test_rejects_empty_batch(self):
+        with pytest.raises(ValueError, match="empty"):
+            bce_with_logits(np.zeros(0), np.zeros(0))
+
+    def test_rejects_out_of_range_targets(self):
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            bce_with_logits(np.zeros(2), np.array([0.0, 1.5]))
+
+    def test_accepts_column_vector_logits(self):
+        loss, dlogits = bce_with_logits(np.zeros((3, 1)), np.ones(3))
+        assert dlogits.shape == (3,)
+        assert loss == pytest.approx(np.log(2.0))

@@ -1,0 +1,167 @@
+"""Tests for the optimizers, including the paper's Equations 1-2."""
+
+import numpy as np
+import pytest
+
+from repro.model.optim import SGD, Adagrad, Momentum, RMSprop
+
+
+class TestSGD:
+    def test_dense_update(self):
+        param = np.ones(4)
+        SGD(lr=0.5).apply_dense(param, np.full(4, 2.0))
+        assert np.allclose(param, 0.0)
+
+    def test_sparse_update_touches_only_rows(self):
+        param = np.ones((4, 2))
+        SGD(lr=1.0).apply_sparse(param, np.array([1, 3]), np.ones((2, 2)))
+        assert np.all(param[[0, 2]] == 1.0)
+        assert np.all(param[[1, 3]] == 0.0)
+
+    def test_rejects_nonpositive_lr(self):
+        with pytest.raises(ValueError, match="positive"):
+            SGD(lr=0.0)
+
+    def test_step_applies_to_all_pairs(self):
+        a, b = np.ones(2), np.ones(3)
+        SGD(lr=1.0).step([(a, np.ones(2)), (b, np.ones(3))])
+        assert np.all(a == 0.0) and np.all(b == 0.0)
+
+
+class TestMomentum:
+    def test_first_step_equals_sgd(self):
+        p_sgd, p_mom = np.ones(3), np.ones(3)
+        grad = np.full(3, 0.5)
+        SGD(lr=0.1).apply_dense(p_sgd, grad)
+        Momentum(lr=0.1, momentum=0.9).apply_dense(p_mom, grad)
+        assert np.allclose(p_sgd, p_mom)
+
+    def test_velocity_accumulates(self):
+        opt = Momentum(lr=1.0, momentum=0.5)
+        param = np.zeros(1)
+        grad = np.ones(1)
+        opt.apply_dense(param, grad)  # v=1, p=-1
+        opt.apply_dense(param, grad)  # v=1.5, p=-2.5
+        assert param[0] == pytest.approx(-2.5)
+
+    def test_sparse_velocity_per_row(self):
+        opt = Momentum(lr=1.0, momentum=0.5)
+        param = np.zeros((3, 1))
+        opt.apply_sparse(param, np.array([0]), np.ones((1, 1)))
+        opt.apply_sparse(param, np.array([0, 1]), np.ones((2, 1)))
+        assert param[0, 0] == pytest.approx(-2.5)  # momentum built up
+        assert param[1, 0] == pytest.approx(-1.0)  # fresh row: first step
+        assert param[2, 0] == 0.0
+
+    def test_rejects_bad_momentum(self):
+        with pytest.raises(ValueError, match="momentum"):
+            Momentum(lr=0.1, momentum=1.0)
+
+
+class TestAdagrad:
+    """Equation 2: A_i = A_{i-1} + G^2; W -= lr * G / sqrt(eps + A)."""
+
+    def test_first_dense_step_matches_equation(self):
+        opt = Adagrad(lr=0.1, eps=1e-10)
+        param = np.zeros(2)
+        grad = np.array([2.0, 4.0])
+        opt.apply_dense(param, grad)
+        expected = -0.1 * grad / np.sqrt(1e-10 + grad**2)
+        assert np.allclose(param, expected)
+
+    def test_accumulator_grows_monotonically(self):
+        opt = Adagrad(lr=0.1)
+        param = np.zeros(1)
+        for _ in range(3):
+            opt.apply_dense(param, np.ones(1))
+        acc = opt.state_tensors(param)["accumulator"]
+        assert acc[0] == pytest.approx(3.0)
+
+    def test_effective_step_shrinks(self):
+        opt = Adagrad(lr=1.0)
+        param = np.zeros(1)
+        opt.apply_dense(param, np.ones(1))
+        first = -param[0]
+        prev = param[0]
+        opt.apply_dense(param, np.ones(1))
+        second = prev - param[0]
+        assert 0 < second < first
+
+    def test_sparse_matches_dense_on_touched_rows(self):
+        dense_p = np.zeros((3, 2))
+        sparse_p = np.zeros((3, 2))
+        grad_rows = np.array([0, 2])
+        grads = np.array([[1.0, 2.0], [3.0, 4.0]])
+        dense_grad = np.zeros((3, 2))
+        dense_grad[grad_rows] = grads
+        opt_d, opt_s = Adagrad(lr=0.1), Adagrad(lr=0.1)
+        opt_d.apply_dense(dense_p, dense_grad)
+        opt_s.apply_sparse(sparse_p, grad_rows, grads)
+        assert np.allclose(dense_p[grad_rows], sparse_p[grad_rows])
+
+    def test_sparse_differs_from_dense_on_untouched_rows(self):
+        """Sparse semantics: absent rows see no update and no state decay -
+        this is exactly why frameworks coalesce instead of applying dense."""
+        opt = Adagrad(lr=0.1)
+        param = np.ones((2, 1))
+        opt.apply_sparse(param, np.array([0]), np.ones((1, 1)))
+        assert param[1, 0] == 1.0
+
+    def test_rejects_bad_eps(self):
+        with pytest.raises(ValueError, match="eps"):
+            Adagrad(lr=0.1, eps=0.0)
+
+
+class TestRMSprop:
+    """Equation 1: A_i = g*A_{i-1} + (1-g)*G^2; W -= lr * G / sqrt(eps + A)."""
+
+    def test_first_dense_step_matches_equation(self):
+        opt = RMSprop(lr=0.1, gamma=0.9, eps=1e-8)
+        param = np.zeros(2)
+        grad = np.array([2.0, 4.0])
+        opt.apply_dense(param, grad)
+        acc = 0.1 * grad**2
+        expected = -0.1 * grad / np.sqrt(1e-8 + acc)
+        assert np.allclose(param, expected)
+
+    def test_accumulator_is_ema(self):
+        opt = RMSprop(lr=0.1, gamma=0.5)
+        param = np.zeros(1)
+        opt.apply_dense(param, np.full(1, 2.0))  # A = 0.5*4 = 2
+        opt.apply_dense(param, np.zeros(1))  # A = 0.5*2 = 1
+        acc = opt.state_tensors(param)["accumulator"]
+        assert acc[0] == pytest.approx(1.0)
+
+    def test_sparse_rows_independent(self):
+        opt = RMSprop(lr=0.1)
+        param = np.zeros((2, 1))
+        opt.apply_sparse(param, np.array([0]), np.ones((1, 1)))
+        acc = opt.state_tensors(param)["accumulator"]
+        assert acc[0, 0] > 0.0
+        assert acc[1, 0] == 0.0
+
+    def test_rejects_bad_gamma(self):
+        with pytest.raises(ValueError, match="gamma"):
+            RMSprop(lr=0.1, gamma=-0.1)
+
+
+class TestStateManagement:
+    def test_state_keyed_per_parameter(self):
+        opt = Adagrad(lr=0.1)
+        a, b = np.zeros(2), np.zeros(3)
+        opt.apply_dense(a, np.ones(2))
+        assert opt.state_tensors(b)["accumulator"].shape == (3,)
+        assert opt.state_tensors(a)["accumulator"].shape == (2,)
+
+    def test_coalesced_gradient_requirement_why(self):
+        """The paper's core argument (Section II-B): applying duplicate
+        gradients sequentially through a stateful optimizer differs from
+        applying their coalesced sum - so coalescing is mandatory."""
+        sequential = np.zeros((1, 1))
+        coalesced = np.zeros((1, 1))
+        opt_seq, opt_coal = Adagrad(lr=1.0), Adagrad(lr=1.0)
+        # Two gradients of 1.0 for the same row.
+        opt_seq.apply_sparse(sequential, np.array([0]), np.ones((1, 1)))
+        opt_seq.apply_sparse(sequential, np.array([0]), np.ones((1, 1)))
+        opt_coal.apply_sparse(coalesced, np.array([0]), np.full((1, 1), 2.0))
+        assert not np.allclose(sequential, coalesced)

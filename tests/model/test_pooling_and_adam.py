@@ -1,0 +1,192 @@
+"""Tests for the extension features: mean pooling, weighted gathers, Adam."""
+
+import numpy as np
+import pytest
+
+from repro.core.gather_reduce import gather_reduce, gather_reduce_reference
+from repro.core.indexing import IndexArray
+from repro.model.embedding import EmbeddingBag
+from repro.model.optim import Adam
+
+
+class TestWeightedGatherReduce:
+    def test_weights_scale_contributions(self, rng):
+        table = rng.standard_normal((10, 3))
+        index = IndexArray([1, 2], [0, 0], num_rows=10, num_outputs=1)
+        out = gather_reduce(table, index, weights=np.array([2.0, 0.5]))
+        assert np.allclose(out[0], 2.0 * table[1] + 0.5 * table[2])
+
+    def test_unit_weights_match_unweighted(self, rng):
+        table = rng.standard_normal((20, 4))
+        index = IndexArray(
+            rng.integers(0, 20, 12), np.repeat(np.arange(4), 3), 20, 4
+        )
+        weighted = gather_reduce(table, index, weights=np.ones(12))
+        assert np.allclose(weighted, gather_reduce(table, index))
+
+    def test_matches_reference(self, rng):
+        table = rng.standard_normal((15, 2))
+        index = IndexArray(
+            rng.integers(0, 15, 9), np.repeat(np.arange(3), 3), 15, 3
+        )
+        weights = rng.random(9)
+        assert np.allclose(
+            gather_reduce(table, index, weights=weights),
+            gather_reduce_reference(table, index, weights=weights),
+        )
+
+    def test_unsorted_dst_with_weights(self, rng):
+        src = rng.integers(0, 15, 10)
+        dst = rng.integers(0, 4, 10)
+        index = IndexArray(src, dst, num_rows=15, num_outputs=4)
+        table = rng.standard_normal((15, 2))
+        weights = rng.random(10)
+        assert np.allclose(
+            gather_reduce(table, index, weights=weights),
+            gather_reduce_reference(table, index, weights=weights),
+        )
+
+    def test_rejects_bad_weight_shape(self, rng):
+        table = rng.standard_normal((10, 2))
+        index = IndexArray([1, 2], [0, 0], num_rows=10, num_outputs=1)
+        with pytest.raises(ValueError, match="weights"):
+            gather_reduce(table, index, weights=np.ones(3))
+
+
+class TestMeanPooling:
+    def test_forward_divides_by_count(self, rng):
+        bag = EmbeddingBag(20, 3, rng=rng, pooling="mean")
+        index = IndexArray([0, 1, 2, 5], [0, 0, 0, 1], num_rows=20, num_outputs=2)
+        out = bag.forward(index)
+        assert np.allclose(out[0], (bag.table[0] + bag.table[1] + bag.table[2]) / 3)
+        assert np.allclose(out[1], bag.table[5])
+
+    def test_empty_bag_stays_zero(self, rng):
+        bag = EmbeddingBag(20, 3, rng=rng, pooling="mean")
+        index = IndexArray([0], [0], num_rows=20, num_outputs=3)
+        out = bag.forward(index)
+        assert np.all(out[1] == 0.0) and np.all(out[2] == 0.0)
+
+    def test_backward_modes_agree(self, rng):
+        bag = EmbeddingBag(30, 4, rng=rng, pooling="mean")
+        index = IndexArray(
+            rng.integers(0, 30, 24), np.repeat(np.arange(6), 4), 30, 6
+        )
+        bag.forward(index)
+        grads = rng.standard_normal((6, 4))
+        base = bag.backward(grads, mode="baseline")
+        bag.forward(index)
+        cast = bag.backward(grads, mode="casted")
+        assert np.array_equal(base.rows, cast.rows)
+        assert np.allclose(base.values, cast.values)
+
+    def test_mean_gradient_numeric(self, rng):
+        bag = EmbeddingBag(8, 2, rng=rng, pooling="mean")
+        index = IndexArray([1, 2, 2], [0, 0, 1], num_rows=8, num_outputs=2)
+        weight = rng.standard_normal((2, 2))
+
+        def loss():
+            return float((bag.forward(index) * weight).sum())
+
+        bag.forward(index)
+        dense = bag.backward(weight, mode="casted").to_dense(8)
+        eps = 1e-6
+        for row, col in [(1, 0), (2, 1)]:
+            old = bag.table[row, col]
+            bag.table[row, col] = old + eps
+            up = loss()
+            bag.table[row, col] = old - eps
+            down = loss()
+            bag.table[row, col] = old
+            assert dense[row, col] == pytest.approx((up - down) / (2 * eps), abs=1e-5)
+
+    def test_rejects_unknown_pooling(self):
+        with pytest.raises(ValueError, match="pooling"):
+            EmbeddingBag(10, 2, pooling="max")
+
+    def test_sum_pooling_unchanged_default(self, rng):
+        bag = EmbeddingBag(10, 2, rng=rng)
+        assert bag.pooling == "sum"
+
+
+class TestAdam:
+    def test_first_dense_step_is_lr_sized(self):
+        """With bias correction, the first Adam step is ~lr regardless of
+        gradient magnitude."""
+        opt = Adam(lr=0.1)
+        param = np.zeros(3)
+        opt.apply_dense(param, np.array([1.0, 10.0, 100.0]))
+        assert np.allclose(param, -0.1, atol=1e-3)
+
+    def test_dense_steps_shrink_for_constant_gradient(self):
+        opt = Adam(lr=0.1)
+        param = np.zeros(1)
+        steps = []
+        for _ in range(3):
+            before = param[0]
+            opt.apply_dense(param, np.ones(1))
+            steps.append(before - param[0])
+        assert steps[0] > 0
+        assert all(abs(s - 0.1) < 0.02 for s in steps)  # ~lr while flat
+
+    def test_lazy_per_row_bias_correction(self):
+        """A row touched for the first time at global step 3 must still get
+        a full-size first step (its own t=1)."""
+        opt = Adam(lr=0.1)
+        param = np.zeros((2, 1))
+        for _ in range(3):
+            opt.apply_sparse(param, np.array([0]), np.ones((1, 1)))
+        before = param[1, 0]
+        opt.apply_sparse(param, np.array([1]), np.ones((1, 1)))
+        first_step_row1 = before - param[1, 0]
+        assert first_step_row1 == pytest.approx(0.1, abs=1e-3)
+
+    def test_untouched_rows_keep_zero_state(self):
+        opt = Adam(lr=0.1)
+        param = np.zeros((4, 2))
+        opt.apply_sparse(param, np.array([1]), np.ones((1, 2)))
+        state = opt.state_tensors(param)
+        assert np.all(state["first_moment"][[0, 2, 3]] == 0.0)
+        assert state["steps"][1] == 1
+        assert np.all(state["steps"][[0, 2, 3]] == 0)
+
+    def test_traffic_name_has_two_state_slots(self):
+        from repro.core.traffic import OPTIMIZER_STATE_SLOTS
+
+        assert OPTIMIZER_STATE_SLOTS[Adam(0.1).traffic_name] == 2
+
+    def test_rejects_bad_hyperparameters(self):
+        with pytest.raises(ValueError):
+            Adam(lr=0.1, beta1=1.0)
+        with pytest.raises(ValueError):
+            Adam(lr=0.1, eps=0.0)
+
+    def test_training_with_adam_and_casted_backward(self):
+        """End-to-end: Adam + casted backward trains and matches baseline."""
+        from repro.core.indexing import IndexArray
+        from repro.model.configs import RM1
+        from repro.model.dlrm import DLRM
+
+        config = RM1.with_overrides(
+            num_tables=2, gathers_per_table=3, rows_per_table=100,
+            bottom_mlp=(8, 4), top_mlp=(4, 1), embedding_dim=4,
+        )
+        losses = {}
+        for mode in ("baseline", "casted"):
+            model = DLRM(config, rng=np.random.default_rng(1))
+            opt = Adam(lr=0.01)
+            data_rng = np.random.default_rng(2)
+            run = []
+            for _ in range(4):
+                dense = data_rng.standard_normal((8, 8))
+                indices = [
+                    IndexArray(
+                        data_rng.integers(0, 100, 24),
+                        np.repeat(np.arange(8), 3), 100, 8,
+                    )
+                    for _ in range(2)
+                ]
+                labels = data_rng.integers(0, 2, 8).astype(float)
+                run.append(model.train_step(dense, indices, labels, opt, mode=mode).loss)
+            losses[mode] = run
+        assert losses["baseline"] == losses["casted"]

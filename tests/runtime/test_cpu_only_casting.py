@@ -1,0 +1,61 @@
+"""Tests for the casting-enabled CPU-only design point."""
+
+import pytest
+
+from repro.model.configs import RM1, RM3
+from repro.runtime.systems import (
+    CPUOnlySystem,
+    OP_BWD_ACCU,
+    OP_BWD_EXPAND,
+    OP_BWD_TCAST,
+    OP_CASTING,
+    compute_workload,
+)
+
+
+class TestCPUOnlyCasting:
+    def test_names_distinguish_variants(self, shared_hardware):
+        assert CPUOnlySystem(shared_hardware).name == "CPU-only"
+        assert CPUOnlySystem(shared_hardware, casting=True).name == "CPU-only (T.Casting)"
+
+    def test_casting_replaces_expand_coalesce(self, shared_hardware):
+        stats = compute_workload(RM1, 1024)
+        result = CPUOnlySystem(shared_hardware, casting=True).run_iteration(stats)
+        assert OP_CASTING in result.breakdown
+        assert OP_BWD_TCAST in result.breakdown
+        assert OP_BWD_EXPAND not in result.breakdown
+        assert OP_BWD_ACCU not in result.breakdown
+
+    def test_casting_wins_despite_being_exposed(self, shared_hardware):
+        """No idle GPU to hide the cast under, yet the casted path still
+        beats the baseline (the cast costs about one sort and removes both
+        the expand and the accumulate)."""
+        for config in (RM1, RM3):
+            stats = compute_workload(config, 2048)
+            base = CPUOnlySystem(shared_hardware).run_iteration(stats).total
+            cast = CPUOnlySystem(shared_hardware, casting=True).run_iteration(stats).total
+            assert cast < base
+
+    def test_speedup_smaller_than_hybrid(self, shared_hardware):
+        """Hiding the cast (hybrid CPU-GPU) must beat exposing it (CPU-only):
+        the runtime co-design is worth something."""
+        from repro.runtime.systems import CPUGPUSystem
+
+        stats = compute_workload(RM1, 2048)
+        only_base = CPUOnlySystem(shared_hardware).run_iteration(stats).total
+        only_cast = CPUOnlySystem(shared_hardware, casting=True).run_iteration(stats).total
+        hybrid_base = CPUGPUSystem(shared_hardware).run_iteration(stats).total
+        hybrid_cast = CPUGPUSystem(shared_hardware, casting=True).run_iteration(stats).total
+        assert hybrid_base / hybrid_cast > only_base / only_cast
+
+    def test_casting_on_critical_path(self, shared_hardware):
+        """On one resource nothing overlaps: makespan equals summed spans."""
+        stats = compute_workload(RM1, 1024)
+        result = CPUOnlySystem(shared_hardware, casting=True).run_iteration(stats)
+        assert result.total == pytest.approx(sum(result.breakdown.values()))
+
+    def test_pipeline_validates(self, shared_hardware):
+        stats = compute_workload(RM1, 1024)
+        CPUOnlySystem(shared_hardware, casting=True).run_pipeline(
+            stats, 3
+        ).timeline.validate()

@@ -1,0 +1,190 @@
+"""Tests for the four system design points and workload derivation."""
+
+import pytest
+
+from repro.data.distributions import ZipfDistribution
+from repro.model.configs import RM1, RM2, RM3, RM4
+from repro.runtime.systems import (
+    CPUGPUSystem,
+    CPUOnlySystem,
+    NMPSystem,
+    OP_BWD_ACCU,
+    OP_BWD_EXPAND,
+    OP_BWD_SCATTER,
+    OP_BWD_SORT,
+    OP_BWD_TCAST,
+    OP_CASTING,
+    OP_FWD_DNN,
+    OP_FWD_GATHER,
+    WorkloadStats,
+    compute_workload,
+    design_points,
+)
+from repro.runtime.timeline import RESOURCE_CPU, RESOURCE_GPU, RESOURCE_NMP
+
+
+class TestComputeWorkload:
+    def test_geometry_rm1(self):
+        stats = compute_workload(RM1, 2048)
+        assert stats.n == 2048 * 800
+        assert stats.num_outputs == 10 * 2048
+        assert stats.dim == 64
+        assert 0 < stats.u <= stats.n
+
+    def test_random_uses_config_rows(self):
+        small = compute_workload(RM1.with_overrides(rows_per_table=1000), 64)
+        big = compute_workload(RM1, 64)
+        # Smaller tables collide more: fewer unique rows.
+        assert small.u < big.u
+
+    def test_named_dataset_changes_u(self):
+        random = compute_workload(RM1, 2048, dataset="random")
+        criteo = compute_workload(RM1, 2048, dataset="criteo")
+        assert criteo.u < random.u
+
+    def test_custom_distribution_accepted(self):
+        dist = ZipfDistribution(10_000, exponent=1.2)
+        stats = compute_workload(RM1, 256, dataset=dist)
+        assert stats.u <= 10_000 * RM1.num_tables
+
+    def test_dim_override(self):
+        stats = compute_workload(RM1, 512, dim=128)
+        assert stats.dim == 128
+        assert stats.model.bottom_mlp[-1] == 128
+
+    def test_rejects_nonpositive_batch(self):
+        with pytest.raises(ValueError, match="batch"):
+            compute_workload(RM1, 0)
+
+    def test_derived_byte_quantities(self):
+        stats = compute_workload(RM1, 1024)
+        assert stats.vec_bytes == 256
+        assert stats.gradient_table_bytes == stats.num_outputs * 256
+        assert stats.coalesced_bytes == stats.u * 256
+        assert stats.index_bytes == 2 * stats.n * 4
+        assert stats.dense_input_bytes == 1024 * 256 * 4
+
+    def test_stats_validation(self):
+        with pytest.raises(ValueError, match="u must lie"):
+            WorkloadStats(
+                model=RM1, batch=8, n=100, u=200, num_outputs=80, dim=64
+            )
+
+
+class TestSystemTimelines:
+    def test_cpu_only_uses_one_resource(self, shared_hardware):
+        stats = compute_workload(RM1, 1024)
+        result = CPUOnlySystem(shared_hardware).run_iteration(stats)
+        assert result.timeline.resources() == [RESOURCE_CPU]
+
+    def test_cpu_gpu_baseline_has_all_seven_primitives(self, shared_hardware):
+        stats = compute_workload(RM1, 1024)
+        result = CPUGPUSystem(shared_hardware, casting=False).run_iteration(stats)
+        for op in (OP_FWD_GATHER, OP_FWD_DNN, OP_BWD_EXPAND, OP_BWD_SORT,
+                   OP_BWD_ACCU, OP_BWD_SCATTER):
+            assert result.breakdown.get(op, 0.0) > 0.0
+
+    def test_casting_system_replaces_expand_coalesce(self, shared_hardware):
+        stats = compute_workload(RM1, 1024)
+        result = CPUGPUSystem(shared_hardware, casting=True).run_iteration(stats)
+        assert result.breakdown.get(OP_CASTING, 0.0) > 0.0
+        assert result.breakdown.get(OP_BWD_TCAST, 0.0) > 0.0
+        assert OP_BWD_EXPAND not in result.breakdown
+        assert OP_BWD_SORT not in result.breakdown
+        assert OP_BWD_ACCU not in result.breakdown
+
+    def test_nmp_systems_run_embedding_ops_on_pool(self, shared_hardware):
+        stats = compute_workload(RM1, 1024)
+        result = NMPSystem(shared_hardware, casting=True).run_iteration(stats)
+        nmp_ops = {
+            s.op for s in result.timeline.spans if s.resource == RESOURCE_NMP
+        }
+        assert OP_FWD_GATHER in nmp_ops
+        assert OP_BWD_TCAST in nmp_ops
+        assert OP_BWD_SCATTER in nmp_ops
+
+    def test_baseline_nmp_keeps_coalesce_on_cpu(self, shared_hardware):
+        """Figure 12's caption: Baseline(NMP) runs expand-coalesce exactly
+        as Baseline(CPU) does - on the host."""
+        stats = compute_workload(RM1, 1024)
+        result = NMPSystem(shared_hardware, casting=False).run_iteration(stats)
+        cpu_ops = {
+            s.op for s in result.timeline.spans if s.resource == RESOURCE_CPU
+        }
+        assert {OP_BWD_EXPAND, OP_BWD_SORT, OP_BWD_ACCU} <= cpu_ops
+
+    def test_casting_hidden_under_forward(self, shared_hardware):
+        """Figure 9(b): the cast runs on the GPU while the CPU gathers."""
+        stats = compute_workload(RM1, 2048)
+        result = CPUGPUSystem(shared_hardware, casting=True).run_iteration(stats)
+        gather = next(s for s in result.timeline.spans if s.op == OP_FWD_GATHER)
+        cast = next(s for s in result.timeline.spans if s.op == OP_CASTING)
+        assert cast.resource == RESOURCE_GPU
+        assert cast.start < gather.end  # overlaps the gather
+
+    def test_timelines_validate(self, shared_hardware):
+        stats = compute_workload(RM2, 1024)
+        for system in design_points(shared_hardware).values():
+            system.run_iteration(stats).timeline.validate()
+
+    def test_names(self, shared_hardware):
+        names = set(design_points(shared_hardware))
+        assert names == {"Baseline(CPU)", "Baseline(NMP)", "Ours(CPU)", "Ours(NMP)"}
+
+
+class TestPaperOrdering:
+    """The end-to-end ordering the evaluation (Figure 13) establishes."""
+
+    @pytest.fixture(scope="class")
+    def results(self, shared_hardware):
+        stats = compute_workload(RM1, 2048)
+        return {
+            name: system.run_iteration(stats).total
+            for name, system in design_points(shared_hardware).items()
+        }
+
+    def test_every_design_beats_baseline(self, results):
+        for name, total in results.items():
+            if name != "Baseline(CPU)":
+                assert total < results["Baseline(CPU)"]
+
+    def test_ours_cpu_beats_baseline_nmp(self, results):
+        """Section VI-B: software-only Tensor Casting outperforms the
+        TensorDIMM hardware baseline."""
+        assert results["Ours(CPU)"] < results["Baseline(NMP)"]
+
+    def test_ours_nmp_fastest(self, results):
+        assert results["Ours(NMP)"] == min(results.values())
+
+    def test_cpu_only_slowest(self, shared_hardware, results):
+        stats = compute_workload(RM1, 2048)
+        cpu_only = CPUOnlySystem(shared_hardware).run_iteration(stats).total
+        assert cpu_only >= results["Baseline(CPU)"]
+
+
+class TestPipelinedExecution:
+    def test_pipeline_throughput_at_least_serial(self, shared_hardware):
+        stats = compute_workload(RM1, 1024)
+        system = NMPSystem(shared_hardware, casting=True)
+        one = system.run_iteration(stats).total
+        eight = system.run_pipeline(stats, 8).total
+        assert eight < 8 * one  # overlap across iterations helps
+
+    def test_pipeline_validates(self, shared_hardware):
+        stats = compute_workload(RM3, 1024)
+        system = CPUGPUSystem(shared_hardware, casting=True)
+        system.run_pipeline(stats, 4).timeline.validate()
+
+    def test_pipeline_rejects_nonpositive(self, shared_hardware):
+        stats = compute_workload(RM1, 1024)
+        with pytest.raises(ValueError, match="iterations"):
+            NMPSystem(shared_hardware).run_pipeline(stats, 0)
+
+    def test_pipeline_preserves_data_dependence(self, shared_hardware):
+        """Iteration i+1's gather must follow iteration i's scatter: it
+        reads the rows that scatter just updated."""
+        stats = compute_workload(RM1, 1024)
+        result = NMPSystem(shared_hardware, casting=True).run_pipeline(stats, 2)
+        gathers = [s for s in result.timeline.spans if s.op == OP_FWD_GATHER]
+        scatters = [s for s in result.timeline.spans if s.op == OP_BWD_SCATTER]
+        assert gathers[1].start >= scatters[0].end - 1e-12

@@ -1,0 +1,84 @@
+"""Tests for the wall-clock-instrumented functional trainer."""
+
+import numpy as np
+import pytest
+
+from repro.data.generator import SyntheticCTRStream
+from repro.model.configs import RM1
+from repro.model.dlrm import DLRM
+from repro.model.optim import SGD
+from repro.runtime.trainer import FunctionalTrainer, PhaseTimings
+
+CONFIG = RM1.with_overrides(
+    num_tables=2, gathers_per_table=3, rows_per_table=100,
+    bottom_mlp=(8, 4), top_mlp=(4, 1), embedding_dim=4,
+)
+
+
+def make_trainer(seed=0):
+    model = DLRM(CONFIG, rng=np.random.default_rng(seed))
+    stream = SyntheticCTRStream(
+        num_tables=2, num_rows=100, lookups_per_sample=3,
+        dense_features=8, seed=seed,
+    )
+    return FunctionalTrainer(model, stream, SGD(lr=0.3))
+
+
+class TestPhaseTimings:
+    def test_accumulates(self):
+        timings = PhaseTimings()
+        timings.add("fwd", 1.0)
+        timings.add("fwd", 2.0)
+        assert timings.totals["fwd"] == 3.0
+        assert timings.total() == 3.0
+
+    def test_fraction(self):
+        timings = PhaseTimings()
+        timings.add("a", 1.0)
+        timings.add("b", 3.0)
+        assert timings.fraction("b") == pytest.approx(0.75)
+        assert timings.fraction("missing") == 0.0
+
+    def test_fraction_empty(self):
+        assert PhaseTimings().fraction("a") == 0.0
+
+
+class TestFunctionalTrainer:
+    def test_report_shape(self):
+        report = make_trainer().train(16, 3, np.random.default_rng(1))
+        assert report.steps == 3
+        assert len(report.losses) == 3
+        assert report.mode == "casted"
+        assert report.initial_loss == report.losses[0]
+        assert report.final_loss == report.losses[-1]
+
+    def test_phases_recorded(self):
+        report = make_trainer().train(16, 2, np.random.default_rng(1))
+        for phase in ("forward", "loss", "backward", "update", "casting"):
+            assert phase in report.timings.totals
+
+    def test_baseline_mode_skips_casting_phase(self):
+        report = make_trainer().train(16, 2, np.random.default_rng(1), mode="baseline")
+        assert "casting" not in report.timings.totals
+
+    def test_modes_produce_identical_losses(self):
+        base = make_trainer(seed=4).train(16, 4, np.random.default_rng(2), mode="baseline")
+        cast = make_trainer(seed=4).train(16, 4, np.random.default_rng(2), mode="casted")
+        assert base.losses == cast.losses
+
+    def test_learning_happens(self):
+        report = make_trainer().train(64, 30, np.random.default_rng(3))
+        assert report.final_loss < report.initial_loss
+
+    def test_rejects_table_mismatch(self):
+        model = DLRM(CONFIG, rng=np.random.default_rng(0))
+        stream = SyntheticCTRStream(
+            num_tables=3, num_rows=100, lookups_per_sample=3,
+            dense_features=8,
+        )
+        with pytest.raises(ValueError, match="tables"):
+            FunctionalTrainer(model, stream, SGD(lr=0.1))
+
+    def test_rejects_nonpositive_steps(self):
+        with pytest.raises(ValueError, match="steps"):
+            make_trainer().train(8, 0, np.random.default_rng(0))

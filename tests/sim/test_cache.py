@@ -1,0 +1,97 @@
+"""Tests for the hot-row embedding cache model."""
+
+import pytest
+
+from repro.data.distributions import UniformDistribution, ZipfDistribution
+from repro.sim.cache import CachedCPUModel, HotRowCacheSpec
+from repro.sim.cpu import CPUModel
+
+N, B, DIM = 819_200, 10_240, 64
+
+
+@pytest.fixture(scope="module")
+def skewed():
+    return ZipfDistribution(1_000_000, exponent=1.1)
+
+
+@pytest.fixture(scope="module")
+def cached(skewed):
+    return CachedCPUModel(HotRowCacheSpec(capacity_rows=100_000), skewed)
+
+
+class TestSpec:
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError, match="capacity"):
+            HotRowCacheSpec(capacity_rows=0)
+
+    def test_rejects_bad_bandwidth(self):
+        with pytest.raises(ValueError, match="bandwidth"):
+            HotRowCacheSpec(hit_bandwidth=0.0)
+
+
+class TestHitRate:
+    def test_hit_rate_is_head_mass(self, skewed, cached):
+        expected = skewed.top_mass(100_000 / 1_000_000)
+        assert cached.hit_rate == pytest.approx(expected)
+
+    def test_uniform_workload_hit_rate_is_capacity_fraction(self):
+        uniform = UniformDistribution(1_000_000)
+        model = CachedCPUModel(HotRowCacheSpec(capacity_rows=100_000), uniform)
+        assert model.hit_rate == pytest.approx(0.1, rel=1e-6)
+
+    def test_cache_bigger_than_table_hits_everything(self):
+        small = ZipfDistribution(1_000, exponent=1.0)
+        model = CachedCPUModel(HotRowCacheSpec(capacity_rows=10_000), small)
+        assert model.hit_rate == pytest.approx(1.0)
+
+
+class TestCachedTimes:
+    def test_gather_faster_with_cache(self, cached):
+        plain = CPUModel()
+        assert cached.time_gather_reduce(N, B, DIM) < plain.time_gather_reduce(
+            N, B, DIM
+        )
+
+    def test_scatter_faster_with_cache(self, cached):
+        plain = CPUModel()
+        u = int(0.4 * N)
+        assert cached.time_scatter(u, DIM) < plain.time_scatter(u, DIM)
+
+    def test_expand_coalesce_unaffected(self, cached):
+        """The bottleneck is transient-tensor traffic: no cache benefit."""
+        plain = CPUModel()
+        u = int(0.4 * N)
+        assert cached.time_expand(N, B, DIM) == plain.time_expand(N, B, DIM)
+        assert cached.time_coalesce_accumulate(
+            N, u, DIM
+        ) == plain.time_coalesce_accumulate(N, u, DIM)
+
+    def test_higher_skew_bigger_benefit(self):
+        mild = CachedCPUModel(
+            HotRowCacheSpec(capacity_rows=100_000),
+            ZipfDistribution(1_000_000, exponent=0.6),
+        )
+        steep = CachedCPUModel(
+            HotRowCacheSpec(capacity_rows=100_000),
+            ZipfDistribution(1_000_000, exponent=1.4),
+        )
+        assert steep.time_gather_reduce(N, B, DIM) < mild.time_gather_reduce(
+            N, B, DIM
+        )
+
+    def test_zero_work_free(self, cached):
+        assert cached.time_gather_reduce(0, B, DIM) == 0.0
+        assert cached.time_scatter(0, DIM) == 0.0
+
+    def test_cache_cannot_beat_casting_on_the_bottleneck(self, cached):
+        """Even a perfect cache leaves expand-coalesce dominant; the casted
+        path on a cache-less CPU still wins the backward comparison."""
+        plain = CPUModel()
+        u = int(0.4 * N)
+        cached_backward = (
+            cached.time_expand(N, B, DIM)
+            + cached.time_sort(N)
+            + cached.time_coalesce_accumulate(N, u, DIM)
+        )
+        casted_backward = plain.time_casted_gather_reduce(N, u, B, DIM)
+        assert casted_backward < cached_backward

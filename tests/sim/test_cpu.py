@@ -1,0 +1,111 @@
+"""Tests for the CPU execution model."""
+
+import pytest
+
+from repro.sim.cpu import CPUModel
+from repro.sim.specs import CPUSpec
+
+# RM1-at-b2048-like geometry.
+N, B, DIM = 1_638_400, 20_480, 64
+
+
+@pytest.fixture(scope="module")
+def cpu():
+    return CPUModel()
+
+
+class TestBandwidths:
+    def test_gather_below_stream(self, cpu):
+        assert cpu.gather_bandwidth(256) < cpu.stream_bandwidth()
+
+    def test_stream_below_pin_bandwidth(self, cpu):
+        assert cpu.stream_bandwidth() < cpu.spec.peak_mem_bandwidth
+
+    def test_frontend_derate_applied(self):
+        eager = CPUModel(CPUSpec(frontend_efficiency=1.0))
+        derated = CPUModel(CPUSpec(frontend_efficiency=0.5))
+        assert derated.stream_bandwidth() == pytest.approx(
+            0.5 * eager.stream_bandwidth()
+        )
+
+
+class TestPrimitiveTimes:
+    def test_all_primitives_positive(self, cpu):
+        u = int(0.9 * N)
+        assert cpu.time_gather_reduce(N, B, DIM) > 0
+        assert cpu.time_expand(N, B, DIM) > 0
+        assert cpu.time_sort(N) > 0
+        assert cpu.time_coalesce_accumulate(N, u, DIM) > 0
+        assert cpu.time_scatter(u, DIM) > 0
+        assert cpu.time_casted_gather_reduce(N, u, B, DIM) > 0
+
+    def test_zero_work_is_free(self, cpu):
+        assert cpu.time_gather_reduce(0, B, DIM) == 0.0
+        assert cpu.time_sort(0) == 0.0
+        assert cpu.time_scatter(0, DIM) == 0.0
+        assert cpu.time_casted_gather_reduce(0, 0, B, DIM) == 0.0
+
+    def test_accumulate_dominates_gather(self, cpu):
+        """Section III-C: coalesce accumulation traffic is ~3x gather's."""
+        u = int(0.9 * N)
+        assert cpu.time_coalesce_accumulate(N, u, DIM) > 1.5 * cpu.time_gather_reduce(
+            N, B, DIM
+        )
+
+    def test_casted_beats_expand_coalesce(self, cpu):
+        """The software-only win: casted backward beats the 3-step baseline."""
+        u = int(0.9 * N)
+        baseline = (
+            cpu.time_expand(N, B, DIM)
+            + cpu.time_sort(N)
+            + cpu.time_coalesce_accumulate(N, u, DIM)
+        )
+        casted = cpu.time_casted_gather_reduce(N, u, B, DIM)
+        assert baseline / casted > 2.0
+
+    def test_llc_resident_gradient_table_speeds_casted_reads(self, cpu):
+        """Small gradient tables read at LLC speed; huge ones fall to DRAM."""
+        small_b = 10_000  # 2.56 MB table - fits 35 MB LLC
+        huge_b = 1_000_000  # 256 MB table - does not
+        small = cpu.time_casted_gather_reduce(N, N, small_b, DIM)
+        huge = cpu.time_casted_gather_reduce(N, N, huge_b, DIM)
+        assert small < huge
+
+    def test_sort_superlinear(self, cpu):
+        """n log n scaling: doubling n more than doubles sort time."""
+        assert cpu.time_sort(2 * N) > 2.0 * cpu.time_sort(N)
+
+    def test_tuned_sort_faster_than_framework(self, cpu):
+        """The paper tunes PyTorch's sort by 5.0-6.1x."""
+        ratio = cpu.time_sort(N, tuned=False) / cpu.time_sort(N, tuned=True)
+        assert 5.0 <= ratio <= 6.5
+
+    def test_scatter_optimizer_state_costs_more(self, cpu):
+        u = 100_000
+        assert cpu.time_scatter(u, DIM, optimizer="adagrad") > cpu.time_scatter(
+            u, DIM, optimizer="sgd"
+        )
+
+    def test_casting_includes_sort(self, cpu):
+        assert cpu.time_casting(N) > cpu.time_sort(N)
+
+
+class TestDenseCompute:
+    def test_mlp_compute_bound_for_big_gemms(self, cpu):
+        flops = 10**12
+        expected = flops / (cpu.spec.peak_flops * cpu.spec.flops_efficiency)
+        assert cpu.time_mlp(flops) == pytest.approx(expected)
+
+    def test_mlp_memory_bound_when_traffic_dominates(self, cpu):
+        tiny_flops = 10
+        big_bytes = 10**9
+        assert cpu.time_mlp(tiny_flops, big_bytes) == pytest.approx(
+            big_bytes / cpu.stream_bandwidth()
+        )
+
+    def test_mlp_zero_work(self, cpu):
+        assert cpu.time_mlp(0, 0) == 0.0
+
+    def test_stream_rejects_negative(self, cpu):
+        with pytest.raises(ValueError, match="non-negative"):
+            cpu.time_stream(-1)

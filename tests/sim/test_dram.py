@@ -1,0 +1,108 @@
+"""Tests for the cycle-level DDR4 channel model."""
+
+import pytest
+
+from repro.sim.dram import (
+    BURST_BYTES,
+    DDR4_2400,
+    DDR4_3200,
+    DRAMChannel,
+    DRAMTiming,
+    effective_bandwidth,
+)
+
+
+class TestTimingSpecs:
+    def test_ddr4_3200_peak_is_table_i_per_rank(self):
+        """Table I: 25.6 GB/s per rank."""
+        assert DDR4_3200.peak_bandwidth == pytest.approx(25.6e9, rel=1e-3)
+
+    def test_ddr4_2400_peak(self):
+        assert DDR4_2400.peak_bandwidth == pytest.approx(19.2e9, rel=1e-3)
+
+    def test_cycles_to_seconds(self):
+        assert DDR4_3200.cycles_to_seconds(1600) == pytest.approx(1e-6)
+
+    def test_rejects_nonpositive_timing(self):
+        with pytest.raises(ValueError):
+            DRAMTiming(name="bad", tck_ns=0.0, cl=10, trcd=10, trp=10, tras=20)
+
+    def test_rejects_implausible_geometry(self):
+        with pytest.raises(ValueError):
+            DRAMTiming(name="bad", tck_ns=1.0, cl=10, trcd=10, trp=10, tras=20, banks=0)
+
+
+class TestChannelBehaviour:
+    def test_row_hits_stream_at_near_peak(self):
+        """Sequential accesses within open rows: bus-limited."""
+        channel = DRAMChannel(DDR4_3200)
+        requests = [(0, 0, False)] * 256
+        assert channel.efficiency(requests) > 0.9
+
+    def test_row_conflicts_on_one_bank_are_slow(self):
+        """Ping-ponging rows in a single bank exposes full tRP+tRCD+CL
+        under strict FCFS (window=1)."""
+        channel = DRAMChannel(DDR4_3200, window=1)
+        requests = [(0, i % 2, False) for i in range(256)]
+        assert channel.efficiency(requests) < 0.15
+
+    def test_frfcfs_reorders_row_hits_first(self):
+        """A deep scheduling window batches same-row requests, recovering
+        much of the ping-pong stream's throughput - the FR in FR-FCFS."""
+        requests = [(0, i % 2, False) for i in range(256)]
+        strict = DRAMChannel(DDR4_3200, window=1).efficiency(requests)
+        reordering = DRAMChannel(DDR4_3200, window=16).efficiency(requests)
+        assert reordering > 3 * strict
+
+    def test_bank_parallelism_hides_activates(self):
+        """Same conflict pattern spread across banks recovers throughput."""
+        channel = DRAMChannel(DDR4_3200, window=16)
+        conflict_one_bank = [(0, i, False) for i in range(256)]
+        spread = [(i % 16, i, False) for i in range(256)]
+        assert channel.efficiency(spread) > 2 * channel.efficiency(conflict_one_bank)
+
+    def test_wider_window_no_worse(self):
+        requests = [((i * 7) % 16, (i * 13) % 64, False) for i in range(512)]
+        narrow = DRAMChannel(DDR4_3200, window=1).efficiency(requests)
+        wide = DRAMChannel(DDR4_3200, window=16).efficiency(requests)
+        assert wide >= narrow - 1e-9
+
+    def test_efficiency_bounded_by_pin_bandwidth(self):
+        channel = DRAMChannel(DDR4_2400)
+        requests = [(i % 16, 0, False) for i in range(512)]
+        assert 0.0 < channel.efficiency(requests) <= 1.0
+
+    def test_simulate_monotone_in_request_count(self):
+        channel = DRAMChannel(DDR4_2400)
+        short = channel.simulate([(0, 0, False)] * 64)
+        long = channel.simulate([(0, 0, False)] * 128)
+        assert long > short
+
+    def test_empty_stream_rejected_for_bandwidth(self):
+        with pytest.raises(ValueError, match="empty"):
+            DRAMChannel(DDR4_2400).effective_bandwidth([])
+
+    def test_rejects_nonpositive_window(self):
+        with pytest.raises(ValueError, match="window"):
+            DRAMChannel(DDR4_2400, window=0)
+
+    def test_tfaw_limits_activate_rate(self):
+        """Each request activating a fresh row across many banks must be
+        throttled by the 4-activates-per-tFAW window."""
+        channel = DRAMChannel(DDR4_3200, window=16)
+        requests = [(i % 16, i, False) for i in range(512)]
+        cycles = channel.simulate(requests)
+        # 512 activates cannot complete faster than 128 tFAW windows.
+        assert cycles >= (512 / 4 - 1) * DDR4_3200.tfaw
+
+    def test_module_level_helper(self):
+        bandwidth = effective_bandwidth([(0, 0, False)] * 64, DDR4_3200)
+        assert bandwidth > 0.5 * DDR4_3200.peak_bandwidth
+
+    def test_deterministic(self):
+        channel = DRAMChannel(DDR4_2400)
+        requests = [((i * 3) % 16, (i * 5) % 32, False) for i in range(256)]
+        assert channel.simulate(list(requests)) == channel.simulate(list(requests))
+
+    def test_burst_bytes_constant(self):
+        assert BURST_BYTES == 64

@@ -1,0 +1,99 @@
+"""Tests for the DRAM model's write path, turnaround, recovery and refresh."""
+
+import dataclasses
+
+import pytest
+
+from repro.sim.dram import DDR4_3200, DRAMChannel, DRAMTiming
+from repro.sim.memsys import PatternBandwidth
+
+
+class TestWriteTiming:
+    def test_write_latency_defaults_to_cl_minus_2(self):
+        assert DDR4_3200.write_latency == DDR4_3200.cl - 2
+
+    def test_write_latency_override(self):
+        custom = dataclasses.replace(DDR4_3200, cwl=10)
+        assert custom.write_latency == 10
+
+    def test_pure_write_stream_near_peak(self):
+        """Row-hit write streams are bus-limited like reads."""
+        channel = DRAMChannel(DDR4_3200)
+        requests = [(0, 0, True)] * 256
+        assert channel.efficiency(requests) > 0.85
+
+    def test_write_to_read_turnaround_costs(self):
+        """Alternating W/R to the same row pays tWTR each switch."""
+        channel = DRAMChannel(DDR4_3200, window=1)
+        alternating = [(0, 0, i % 2 == 0) for i in range(128)]
+        same_kind = [(0, 0, False)] * 128
+        assert channel.simulate(alternating) > 1.5 * channel.simulate(same_kind)
+
+    def test_write_recovery_slows_conflicts_after_writes(self):
+        """A row conflict right after a write waits out tWR before
+        precharging."""
+        channel = DRAMChannel(DDR4_3200, window=1)
+        write_then_conflict = [(0, 0, True), (0, 1, False)] * 32
+        read_then_conflict = [(0, 0, False), (0, 1, False)] * 32
+        assert channel.simulate(write_then_conflict) > channel.simulate(
+            read_then_conflict
+        )
+
+
+class TestRefresh:
+    def test_refresh_overhead_fraction(self):
+        assert DDR4_3200.refresh_overhead == pytest.approx(
+            DDR4_3200.trfc / DDR4_3200.trefi
+        )
+        assert 0.0 < DDR4_3200.refresh_overhead < 0.1
+
+    def test_refresh_stretches_streams(self):
+        no_refresh = dataclasses.replace(DDR4_3200, trefi=10**9, trfc=1)
+        requests = [(i % 16, 0, False) for i in range(512)]
+        with_refresh = DRAMChannel(DDR4_3200).simulate(list(requests))
+        without = DRAMChannel(no_refresh).simulate(list(requests))
+        assert with_refresh > without
+
+    def test_rejects_trefi_below_trfc(self):
+        with pytest.raises(ValueError, match="tREFI"):
+            dataclasses.replace(DDR4_3200, trefi=100, trfc=200)
+
+
+class TestRMWPattern:
+    @pytest.fixture(scope="class")
+    def patterns(self):
+        return PatternBandwidth(DDR4_3200, window=4)
+
+    def test_rmw_slower_than_pure_gather(self, patterns):
+        assert patterns.efficiency("random_rmw", 256) < patterns.efficiency(
+            "random_gather", 256
+        )
+
+    def test_sequential_write_measured(self, patterns):
+        assert 0.5 < patterns.efficiency("sequential_write") <= 1.0
+
+    def test_rmw_keyed_by_width(self, patterns):
+        narrow = patterns.efficiency("random_rmw", 64)
+        wide = patterns.efficiency("random_rmw", 512)
+        assert narrow < wide
+
+    def test_scatter_uses_rmw_bandwidth(self):
+        """The CPU scatter model must be charged at RMW (not gather) rate."""
+        from repro.sim.cpu import CPUModel
+
+        cpu = CPUModel()
+        assert cpu.rmw_bandwidth(256) < cpu.gather_bandwidth(256)
+        # and scatter must therefore be slower than a same-byte gather op
+        u, dim = 500_000, 64
+        scatter = cpu.time_scatter(u, dim)
+        from repro.core.traffic import scatter_traffic
+
+        bytes_total = scatter_traffic(u, dim).total
+        pure_gather_time = bytes_total / cpu.gather_bandwidth(256)
+        assert scatter > 0.8 * pure_gather_time
+
+    def test_nmp_rmw_bandwidth_below_gather(self):
+        from repro.sim.nmp import NMPPoolModel
+
+        pool = NMPPoolModel()
+        assert pool.rank_rmw_bandwidth(256) < pool.rank_gather_bandwidth(256)

@@ -1,0 +1,73 @@
+"""Tests for the GPU execution model."""
+
+import pytest
+
+from repro.sim.gpu import GPUModel
+from repro.sim.specs import GPUSpec
+
+
+@pytest.fixture(scope="module")
+def gpu():
+    return GPUModel()
+
+
+class TestDNN:
+    def test_compute_bound_gemm(self, gpu):
+        flops = 10**12
+        time = gpu.time_dnn(flops, num_layers=0)
+        assert time == pytest.approx(
+            flops / (gpu.spec.peak_flops * gpu.spec.flops_efficiency)
+        )
+
+    def test_kernel_overhead_floors_tiny_mlps(self, gpu):
+        """RM1's MLP is launch-bound - the reason it is <1% of training."""
+        time = gpu.time_dnn(1000, num_layers=6)
+        assert time >= 6 * gpu.spec.kernel_overhead_s
+
+    def test_memory_bound_path(self, gpu):
+        time = gpu.time_dnn(10, num_layers=0, touched_bytes=10**9)
+        assert time == pytest.approx(10**9 / gpu.stream_bandwidth())
+
+    def test_rejects_negative(self, gpu):
+        with pytest.raises(ValueError, match="non-negative"):
+            gpu.time_dnn(-1, 0)
+
+
+class TestCasting:
+    def test_casting_dominated_by_sort(self, gpu):
+        n = 10_000_000
+        assert gpu.time_casting(n) > gpu.time_sort(n) > 0
+
+    def test_casting_linear_radix_scaling(self, gpu):
+        """GPU radix sort is linear - unlike the CPU comparison sort."""
+        small = gpu.time_sort(10**6)
+        large = gpu.time_sort(10**7)
+        assert large / small == pytest.approx(10.0, rel=0.05)
+
+    def test_zero_keys_free(self, gpu):
+        assert gpu.time_sort(0) == 0.0
+        assert gpu.time_casting(0) == 0.0
+
+
+class TestStreams:
+    def test_stream_bandwidth_derated(self, gpu):
+        assert gpu.stream_bandwidth() == pytest.approx(
+            gpu.spec.hbm_bandwidth * gpu.spec.stream_efficiency
+        )
+
+    def test_gather_below_stream(self, gpu):
+        assert gpu.gather_bandwidth() < gpu.stream_bandwidth()
+
+    def test_stream_time_includes_launch(self, gpu):
+        assert gpu.time_stream(64) > 64 / gpu.stream_bandwidth()
+
+    def test_zero_stream_free(self, gpu):
+        assert gpu.time_stream(0) == 0.0
+
+    def test_stream_rejects_negative(self, gpu):
+        with pytest.raises(ValueError, match="non-negative"):
+            gpu.time_stream(-5)
+
+    def test_custom_spec_respected(self):
+        fast = GPUModel(GPUSpec(hbm_bandwidth=2e12))
+        assert fast.stream_bandwidth() > GPUModel().stream_bandwidth()

@@ -1,0 +1,54 @@
+"""Tests for the interconnect transfer model."""
+
+import pytest
+
+from repro.sim.interconnect import Link
+from repro.sim.specs import DEFAULT_NMP_LINK, NVLINK, PCIE_GEN3
+
+
+class TestLink:
+    def test_transfer_includes_latency(self):
+        link = Link(PCIE_GEN3)
+        assert link.transfer_time(0) == pytest.approx(PCIE_GEN3.latency_s)
+
+    def test_bandwidth_term(self):
+        link = Link(PCIE_GEN3)
+        payload = 10**9
+        expected = PCIE_GEN3.latency_s + payload / PCIE_GEN3.effective_bandwidth
+        assert link.transfer_time(payload) == pytest.approx(expected)
+
+    def test_efficiency_derates_raw_bandwidth(self):
+        assert PCIE_GEN3.effective_bandwidth < PCIE_GEN3.bandwidth
+
+    def test_nvlink_faster_than_pcie(self):
+        payload = 10**8
+        assert Link(NVLINK).transfer_time(payload) < Link(PCIE_GEN3).transfer_time(
+            payload
+        )
+
+    def test_nmp_link_is_25_gbps(self):
+        """Section V: 'We configure the communication bandwidth between
+        NMP-GPU to be 25 GB/sec'."""
+        assert DEFAULT_NMP_LINK.bandwidth == pytest.approx(25e9)
+
+    def test_scaled_changes_only_bandwidth(self):
+        scaled = DEFAULT_NMP_LINK.scaled(100e9)
+        assert scaled.bandwidth == pytest.approx(100e9)
+        assert scaled.latency_s == DEFAULT_NMP_LINK.latency_s
+        assert scaled.name == DEFAULT_NMP_LINK.name
+
+    def test_rejects_negative_bytes(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            Link(PCIE_GEN3).transfer_time(-1)
+
+    def test_bandwidth_bound_time_excludes_latency(self):
+        link = Link(PCIE_GEN3)
+        payload = 10**6
+        assert link.bandwidth_bound_time(payload) == pytest.approx(
+            payload / PCIE_GEN3.effective_bandwidth
+        )
+        with pytest.raises(ValueError):
+            link.bandwidth_bound_time(-1)
+
+    def test_name_passthrough(self):
+        assert Link(PCIE_GEN3).name == "PCIe gen3 x16"

@@ -1,0 +1,83 @@
+"""Tests for address mapping and pattern-bandwidth measurement."""
+
+import numpy as np
+import pytest
+
+from repro.sim.dram import DDR4_2400, DDR4_3200
+from repro.sim.memsys import (
+    AddressMapping,
+    PatternBandwidth,
+    build_gather_requests,
+    build_sequential_requests,
+)
+
+
+class TestAddressMapping:
+    def test_first_page_is_bank0_row0(self):
+        mapping = AddressMapping(row_bytes=8192, banks=16)
+        assert mapping.locate(0) == (0, 0)
+        assert mapping.locate(8191) == (0, 0)
+
+    def test_pages_interleave_across_banks(self):
+        mapping = AddressMapping(row_bytes=8192, banks=16)
+        assert mapping.locate(8192) == (1, 0)
+        assert mapping.locate(16 * 8192) == (0, 1)
+
+    def test_rejects_negative_address(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            AddressMapping().locate(-1)
+
+
+class TestRequestBuilders:
+    def test_gather_bursts_per_vector(self):
+        mapping = AddressMapping()
+        requests = build_gather_requests(np.array([0, 8192]), 256, mapping)
+        assert len(requests) == 2 * (256 // 64)
+
+    def test_gather_rejects_unaligned_vector(self):
+        with pytest.raises(ValueError, match="multiple"):
+            build_gather_requests(np.array([0]), 100, AddressMapping())
+
+    def test_sequential_covers_all_bytes(self):
+        requests = build_sequential_requests(1024, AddressMapping())
+        assert len(requests) == 16
+
+    def test_sequential_rejects_nonpositive(self):
+        with pytest.raises(ValueError, match="positive"):
+            build_sequential_requests(0, AddressMapping())
+
+    def test_vector_within_one_row(self):
+        mapping = AddressMapping(row_bytes=8192, banks=16)
+        requests = build_gather_requests(np.array([4096]), 256, mapping)
+        rows = {(bank, row) for bank, row, _ in requests}
+        assert len(rows) == 1
+
+
+class TestPatternBandwidth:
+    def test_sequential_efficiency_near_one(self):
+        pb = PatternBandwidth(DDR4_2400)
+        assert pb.efficiency("sequential") > 0.9
+
+    def test_random_gather_less_efficient_than_sequential(self):
+        pb = PatternBandwidth(DDR4_3200, window=4)
+        assert pb.efficiency("random_gather", 256) < pb.efficiency("sequential")
+
+    def test_wider_vectors_amortize_better(self):
+        pb = PatternBandwidth(DDR4_3200, window=4)
+        assert pb.efficiency("random_gather", 64) < pb.efficiency("random_gather", 512)
+
+    def test_results_cached(self):
+        pb = PatternBandwidth(DDR4_2400)
+        first = pb.efficiency("random_gather", 256)
+        assert pb.efficiency("random_gather", 256) == first
+        assert ("random_gather", 256) in pb._cache
+
+    def test_bandwidth_is_efficiency_times_peak(self):
+        pb = PatternBandwidth(DDR4_2400)
+        assert pb.bandwidth("sequential") == pytest.approx(
+            pb.efficiency("sequential") * DDR4_2400.peak_bandwidth
+        )
+
+    def test_unknown_pattern_rejected(self):
+        with pytest.raises(ValueError, match="unknown pattern"):
+            PatternBandwidth(DDR4_2400).efficiency("zigzag")

@@ -1,0 +1,101 @@
+"""Tests for the NMP pool model (Table I / Section IV-C)."""
+
+import pytest
+
+from repro.sim.nmp import NMPPoolModel
+from repro.sim.specs import NMPPoolSpec
+
+N, B, DIM = 1_638_400, 20_480, 64
+
+
+@pytest.fixture(scope="module")
+def pool():
+    return NMPPoolModel()
+
+
+class TestTableI:
+    def test_peak_aggregate_is_819_gbps(self, pool):
+        assert pool.spec.peak_aggregate_bandwidth == pytest.approx(819.2e9, rel=1e-3)
+
+    def test_effective_throughput_in_paper_range(self, pool):
+        """Section V: 'over 600 GB/sec of effective throughput over the
+        maximum 819.2 GB/sec' for gather streams."""
+        effective = pool.effective_aggregate_bandwidth(N, DIM)
+        assert 0.5e11 * 10 < effective < 819.2e9
+        assert effective > 0.55 * pool.spec.peak_aggregate_bandwidth
+
+    def test_with_ranks_scales_peak(self):
+        assert NMPPoolSpec().with_ranks(64).peak_aggregate_bandwidth == pytest.approx(
+            2 * 819.2e9, rel=1e-3
+        )
+
+    def test_with_ranks_rejects_nonpositive(self):
+        with pytest.raises(ValueError, match="positive"):
+            NMPPoolSpec().with_ranks(0)
+
+
+class TestLoadImbalance:
+    def test_factor_at_least_one(self, pool):
+        for n in (1, 100, 10**6):
+            assert pool.load_imbalance(n) >= 1.0
+
+    def test_factor_shrinks_with_volume(self, pool):
+        """Bigger batches balance better - one reason NMP speedups grow."""
+        assert pool.load_imbalance(10**6) < pool.load_imbalance(10**3)
+
+    def test_factor_capped_at_rank_count(self, pool):
+        assert pool.load_imbalance(1) <= pool.spec.ranks
+
+    def test_single_rank_no_imbalance(self):
+        pool = NMPPoolModel(NMPPoolSpec().with_ranks(1))
+        assert pool.load_imbalance(10**4) == 1.0
+
+
+class TestOperationTimes:
+    def test_gather_reduce_much_faster_than_cpu(self, pool):
+        from repro.sim.cpu import CPUModel
+
+        cpu_time = CPUModel().time_gather_reduce(N, B, DIM)
+        nmp_time = pool.time_gather_reduce(N, B, DIM)
+        assert cpu_time / nmp_time > 4.0
+
+    def test_ops_scale_with_rank_count(self):
+        small = NMPPoolModel(NMPPoolSpec().with_ranks(8))
+        large = NMPPoolModel(NMPPoolSpec().with_ranks(32))
+        assert large.time_gather_reduce(N, B, DIM) < small.time_gather_reduce(N, B, DIM)
+
+    def test_zero_work_free(self, pool):
+        assert pool.time_gather_reduce(0, B, DIM) == 0.0
+        assert pool.time_scatter(0, DIM) == 0.0
+        assert pool.time_casted_gather_reduce(0, 0, DIM) == 0.0
+        assert pool.time_stage(0) == 0.0
+
+    def test_dispatch_overhead_floors_tiny_ops(self, pool):
+        assert pool.time_gather_reduce(1, 1, DIM) >= pool.spec.dispatch_overhead_s
+
+    def test_casted_gather_reduce_same_engine_as_forward(self, pool):
+        """The unification claim: the casted backward is a gather-reduce, so
+        with matching geometry it must cost the same as the forward op."""
+        u = 500_000
+        forward = pool.time_gather_reduce(N, u, DIM)
+        backward = pool.time_casted_gather_reduce(N, u, DIM)
+        assert backward == pytest.approx(forward, rel=1e-9)
+
+    def test_scatter_scales_with_unique_rows(self, pool):
+        assert pool.time_scatter(10**6, DIM) > pool.time_scatter(10**5, DIM)
+
+    def test_interleave_grain_trades_efficiency(self):
+        """Finer rank-interleave lowers per-rank access efficiency."""
+        coarse = NMPPoolModel(NMPPoolSpec())  # 128B grain
+        import dataclasses
+
+        fine = NMPPoolModel(dataclasses.replace(NMPPoolSpec(), interleave_bytes=64))
+        assert fine.rank_gather_bandwidth(256) < coarse.rank_gather_bandwidth(256)
+
+    def test_stage_rejects_negative(self, pool):
+        with pytest.raises(ValueError, match="non-negative"):
+            pool.time_stage(-1)
+
+    def test_effective_bandwidth_rejects_nonpositive(self, pool):
+        with pytest.raises(ValueError, match="positive"):
+            pool.effective_aggregate_bandwidth(0, DIM)

@@ -1,0 +1,67 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_every_experiment_is_a_choice(self):
+        parser = build_parser()
+        for name in EXPERIMENTS:
+            args = parser.parse_args([name])
+            assert args.experiment == name
+
+    def test_list_is_a_choice(self):
+        assert build_parser().parse_args(["list"]).experiment == "list"
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_model_and_batch_options(self):
+        args = build_parser().parse_args(
+            ["fig13", "--models", "RM1", "RM2", "--batches", "1024", "2048"]
+        )
+        assert args.models == ["RM1", "RM2"]
+        assert args.batches == [1024, 2048]
+
+    def test_dataset_default(self):
+        assert build_parser().parse_args(["fig6"]).dataset == "random"
+
+
+class TestMain:
+    def test_list_prints_registry(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "819.2" in out
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        assert "RM4" in capsys.readouterr().out
+
+    def test_fig5b(self, capsys):
+        assert main(["fig5b", "--batches", "1024"]) == 0
+        assert "MovieLens" in capsys.readouterr().out
+
+    def test_fig13_restricted_grid(self, capsys):
+        code = main(["fig13", "--models", "RM1", "--batches", "1024"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Ours(NMP)" in out and "RM2" not in out
+
+    def test_fig13_with_dataset(self, capsys):
+        code = main(["fig13", "--models", "RM3", "--batches", "1024",
+                     "--dataset", "movielens"])
+        assert code == 0
+        assert "RM3" in capsys.readouterr().out
+
+    def test_registry_descriptions_reference_paper_artifacts(self):
+        for name, (_, description) in EXPERIMENTS.items():
+            assert "Figure" in description or "Table" in description or "Section" in description

@@ -1,0 +1,77 @@
+"""Documentation contracts: docstrings and examples must actually run."""
+
+import doctest
+import pathlib
+import runpy
+import subprocess
+import sys
+
+import pytest
+
+import repro
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+class TestDoctests:
+    def test_package_quickstart_doctest(self):
+        """The __init__ docstring example is executable and correct."""
+        results = doctest.testmod(repro, verbose=False)
+        assert results.attempted > 0
+        assert results.failed == 0
+
+
+class TestPublicAPI:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.__all__ lists missing {name}"
+
+    def test_subpackage_exports_resolve(self):
+        import repro.core
+        import repro.data
+        import repro.experiments
+        import repro.model
+        import repro.runtime
+        import repro.sim
+
+        for module in (repro.core, repro.data, repro.experiments,
+                       repro.model, repro.runtime, repro.sim):
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module.__name__} missing {name}"
+
+    def test_version_is_set(self):
+        assert repro.__version__
+
+
+class TestExamples:
+    def test_all_examples_exist(self):
+        expected = {
+            "quickstart.py",
+            "train_ctr_model.py",
+            "design_space_exploration.py",
+            "dataset_locality_study.py",
+            "trace_replay.py",
+        }
+        present = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+        assert expected <= present
+
+    def test_examples_compile(self):
+        """Every example parses and byte-compiles."""
+        for path in EXAMPLES_DIR.glob("*.py"):
+            source = path.read_text()
+            compile(source, str(path), "exec")
+
+    def test_quickstart_runs_end_to_end(self, capsys):
+        """The quickstart executes and prints its verification line."""
+        runpy.run_path(str(EXAMPLES_DIR / "quickstart.py"), run_name="__main__")
+        out = capsys.readouterr().out
+        assert "VERIFIED" in out
+        assert "guaranteed >= 2" in out
+
+    @pytest.mark.parametrize("module_name", ["repro", "repro.cli"])
+    def test_module_importable_from_subprocess(self, module_name):
+        """Fresh-interpreter import works (no hidden state requirements)."""
+        subprocess.run(
+            [sys.executable, "-c", f"import {module_name}"],
+            check=True, capture_output=True,
+        )
