@@ -47,6 +47,8 @@ from .core import (
     gradient_expand,
     gradient_scatter,
     hash_casting,
+    make_partition,
+    sharded_exchange_bytes,
     tcasted_grad_gather_reduce,
     tensor_casting,
 )
@@ -69,6 +71,7 @@ from .model import (
     Momentum,
     RMSprop,
     SGD,
+    ShardedEmbeddingSet,
     SparseGradient,
     bce_with_logits,
     get_model,
@@ -78,6 +81,7 @@ from .runtime import (
     CPUOnlySystem,
     FunctionalTrainer,
     NMPSystem,
+    ShardedNMPSystem,
     SystemHardware,
     Timeline,
     WorkloadStats,
@@ -85,6 +89,7 @@ from .runtime import (
     design_points,
 )
 from .sim import (
+    AllToAll,
     CPUModel,
     DDR4_2400,
     DDR4_3200,
@@ -102,6 +107,7 @@ __all__ = [
     "ALL_MODELS",
     "Adagrad",
     "Adam",
+    "AllToAll",
     "CPUGPUSystem",
     "CPUModel",
     "CPUOnlySystem",
@@ -124,6 +130,8 @@ __all__ = [
     "NMPSystem",
     "RMSprop",
     "SGD",
+    "ShardedEmbeddingSet",
+    "ShardedNMPSystem",
     "SparseGradient",
     "SyntheticCTRStream",
     "SystemHardware",
@@ -147,6 +155,8 @@ __all__ = [
     "gradient_expand",
     "gradient_scatter",
     "hash_casting",
+    "make_partition",
+    "sharded_exchange_bytes",
     "tcasted_grad_gather_reduce",
     "tensor_casting",
     "__version__",

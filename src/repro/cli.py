@@ -38,10 +38,13 @@ from .experiments import (
     format_fig14,
     format_fig15,
     format_link_sweep,
+    format_scaling,
     format_sensitivity,
     format_table1,
     format_table2,
     link_bandwidth_sweep,
+    SCALING_SHARDS,
+    scaling_sweep,
 )
 from .model.configs import ALL_MODELS, get_model
 from .runtime.systems import SystemHardware
@@ -138,6 +141,16 @@ def _run_link(args, hardware) -> str:
     )
 
 
+def _run_scaling(args, hardware) -> str:
+    batches = args.batches or (4096,)
+    shard_counts = args.shards or SCALING_SHARDS
+    return format_scaling(
+        scaling_sweep(models=_models_from(args), batches=batches,
+                      shard_counts=shard_counts, dataset=args.dataset,
+                      hardware=hardware)
+    )
+
+
 #: Experiment registry: name -> (runner, description).
 EXPERIMENTS: Dict[str, tuple[Callable, str]] = {
     "table1": (_run_table1, "Table I - disaggregated memory configuration"),
@@ -153,6 +166,8 @@ EXPERIMENTS: Dict[str, tuple[Callable, str]] = {
     "fig16": (_run_fig16, "Figure 16 - batch-size sensitivity"),
     "fig17": (_run_fig17, "Figure 17 - embedding-dimension sensitivity"),
     "link": (_run_link, "Section VI-D - link-bandwidth sweep"),
+    "scaling": (_run_scaling, "Beyond the paper - Section IV runtime sharded "
+                              "across N devices (speedup + traffic)"),
 }
 
 
@@ -179,6 +194,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--dataset", default="random",
         help="locality profile: random, amazon, movielens, alibaba, criteo",
+    )
+    parser.add_argument(
+        "--shards", nargs="*", type=int, default=None, metavar="N",
+        help="shard counts for the scaling sweep "
+             f"(default: {' '.join(str(s) for s in SCALING_SHARDS)})",
     )
     return parser
 

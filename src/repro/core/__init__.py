@@ -30,6 +30,16 @@ from .gather_reduce import (
 )
 from .indexing import IndexArray, concatenate
 from .scatter import gradient_scatter, gradient_scatter_reference, scatter_with_optimizer
+from .sharding import (
+    PARTITION_POLICIES,
+    RowWisePartition,
+    ShardPartition,
+    ShardSlice,
+    TableWisePartition,
+    make_partition,
+    reassemble_pooled,
+    split_index,
+)
 from .traffic import (
     OPTIMIZER_STATE_SLOTS,
     Traffic,
@@ -40,14 +50,21 @@ from .traffic import (
     coalesce_sort_traffic,
     expand_coalesce_traffic,
     expand_traffic,
+    expected_shard_outputs,
     gather_reduce_traffic,
     scatter_traffic,
+    sharded_exchange_bytes,
 )
 
 __all__ = [
     "CastedIndex",
     "IndexArray",
     "OPTIMIZER_STATE_SLOTS",
+    "PARTITION_POLICIES",
+    "RowWisePartition",
+    "ShardPartition",
+    "ShardSlice",
+    "TableWisePartition",
     "Traffic",
     "casted_gather_reduce",
     "casted_gather_reduce_traffic",
@@ -59,6 +76,7 @@ __all__ = [
     "expand_coalesce",
     "expand_coalesce_traffic",
     "expand_traffic",
+    "expected_shard_outputs",
     "gather_reduce",
     "gather_reduce_reference",
     "gather_reduce_traffic",
@@ -68,8 +86,12 @@ __all__ = [
     "gradient_scatter",
     "gradient_scatter_reference",
     "hash_casting",
+    "make_partition",
+    "reassemble_pooled",
     "scatter_traffic",
     "scatter_with_optimizer",
+    "sharded_exchange_bytes",
+    "split_index",
     "tcasted_grad_gather_reduce",
     "tensor_casting",
     "tensor_casting_reference",

@@ -1,0 +1,272 @@
+"""Partitioning embedding tables and index arrays across logical devices.
+
+Production recommendation training shards its embedding tables
+*model-parallel* across devices — the tables are far too large for any one
+memory pool (Section I's capacity wall) — and pays an all-to-all exchange to
+route pooled vectors and gradients between the table owners and the sample
+owners.  This module supplies the index-level machinery for that regime:
+
+* :class:`RowWisePartition` — rows of every table are striped across shards
+  (row ``r`` lives on shard ``r % N``), the load-balanced default;
+* :class:`TableWisePartition` — whole tables are assigned round-robin to
+  shards, the placement DLRM-style systems use when tables are many and
+  small;
+* :func:`split_index` / :meth:`ShardPartition.split` — carve one mini-batch
+  :class:`~repro.core.indexing.IndexArray` into per-shard sub-arrays whose
+  ``src`` ids are shard-local rows and whose ``dst`` ids are compacted to the
+  output slots that shard actually touches.
+
+The compaction is the point of contact with Tensor Casting: each sub-array is
+a self-contained ``(src, dst)`` index array, so each shard runs Algorithm 2
+*independently* on its slice, and the resulting casted index arrays name only
+the gradient-table rows the shard needs — which is exactly the compact
+payload the backward all-to-all ships (see
+:func:`repro.core.traffic.sharded_exchange_bytes` for the analytic byte
+count and :class:`repro.sim.interconnect.AllToAll` for its latency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .indexing import IndexArray
+
+__all__ = [
+    "ShardSlice",
+    "ShardPartition",
+    "RowWisePartition",
+    "TableWisePartition",
+    "PARTITION_POLICIES",
+    "make_partition",
+    "split_index",
+    "reassemble_pooled",
+]
+
+
+@dataclass(frozen=True)
+class ShardSlice:
+    """One shard's view of a mini-batch index array.
+
+    Attributes
+    ----------
+    shard:
+        Owning shard id.
+    index:
+        Shard-local :class:`IndexArray`: ``src`` values are rows *within the
+        shard's table slice*, ``dst`` values are positions into ``touched``.
+    touched:
+        Ascending global output slots (gradient-table rows) this shard's
+        lookups feed.  These are the rows the backward all-to-all must
+        deliver to the shard, and the rows whose forward partial sums the
+        shard ships back to the sample owners.
+    positions:
+        Positions of this slice's lookups in the original flat index array
+        (ascending), kept so exchanges and tests can reassemble losslessly.
+    """
+
+    shard: int
+    index: IndexArray
+    touched: np.ndarray
+    positions: np.ndarray
+
+    @property
+    def num_lookups(self) -> int:
+        """Lookups routed to this shard."""
+        return self.index.num_lookups
+
+    @property
+    def num_touched(self) -> int:
+        """Distinct global output slots the shard participates in."""
+        return int(self.touched.size)
+
+
+class ShardPartition:
+    """Base class: a placement of table rows onto ``num_shards`` devices."""
+
+    policy = "abstract"
+
+    def __init__(self, num_shards: int) -> None:
+        if num_shards <= 0:
+            raise ValueError(f"num_shards must be positive, got {num_shards}")
+        self.num_shards = int(num_shards)
+
+    # -- row placement --------------------------------------------------
+    def owner_of_rows(self, table_id: int, rows: np.ndarray) -> np.ndarray:
+        """Owning shard of each global row id of ``table_id``."""
+        raise NotImplementedError
+
+    def local_rows(self, table_id: int, rows: np.ndarray) -> np.ndarray:
+        """Shard-local row id of each global row id of ``table_id``."""
+        raise NotImplementedError
+
+    def shard_num_rows(self, table_id: int, num_rows: int, shard: int) -> int:
+        """Height of ``table_id``'s slice held by ``shard``."""
+        raise NotImplementedError
+
+    def shard_view(self, table: np.ndarray, table_id: int, shard: int):
+        """NumPy *view* of the rows of ``table`` that ``shard`` owns.
+
+        Views (not copies) are deliberate: the sharded runtime scatters
+        updates through them straight into the underlying model table, so a
+        sharded trainer and an unsharded trainer mutate the same storage.
+        Returns ``None`` when the shard holds no rows of this table.
+        """
+        raise NotImplementedError
+
+    # -- index splitting -------------------------------------------------
+    def split(self, index: IndexArray, table_id: int) -> List[Optional[ShardSlice]]:
+        """Split one table's mini-batch index array by owning shard.
+
+        Returns a length-``num_shards`` list; entries are ``None`` for shards
+        that receive no lookups of this table in this batch (an *empty
+        shard*, which the runtime must tolerate — skew or table-wise
+        placement make it routine).
+        """
+        owners = self.owner_of_rows(table_id, index.src)
+        slices: List[Optional[ShardSlice]] = []
+        for shard in range(self.num_shards):
+            positions = np.flatnonzero(owners == shard)
+            if positions.size == 0:
+                slices.append(None)
+                continue
+            src_local = self.local_rows(table_id, index.src[positions])
+            dst_global = index.dst[positions]
+            touched = np.unique(dst_global)
+            dst_local = np.searchsorted(touched, dst_global)
+            local = IndexArray(
+                src_local,
+                dst_local,
+                num_rows=self.shard_num_rows(table_id, index.num_rows, shard),
+                num_outputs=int(touched.size),
+            )
+            slices.append(
+                ShardSlice(
+                    shard=shard,
+                    index=local,
+                    touched=touched,
+                    positions=positions,
+                )
+            )
+        return slices
+
+
+class RowWisePartition(ShardPartition):
+    """Stripe each table's rows across shards: row ``r`` on shard ``r % N``.
+
+    The modulo striping keeps popular rows spread out even under power-law
+    popularity (consecutive ids tend to have correlated popularity in real
+    catalogs), the same motivation as TensorDIMM's address interleaving —
+    here applied at device rather than rank granularity.
+    """
+
+    policy = "row"
+
+    def owner_of_rows(self, table_id: int, rows: np.ndarray) -> np.ndarray:
+        return np.asarray(rows) % self.num_shards
+
+    def local_rows(self, table_id: int, rows: np.ndarray) -> np.ndarray:
+        return np.asarray(rows) // self.num_shards
+
+    def shard_num_rows(self, table_id: int, num_rows: int, shard: int) -> int:
+        if shard >= num_rows:
+            return 0
+        return (num_rows - shard - 1) // self.num_shards + 1
+
+    def shard_view(self, table: np.ndarray, table_id: int, shard: int):
+        if shard >= table.shape[0]:
+            return None
+        return table[shard :: self.num_shards]
+
+
+class TableWisePartition(ShardPartition):
+    """Assign whole tables round-robin: table ``t`` on shard ``t % N``.
+
+    Lookups never split within a table, so per-shard index arrays are exactly
+    the original per-table arrays — the cheapest exchange bookkeeping — at
+    the cost of load imbalance when tables differ in size or traffic.
+    """
+
+    policy = "table"
+
+    def owner_of_table(self, table_id: int) -> int:
+        """The single shard holding all of ``table_id``."""
+        if table_id < 0:
+            raise ValueError(f"table_id must be non-negative, got {table_id}")
+        return table_id % self.num_shards
+
+    def owner_of_rows(self, table_id: int, rows: np.ndarray) -> np.ndarray:
+        owner = self.owner_of_table(table_id)
+        return np.full(np.asarray(rows).shape, owner, dtype=np.int64)
+
+    def local_rows(self, table_id: int, rows: np.ndarray) -> np.ndarray:
+        return np.asarray(rows)
+
+    def shard_num_rows(self, table_id: int, num_rows: int, shard: int) -> int:
+        return num_rows if shard == self.owner_of_table(table_id) else 0
+
+    def shard_view(self, table: np.ndarray, table_id: int, shard: int):
+        if shard != self.owner_of_table(table_id):
+            return None
+        return table[:]
+
+
+#: Registered partition policies, keyed by CLI/trainer spelling.
+PARTITION_POLICIES = {
+    "row": RowWisePartition,
+    "table": TableWisePartition,
+}
+
+
+def make_partition(policy: str, num_shards: int) -> ShardPartition:
+    """Instantiate a partition by policy name (``"row"`` or ``"table"``)."""
+    try:
+        cls = PARTITION_POLICIES[policy]
+    except KeyError:
+        raise ValueError(
+            f"unknown partition policy {policy!r}; expected one of "
+            f"{sorted(PARTITION_POLICIES)}"
+        ) from None
+    return cls(num_shards)
+
+
+def split_index(
+    index: IndexArray, table_id: int, partition: ShardPartition
+) -> List[Optional[ShardSlice]]:
+    """Functional spelling of :meth:`ShardPartition.split`."""
+    return partition.split(index, table_id)
+
+
+def reassemble_pooled(
+    slices: Sequence[Optional[ShardSlice]],
+    partials: Sequence[Optional[np.ndarray]],
+    num_outputs: int,
+    dim: int,
+    dtype=None,
+) -> np.ndarray:
+    """Sum per-shard partial pooled outputs back into one ``(B, dim)`` tensor.
+
+    This is the *functional* forward all-to-all: shard ``s`` computed partial
+    sums for its ``touched`` output slots; the sample owner adds the partials
+    of every shard that participated.  When exactly one shard covers every
+    output slot in order (the 1-shard configuration, or a table owned whole),
+    its partial is returned as-is so the sharded path stays bit-identical to
+    the unsharded kernel.
+    """
+    live = [
+        (s, p) for s, p in zip(slices, partials) if s is not None and p is not None
+    ]
+    if len(live) == 1:
+        slice_, partial = live[0]
+        if slice_.num_touched == num_outputs:
+            # touched is ascending-unique over [0, num_outputs) and covers it,
+            # so it is exactly arange(num_outputs): the partial IS the answer.
+            return partial
+    if dtype is None:
+        dtype = live[0][1].dtype if live else np.float64
+    pooled = np.zeros((num_outputs, dim), dtype=dtype)
+    for slice_, partial in live:
+        pooled[slice_.touched] += partial
+    return pooled

@@ -65,6 +65,8 @@ __all__ = [
     "casting_traffic",
     "casted_gather_reduce_traffic",
     "casting_reduction_factor",
+    "expected_shard_outputs",
+    "sharded_exchange_bytes",
     "OPTIMIZER_STATE_SLOTS",
 ]
 
@@ -252,3 +254,81 @@ def casting_reduction_factor(
     baseline = (num_outputs + 4 * n) * vec
     casted = (n + u) * vec
     return baseline / casted
+
+
+def expected_shard_outputs(
+    n: int,
+    num_outputs: int,
+    num_shards: int,
+    policy: str = "row",
+    num_tables: int | None = None,
+) -> float:
+    """Expected distinct gradient-table slots one shard touches per batch.
+
+    In the sharded runtime a shard only needs the gradient rows of output
+    slots its lookups feed, so this is the per-device gradient payload of the
+    backward all-to-all (in rows) and likewise the per-device partial-sum
+    payload of the forward exchange.
+
+    * ``policy="row"`` — rows stripe uniformly across ``N`` shards, so an
+      output slot with ``L = n / num_outputs`` lookups misses a given shard
+      with probability ``(1 - 1/N)^L``; the expectation is
+      ``num_outputs * (1 - (1 - 1/N)^L)``.
+    * ``policy="table"`` — whole tables live on one shard and every output
+      slot belongs to exactly one table, so each shard owns its tables'
+      slots outright: ``num_outputs / N``.  Table-wise placement cannot
+      engage more shards than tables; pass ``num_tables`` to clamp ``N``
+      accordingly (a busy shard must ingest at least one table's slots).
+
+    Both expressions are monotonically non-increasing in ``num_shards`` and
+    equal ``num_outputs`` at ``N = 1`` (the whole gradient table, matching
+    the unsharded staging transfer).
+    """
+    if n < 0 or num_outputs <= 0:
+        raise ValueError("n must be non-negative and num_outputs positive")
+    if num_shards <= 0:
+        raise ValueError(f"num_shards must be positive, got {num_shards}")
+    if policy == "table":
+        if num_tables is not None:
+            num_shards = min(num_shards, num_tables)
+        return num_outputs / num_shards
+    if policy != "row":
+        raise ValueError(f"unknown partition policy {policy!r}")
+    if num_shards == 1:
+        return float(num_outputs)
+    lookups_per_output = n / num_outputs
+    miss = (1.0 - 1.0 / num_shards) ** lookups_per_output
+    return num_outputs * (1.0 - miss)
+
+
+def sharded_exchange_bytes(
+    n: int,
+    num_outputs: int,
+    dim: int,
+    itemsize: int = 4,
+    index_itemsize: int = 8,
+    num_shards: int = 1,
+    policy: str = "row",
+    num_tables: int | None = None,
+) -> int:
+    """Per-device gradient-exchange bytes of one sharded backward pass.
+
+    Each shard ingests (a) the gradient-table rows its casted index arrays
+    name — :func:`expected_shard_outputs` rows of ``dim * itemsize`` bytes —
+    and (b) its slice of the casted ``(src, dst)`` pair array, ``n /
+    num_shards`` pairs.  This is what Tensor Casting buys in the multi-device
+    regime: the baseline expand-coalesce would ship the ``n``-row *expanded*
+    gradient tensor instead, which no amount of sharding compacts.
+
+    The count is per *device* (what one shard's memory system must absorb),
+    not per wire — at ``N = 1`` it equals the full gradient table plus pair
+    array, and it is monotonically non-increasing as ``num_shards`` grows on
+    a uniform trace.  ``num_tables`` clamps table-wise placement the same
+    way as in :func:`expected_shard_outputs`.
+    """
+    if policy == "table" and num_tables is not None:
+        num_shards = min(num_shards, num_tables)
+    vec = _vec_bytes(dim, itemsize)
+    rows = expected_shard_outputs(n, num_outputs, num_shards, policy)
+    pair_bytes = 2 * (n / num_shards) * index_itemsize
+    return int(round(rows * vec + pair_bytes))

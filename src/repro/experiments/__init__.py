@@ -23,6 +23,7 @@ from .gradient_size import (
 )
 from .plotting import bar_chart, series_chart, stacked_bar_chart
 from .report import format_table, normalize
+from .scaling import SCALING_SHARDS, ScalingRow, format_scaling, scaling_sweep
 from .sensitivity import (
     LinkSweepRow,
     SensitivityRow,
@@ -43,6 +44,8 @@ __all__ = [
     "GradientSizeRow",
     "LinkSweepRow",
     "ProbabilityPoint",
+    "SCALING_SHARDS",
+    "ScalingRow",
     "SensitivityRow",
     "SpeedupRow",
     "TrafficRow",
@@ -68,12 +71,14 @@ __all__ = [
     "format_fig5b",
     "format_fig6",
     "format_link_sweep",
+    "format_scaling",
     "format_sensitivity",
     "format_table",
     "format_table1",
     "format_table2",
     "link_bandwidth_sweep",
     "normalize",
+    "scaling_sweep",
     "series_chart",
     "stacked_bar_chart",
     "speedup_summary",

@@ -14,6 +14,7 @@ from .interaction import CatInteraction, DotInteraction, interaction_output_dim
 from .layers import MLP, Linear, ReLU, Sigmoid
 from .loss import bce_with_logits, sigmoid
 from .optim import SGD, Adagrad, Adam, Momentum, Optimizer, RMSprop
+from .sharded import ShardedEmbeddingSet, ShardedStepPlan
 
 __all__ = [
     "ALL_MODELS",
@@ -35,6 +36,8 @@ __all__ = [
     "RM4",
     "RMSprop",
     "SGD",
+    "ShardedEmbeddingSet",
+    "ShardedStepPlan",
     "Sigmoid",
     "SparseGradient",
     "StepStats",

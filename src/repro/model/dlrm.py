@@ -113,11 +113,23 @@ class DLRM:
                     f"index array {table_id} pools into {index.num_outputs} outputs, "
                     f"batch is {batch}"
                 )
-        dense_out = self.bottom_mlp.forward(dense)
         emb_outs = [
             bag.forward(index) for bag, index in zip(self.embeddings, indices)
         ]
-        interacted = self.interaction.forward(dense_out, emb_outs)
+        return self.forward_from_pooled(dense, emb_outs)
+
+    def forward_from_pooled(
+        self, dense: np.ndarray, emb_outs: Sequence[np.ndarray]
+    ) -> np.ndarray:
+        """Dense half of the forward pass, given already-pooled embeddings.
+
+        Split out so alternative embedding executors — notably the sharded
+        runtime, whose pooled vectors arrive through a simulated all-to-all
+        (:mod:`repro.model.sharded`) — can reuse the MLP/interaction stack
+        unchanged.
+        """
+        dense_out = self.bottom_mlp.forward(dense)
+        interacted = self.interaction.forward(dense_out, list(emb_outs))
         logits = self.top_mlp.forward(interacted)
         return logits[:, 0]
 
@@ -153,14 +165,25 @@ class DLRM:
             raise ValueError(
                 f"expected {len(self.embeddings)} casts, got {len(casts)}"
             )
-        dtop = self.top_mlp.backward(dlogits[:, None])
-        ddense_out, demb_outs = self.interaction.backward(dtop)
-        self.bottom_mlp.backward(ddense_out)
+        demb_outs = self.backward_through_dense(dlogits)
         sparse_grads: List[SparseGradient] = []
         for table_id, (bag, demb) in enumerate(zip(self.embeddings, demb_outs)):
             cast = casts[table_id] if casts is not None else None
             sparse_grads.append(bag.backward(demb, mode=mode, cast=cast))
         return sparse_grads
+
+    def backward_through_dense(self, dlogits: np.ndarray) -> List[np.ndarray]:
+        """Dense half of the backward pass: MLPs and interaction only.
+
+        Returns the per-table ``(B, dim)`` gradients w.r.t. the pooled
+        embedding outputs — the gradient tables that either the in-process
+        embedding bags or a sharded executor coalesce and scatter.  Dense
+        parameter gradients accumulate inside the MLP layers as usual.
+        """
+        dtop = self.top_mlp.backward(dlogits[:, None])
+        ddense_out, demb_outs = self.interaction.backward(dtop)
+        self.bottom_mlp.backward(ddense_out)
+        return demb_outs
 
     # ------------------------------------------------------------------
     # Training

@@ -27,9 +27,24 @@ from ..core.gather_reduce import casted_gather_reduce, gather_reduce
 from ..core.indexing import IndexArray
 from ..core.scatter import scatter_with_optimizer
 
-__all__ = ["SparseGradient", "EmbeddingBag"]
+__all__ = ["SparseGradient", "EmbeddingBag", "inverse_lookup_counts"]
 
 _BACKWARD_MODES = ("baseline", "casted")
+
+
+def inverse_lookup_counts(index: IndexArray, dtype) -> np.ndarray:
+    """Per-output ``1 / lookup_count`` with empty bags mapped to zero.
+
+    The mean-pooling scale factor, applied identically in the forward pass
+    (to the pooled sums) and the backward pass (to the gradient table) by
+    both the unsharded :class:`EmbeddingBag` and the sharded executor — one
+    definition so the two paths cannot drift.
+    """
+    counts = index.lookups_per_output().astype(dtype)
+    inverse = np.zeros_like(counts)
+    occupied = counts > 0
+    inverse[occupied] = 1.0 / counts[occupied]
+    return inverse
 
 
 @dataclass(frozen=True)
@@ -126,10 +141,7 @@ class EmbeddingBag:
         self._last_index = index
         pooled = gather_reduce(self.table, index)
         if self.pooling == "mean":
-            counts = index.lookups_per_output().astype(self.table.dtype)
-            inverse = np.zeros_like(counts)
-            occupied = counts > 0
-            inverse[occupied] = 1.0 / counts[occupied]
+            inverse = inverse_lookup_counts(index, self.table.dtype)
             self._last_inverse_counts = inverse
             pooled = pooled * inverse[:, None]
         else:

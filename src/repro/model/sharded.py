@@ -1,0 +1,317 @@
+"""Model-parallel embedding execution across ``N`` logical devices.
+
+:class:`ShardedEmbeddingSet` is the multi-device counterpart of a list of
+:class:`~repro.model.embedding.EmbeddingBag` layers: the same tables, striped
+across shards by a :mod:`repro.core.sharding` policy, with each training
+phase executed shard by shard the way ``N`` real devices would execute it in
+parallel:
+
+1. **Split** — each table's mini-batch index array is carved into per-shard
+   sub-arrays (`plan_batch`);
+2. **Cast** — each shard runs Tensor Casting *independently* on its
+   sub-arrays (`cast_shard`), producing casted index arrays that name only
+   the gradient rows that shard needs;
+3. **Forward** — each shard gather-reduces its local table slice
+   (`forward_shard`), and the partial pooled sums cross the simulated
+   all-to-all back to the sample owners (`assemble_pooled`);
+4. **Backward** — the backward all-to-all delivers each shard its slice of
+   the gradient tables, over which the shard runs the casted gradient
+   gather-reduce (`backward_shard`);
+5. **Update** — each shard scatters its coalesced gradients into its table
+   slice through the optimizer (`update_shard`).
+
+Shard tables are NumPy *views* of the wrapped bags' tables, so a sharded
+trainer updates the very same parameters an unsharded one would — and with
+``num_shards=1`` every phase degenerates to the unsharded kernels,
+bit-for-bit (the equivalence the test suite pins down).  Exchange payloads
+are counted in bytes as they are "moved" — the functional analogue of the
+analytic :func:`repro.core.traffic.sharded_exchange_bytes` model, with one
+deliberate difference: index pairs are charged at this runtime's in-memory
+``int64`` width (8 bytes per id), whereas the analytic model charges the
+DLRM ``int32`` wire format (``WorkloadStats.index_itemsize``), so the two
+pair terms differ by exactly 2x.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..core.casting import CastedIndex, tensor_casting
+from ..core.gather_reduce import casted_gather_reduce, gather_reduce
+from ..core.indexing import IndexArray
+from ..core.scatter import scatter_with_optimizer
+from ..core.sharding import ShardPartition, ShardSlice, make_partition, reassemble_pooled
+from .embedding import EmbeddingBag, inverse_lookup_counts
+
+__all__ = ["ShardedStepPlan", "ShardedEmbeddingSet"]
+
+_INDEX_ITEMSIZE = 8  # int64 ids, both halves of a (src, dst) pair
+
+
+@dataclass
+class ShardedStepPlan:
+    """Per-batch working state of one sharded embedding pass.
+
+    Everything is indexed ``[table][shard]``; ``None`` marks a shard that
+    received no lookups of that table (an empty shard).  Byte counters
+    accumulate the simulated all-to-all payloads of this batch.
+    """
+
+    indices: List[IndexArray]
+    slices: List[List[Optional[ShardSlice]]]
+    casts: List[List[Optional[CastedIndex]]] = field(default_factory=list)
+    partials: List[List[Optional[np.ndarray]]] = field(default_factory=list)
+    inverse_counts: Optional[List[Optional[np.ndarray]]] = None
+    scaled_grads: Optional[List[np.ndarray]] = None
+    #: The gradient tables prepare_backward staged from, held by reference
+    #: so the identity check in backward_shard stays sound (bare id()s could
+    #: be recycled once a caller drops the originals).
+    staged_grads: Optional[List[np.ndarray]] = None
+    forward_exchange_bytes: int = 0
+    backward_exchange_bytes: int = 0
+
+    @property
+    def exchange_bytes(self) -> int:
+        """Total simulated all-to-all payload of the step (both directions)."""
+        return self.forward_exchange_bytes + self.backward_exchange_bytes
+
+
+class ShardedEmbeddingSet:
+    """A set of embedding tables partitioned across ``num_shards`` devices.
+
+    Parameters
+    ----------
+    bags:
+        The embedding layers to shard.  Their tables are *not* copied —
+        shards hold views — so the wrapping :class:`~repro.model.dlrm.DLRM`
+        remains the single source of truth for parameters.
+    num_shards:
+        Logical device count ``N``.
+    policy:
+        ``"row"`` (stripe rows) or ``"table"`` (whole tables round-robin);
+        see :mod:`repro.core.sharding`.
+    """
+
+    def __init__(
+        self,
+        bags: Sequence[EmbeddingBag],
+        num_shards: int,
+        policy: str = "row",
+    ) -> None:
+        if not bags:
+            raise ValueError("need at least one embedding bag to shard")
+        self.bags = list(bags)
+        self.partition: ShardPartition = make_partition(policy, num_shards)
+        self.views: List[List[Optional[np.ndarray]]] = [
+            [
+                self.partition.shard_view(bag.table, table_id, shard)
+                for shard in range(num_shards)
+            ]
+            for table_id, bag in enumerate(self.bags)
+        ]
+
+    @property
+    def num_shards(self) -> int:
+        return self.partition.num_shards
+
+    @property
+    def num_tables(self) -> int:
+        return len(self.bags)
+
+    @property
+    def policy(self) -> str:
+        return self.partition.policy
+
+    def shard_row_counts(self, shard: int) -> List[int]:
+        """Rows of each table resident on ``shard`` (0 for unowned tables)."""
+        return [
+            self.partition.shard_num_rows(t, bag.num_rows, shard)
+            for t, bag in enumerate(self.bags)
+        ]
+
+    # ------------------------------------------------------------------
+    # Phase 1: split
+    # ------------------------------------------------------------------
+    def plan_batch(self, indices: Sequence[IndexArray]) -> ShardedStepPlan:
+        """Split every table's index array by owning shard."""
+        if len(indices) != self.num_tables:
+            raise ValueError(
+                f"expected {self.num_tables} index arrays, got {len(indices)}"
+            )
+        slices = [
+            self.partition.split(index, table_id)
+            for table_id, index in enumerate(indices)
+        ]
+        num_shards = self.num_shards
+        plan = ShardedStepPlan(
+            indices=list(indices),
+            slices=slices,
+            casts=[[None] * num_shards for _ in range(self.num_tables)],
+            partials=[[None] * num_shards for _ in range(self.num_tables)],
+        )
+        return plan
+
+    # ------------------------------------------------------------------
+    # Phase 2: per-shard Tensor Casting
+    # ------------------------------------------------------------------
+    def cast_shard(self, plan: ShardedStepPlan, shard: int) -> None:
+        """Run Algorithm 2 on every sub-array routed to ``shard``.
+
+        Each shard casts only its own slice, so cast work parallelizes with
+        shard count and — as in the single-device runtime — depends only on
+        index data available before forward propagation.
+        """
+        for table_id in range(self.num_tables):
+            slice_ = plan.slices[table_id][shard]
+            if slice_ is not None:
+                plan.casts[table_id][shard] = tensor_casting(slice_.index)
+
+    # ------------------------------------------------------------------
+    # Phase 3: forward
+    # ------------------------------------------------------------------
+    def forward_shard(self, plan: ShardedStepPlan, shard: int) -> None:
+        """Gather-reduce ``shard``'s local lookups into partial pooled sums."""
+        for table_id in range(self.num_tables):
+            slice_ = plan.slices[table_id][shard]
+            if slice_ is None:
+                continue
+            view = self.views[table_id][shard]
+            plan.partials[table_id][shard] = gather_reduce(view, slice_.index)
+
+    def assemble_pooled(self, plan: ShardedStepPlan) -> List[np.ndarray]:
+        """Forward all-to-all: ship partials to sample owners and sum them.
+
+        Returns one ``(B, dim)`` pooled tensor per table — the tensors
+        :meth:`repro.model.dlrm.DLRM.forward_from_pooled` consumes.  Mean
+        pooling applies the full-batch lookup counts *after* the exchange, so
+        both partition policies and the unsharded path see identical scaling.
+        """
+        pooled_outputs: List[np.ndarray] = []
+        plan.inverse_counts = [None] * self.num_tables
+        for table_id, bag in enumerate(self.bags):
+            index = plan.indices[table_id]
+            row = plan.slices[table_id]
+            pooled = reassemble_pooled(
+                row,
+                plan.partials[table_id],
+                num_outputs=index.num_outputs,
+                dim=bag.dim,
+                dtype=bag.table.dtype,
+            )
+            vec_bytes = bag.dim * bag.table.dtype.itemsize
+            plan.forward_exchange_bytes += sum(
+                s.num_touched * vec_bytes for s in row if s is not None
+            )
+            if bag.pooling == "mean":
+                # Cached on the plan for the backward rescale, mirroring the
+                # unsharded bag's _last_inverse_counts.
+                inverse = inverse_lookup_counts(index, bag.table.dtype)
+                plan.inverse_counts[table_id] = inverse
+                pooled = pooled * inverse[:, None]
+            pooled_outputs.append(pooled)
+        return pooled_outputs
+
+    # ------------------------------------------------------------------
+    # Phase 4: backward
+    # ------------------------------------------------------------------
+    def prepare_backward(
+        self, plan: ShardedStepPlan, grad_tables: Sequence[np.ndarray]
+    ) -> None:
+        """Stage the gradient tables for the per-shard backward passes.
+
+        Applies the mean-pooling rescale once per step on the full tables
+        (shards then slice the shared result, not once per shard).  Called
+        by the trainer outside the per-shard timing windows so the one-time
+        work is not charged to whichever shard happens to run first;
+        :meth:`backward_shard` falls back to it lazily for direct API use.
+        """
+        if len(grad_tables) != self.num_tables:
+            raise ValueError(
+                f"expected {self.num_tables} gradient tables, got {len(grad_tables)}"
+            )
+        scaled: List[np.ndarray] = []
+        for table_id, (bag, grad) in enumerate(zip(self.bags, grad_tables)):
+            grad = np.asarray(grad)
+            if bag.pooling == "mean":
+                inverse = None
+                if plan.inverse_counts is not None:
+                    inverse = plan.inverse_counts[table_id]
+                if inverse is None:
+                    inverse = inverse_lookup_counts(
+                        plan.indices[table_id], bag.table.dtype
+                    )
+                grad = grad * inverse[:, None]
+            scaled.append(grad)
+        plan.scaled_grads = scaled
+        plan.staged_grads = list(grad_tables)
+
+    def backward_shard(
+        self,
+        plan: ShardedStepPlan,
+        shard: int,
+        grad_tables: Sequence[np.ndarray],
+    ) -> List[tuple[int, np.ndarray, np.ndarray]]:
+        """Casted gradient gather-reduce over ``shard``'s gradient slices.
+
+        The backward all-to-all delivers ``grad_tables[t][touched]`` — only
+        the gradient rows the shard's casted index arrays name — plus the
+        casted pairs themselves; both payloads are accounted into
+        ``plan.backward_exchange_bytes``.  Returns ``(table_id, local_rows,
+        values)`` triples ready for :meth:`update_shard`.
+        """
+        if plan.scaled_grads is None:
+            self.prepare_backward(plan, grad_tables)
+        elif plan.staged_grads is None or len(plan.staged_grads) != len(
+            grad_tables
+        ) or any(
+            staged is not grad
+            for staged, grad in zip(plan.staged_grads, grad_tables)
+        ):
+            raise ValueError(
+                "gradient tables differ from the ones staged by "
+                "prepare_backward; re-stage before running backward_shard"
+            )
+        coalesced: List[tuple[int, np.ndarray, np.ndarray]] = []
+        for table_id, bag in enumerate(self.bags):
+            slice_ = plan.slices[table_id][shard]
+            cast = plan.casts[table_id][shard]
+            if slice_ is None:
+                continue
+            if cast is None:
+                cast = tensor_casting(slice_.index)
+                plan.casts[table_id][shard] = cast
+            grad_slice = plan.scaled_grads[table_id][slice_.touched]
+            vec_bytes = bag.dim * grad_slice.dtype.itemsize
+            plan.backward_exchange_bytes += (
+                slice_.num_touched * vec_bytes
+                + 2 * slice_.num_lookups * _INDEX_ITEMSIZE
+            )
+            rows, values = casted_gather_reduce(grad_slice, cast)
+            coalesced.append((table_id, rows, values))
+        return coalesced
+
+    # ------------------------------------------------------------------
+    # Phase 5: update
+    # ------------------------------------------------------------------
+    def update_shard(
+        self,
+        shard: int,
+        coalesced: Sequence[tuple[int, np.ndarray, np.ndarray]],
+        optimizer,
+    ) -> None:
+        """Scatter coalesced gradients into ``shard``'s table views.
+
+        The rows are shard-local, so the scatter needs no communication —
+        each device updates (and keeps optimizer state for) exactly the rows
+        it owns.
+        """
+        for table_id, rows, values in coalesced:
+            view = self.views[table_id][shard]
+            if view is None:
+                raise ValueError(
+                    f"shard {shard} holds no rows of table {table_id}"
+                )
+            scatter_with_optimizer(view, rows, values, optimizer)

@@ -19,8 +19,10 @@ from .systems import (
     OP_BWD_TCAST,
     OP_CAST_XFER,
     OP_CASTING,
+    OP_EXCHANGE,
     OP_FWD_DNN,
     OP_FWD_GATHER,
+    ShardedNMPSystem,
     SystemHardware,
     TrainingSystem,
     WorkloadStats,
@@ -52,6 +54,7 @@ __all__ = [
     "OP_BWD_TCAST",
     "OP_CASTING",
     "OP_CAST_XFER",
+    "OP_EXCHANGE",
     "OP_FWD_DNN",
     "OP_FWD_GATHER",
     "PhaseTimings",
@@ -60,6 +63,7 @@ __all__ = [
     "RESOURCE_LINK",
     "RESOURCE_NMP",
     "RESOURCE_PCIE",
+    "ShardedNMPSystem",
     "Span",
     "SystemHardware",
     "Timeline",

@@ -28,12 +28,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict
 
+from ..core.sharding import PARTITION_POLICIES
+from ..core.traffic import expected_shard_outputs, sharded_exchange_bytes
 from ..data.datasets import get_dataset
 from ..data.distributions import LookupDistribution, UniformDistribution
 from ..model.configs import ModelConfig
 from ..sim.cpu import CPUModel
 from ..sim.gpu import GPUModel
-from ..sim.interconnect import Link
+from ..sim.interconnect import AllToAll, Link
 from ..sim.nmp import NMPPoolModel
 from ..sim.specs import DEFAULT_NMP_LINK, PCIE_GEN3
 from .timeline import (
@@ -56,6 +58,7 @@ __all__ = [
     "OP_CASTING",
     "OP_BWD_TCAST",
     "OP_CAST_XFER",
+    "OP_EXCHANGE",
     "WorkloadStats",
     "compute_workload",
     "SystemHardware",
@@ -64,6 +67,7 @@ __all__ = [
     "CPUOnlySystem",
     "CPUGPUSystem",
     "NMPSystem",
+    "ShardedNMPSystem",
     "design_points",
 ]
 
@@ -78,6 +82,7 @@ OP_BWD_SCATTER = "BWD (Scatter)"
 OP_CASTING = "FWD (Casting)"
 OP_BWD_TCAST = "BWD (T.Casted Gather)"
 OP_CAST_XFER = "FWD (Casting:xfer)"
+OP_EXCHANGE = "All-to-all"
 _OP_XFER = "Transfer"
 
 
@@ -581,6 +586,206 @@ class NMPSystem(TrainingSystem):
             after=scatter_after, category="bwd",
             bytes_moved=3 * stats.u * stats.vec_bytes,
         )
+
+
+class ShardedNMPSystem(TrainingSystem):
+    """``N`` casting-enabled NMP pool nodes with all-to-all embedding exchange.
+
+    Scale-out extension of ``Ours(NMP)`` beyond the paper: the embedding
+    tables are partitioned across ``num_shards`` pool nodes (row-wise or
+    table-wise, per :mod:`repro.core.sharding`), each node runs the forward
+    gather and the Tensor-Casted backward over its slice, and pooled
+    vectors/gradient rows cross a symmetric fabric modeled by
+    :class:`repro.sim.interconnect.AllToAll`.  The casted index arrays keep
+    the exchange compact — each node receives only the gradient-table rows
+    its casted sub-arrays name, the byte count of
+    :func:`repro.core.traffic.sharded_exchange_bytes`.
+
+    With ``num_shards=1`` the exchange collapses to zero-duration spans and
+    the schedule reduces to exactly ``Ours(NMP)``'s — the analytic mirror of
+    the functional trainer's 1-shard bit-identity guarantee.
+    """
+
+    def __init__(
+        self,
+        hardware: SystemHardware | None = None,
+        num_shards: int = 1,
+        policy: str = "row",
+    ) -> None:
+        super().__init__(hardware)
+        if num_shards <= 0:
+            raise ValueError(f"num_shards must be positive, got {num_shards}")
+        if policy not in PARTITION_POLICIES:
+            raise ValueError(
+                f"unknown partition policy {policy!r}; expected one of "
+                f"{sorted(PARTITION_POLICIES)}"
+            )
+        self.num_shards = int(num_shards)
+        self.policy = policy
+        self.name = f"Sharded(NMP,{policy}x{num_shards})"
+
+    def fabric_for(self, stats: WorkloadStats) -> AllToAll:
+        """The all-to-all fabric among the shards this workload engages."""
+        return AllToAll(self.hardware.nmp_link.spec, self.effective_shards(stats))
+
+    def per_device_exchange_seconds(self, stats: WorkloadStats) -> float:
+        """Backward all-to-all completion time for one iteration.
+
+        Covers the gradient rows only — the fabric payload of the schedule's
+        exchange span.  The casted pair arrays, though part of
+        :meth:`per_device_exchange_bytes` (a per-device *ingest* metric),
+        stream from the GPU during the casted gather-reduce and never cross
+        the inter-shard fabric.
+        """
+        return self.fabric_for(stats).exchange_time(
+            self.shard_outputs(stats) * stats.vec_bytes
+        )
+
+    # -- per-shard geometry ---------------------------------------------
+    def effective_shards(self, stats: WorkloadStats) -> int:
+        """Shards that actually hold embedding rows of this workload.
+
+        Table-wise placement cannot engage more shards than there are
+        tables; extra shards sit idle, so per-shard work and traffic stop
+        shrinking there.
+        """
+        if self.policy == "table":
+            return min(self.num_shards, stats.model.num_tables)
+        return self.num_shards
+
+    def shard_lookups(self, stats: WorkloadStats) -> int:
+        """Lookups ``n_s`` one busy shard executes per iteration."""
+        return max(1, -(-stats.n // self.effective_shards(stats)))
+
+    def shard_coalesced(self, stats: WorkloadStats) -> int:
+        """Coalesced gradient rows ``u_s`` one busy shard scatters."""
+        return max(1, round(stats.u / self.effective_shards(stats)))
+
+    def shard_outputs(self, stats: WorkloadStats) -> int:
+        """Gradient-table rows one shard touches (its exchange payload)."""
+        return max(
+            1,
+            round(
+                expected_shard_outputs(
+                    stats.n, stats.num_outputs, self.effective_shards(stats),
+                    self.policy,
+                )
+            ),
+        )
+
+    def per_device_exchange_bytes(self, stats: WorkloadStats) -> int:
+        """Backward all-to-all bytes one device ingests (gradient rows + pairs)."""
+        return sharded_exchange_bytes(
+            stats.n,
+            stats.num_outputs,
+            stats.dim,
+            itemsize=stats.itemsize,
+            index_itemsize=stats.index_itemsize,
+            num_shards=self.effective_shards(stats),
+            policy=self.policy,
+        )
+
+    def _schedule_iteration(self, stats: WorkloadStats, timeline: Timeline, prev_update):
+        gpu, nmp = self.hardware.gpu, self.hardware.nmp
+        pcie, link = self.hardware.pcie, self.hardware.nmp_link
+        fwd_dnn, bwd_dnn, _ = self._dnn_times(stats)
+        shards = self.effective_shards(stats)
+        fabric = self.fabric_for(stats)
+        n_s = self.shard_lookups(stats)
+        u_s = self.shard_coalesced(stats)
+        touched_s = self.shard_outputs(stats)
+        pair_bytes_s = 2 * n_s * stats.index_itemsize
+
+        index_up = timeline.schedule(
+            RESOURCE_PCIE, OP_CAST_XFER, pcie.transfer_time(stats.index_bytes),
+            category="cast", bytes_moved=stats.index_bytes,
+        )
+        cast = timeline.schedule(
+            RESOURCE_GPU, OP_CASTING, gpu.time_casting(stats.n),
+            after=index_up, category="cast",
+        )
+
+        # Forward: every pool node gathers its slice concurrently, then the
+        # partial pooled sums cross the fabric to the sample owners.
+        gathers = []
+        fwd_exchanges = []
+        for shard in range(shards):
+            gather = timeline.schedule(
+                f"{RESOURCE_NMP}[{shard}]", OP_FWD_GATHER,
+                nmp.time_gather_reduce(n_s, touched_s, stats.dim, stats.itemsize),
+                after=prev_update, category="fwd",
+                bytes_moved=(n_s + touched_s) * stats.vec_bytes,
+            )
+            gathers.append(gather)
+            fwd_bytes = touched_s * stats.vec_bytes
+            fwd_exchanges.append(
+                timeline.schedule(
+                    f"fabric[{shard}]", OP_EXCHANGE,
+                    fabric.exchange_time(fwd_bytes),
+                    after=gather, category="xfer",
+                    bytes_moved=fabric.remote_bytes(fwd_bytes),
+                )
+            )
+
+        emb_to_gpu = timeline.schedule(
+            RESOURCE_LINK, _OP_XFER, link.transfer_time(stats.gradient_table_bytes),
+            after=fwd_exchanges, category="xfer",
+            bytes_moved=stats.gradient_table_bytes,
+        )
+        dense_up = timeline.schedule(
+            RESOURCE_PCIE, _OP_XFER, pcie.transfer_time(stats.dense_input_bytes),
+            category="xfer", bytes_moved=stats.dense_input_bytes,
+        )
+        dnn_f = timeline.schedule(
+            RESOURCE_GPU, OP_FWD_DNN, fwd_dnn,
+            after=[emb_to_gpu, dense_up], category="dnn",
+        )
+        dnn_b = timeline.schedule(
+            RESOURCE_GPU, OP_BWD_DNN, bwd_dnn, after=dnn_f, category="dnn"
+        )
+
+        # Backward: the gradient table streams onto the fabric (cut-through
+        # staging, as in Ours(NMP)), then the all-to-all redistributes the
+        # gradient rows to their owners.  The casted pairs are NOT part of
+        # the exchange span: they stream from the GPU during the casted
+        # gather-reduce itself (the tcast lower bound below), exactly as in
+        # the unsharded Ours(NMP) schedule — charging them here too would
+        # count the same bytes twice.
+        stage_time = max(
+            link.transfer_time(stats.gradient_table_bytes),
+            nmp.time_stage(stats.gradient_table_bytes),
+        )
+        stage = timeline.schedule(
+            RESOURCE_LINK, _OP_XFER, stage_time,
+            after=dnn_b, category="xfer", bytes_moved=stats.gradient_table_bytes,
+        )
+        exchange_bytes = touched_s * stats.vec_bytes
+        updates = []
+        for shard in range(shards):
+            bwd_exchange = timeline.schedule(
+                f"fabric[{shard}]", OP_EXCHANGE,
+                fabric.exchange_time(exchange_bytes),
+                after=[stage, cast], category="xfer",
+                bytes_moved=fabric.remote_bytes(exchange_bytes),
+            )
+            tcast_time = max(
+                nmp.time_casted_gather_reduce(n_s, u_s, stats.dim, stats.itemsize),
+                link.bandwidth_bound_time(pair_bytes_s),
+            )
+            tcast = timeline.schedule(
+                f"{RESOURCE_NMP}[{shard}]", OP_BWD_TCAST, tcast_time,
+                after=bwd_exchange, category="bwd",
+                bytes_moved=(n_s + u_s) * stats.vec_bytes,
+            )
+            updates.append(
+                timeline.schedule(
+                    f"{RESOURCE_NMP}[{shard}]", OP_BWD_SCATTER,
+                    nmp.time_scatter(u_s, stats.dim, stats.itemsize, stats.optimizer),
+                    after=tcast, category="bwd",
+                    bytes_moved=3 * u_s * stats.vec_bytes,
+                )
+            )
+        return updates
 
 
 def design_points(hardware: SystemHardware | None = None) -> Dict[str, TrainingSystem]:

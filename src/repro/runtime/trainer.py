@@ -8,6 +8,13 @@ the paper's real-system prototype: the casted backward demonstrably beats
 the baseline expand-coalesce in wall-clock terms because it moves half the
 vector bytes and skips the expanded-tensor materialization.
 
+With ``num_shards`` set, the trainer instead drives a
+:class:`~repro.model.sharded.ShardedEmbeddingSet`: the embedding phases run
+shard by shard (each timed separately, standing in for ``N`` concurrent
+devices), pooled vectors and gradient slices cross a simulated all-to-all
+whose byte counts land in the report, and the model parameters end up
+bit-identical to the unsharded trainer when ``num_shards=1``.
+
 Used by the examples, the end-to-end tests, and the kernel benchmarks.
 """
 
@@ -15,7 +22,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -24,6 +31,7 @@ from ..data.generator import SyntheticCTRStream
 from ..model.dlrm import DLRM
 from ..model.loss import bce_with_logits
 from ..model.optim import Optimizer
+from ..model.sharded import ShardedEmbeddingSet
 
 __all__ = ["PhaseTimings", "TrainingReport", "FunctionalTrainer"]
 
@@ -51,12 +59,20 @@ class PhaseTimings:
 
 @dataclass(frozen=True)
 class TrainingReport:
-    """Outcome of a measured training run."""
+    """Outcome of a measured training run.
+
+    ``shard_timings`` and ``exchange_bytes`` are populated only by sharded
+    runs: one :class:`PhaseTimings` per shard (phases ``casting`` /
+    ``gather`` / ``backward`` / ``update``) and the total simulated
+    all-to-all payload across all steps.
+    """
 
     losses: List[float]
     timings: PhaseTimings
     mode: str
     steps: int
+    shard_timings: Optional[List[PhaseTimings]] = None
+    exchange_bytes: int = 0
 
     @property
     def final_loss(self) -> float:
@@ -65,6 +81,13 @@ class TrainingReport:
     @property
     def initial_loss(self) -> float:
         return self.losses[0]
+
+    @property
+    def num_shards(self) -> Optional[int]:
+        """Shard count of a sharded run, ``None`` for unsharded runs."""
+        if self.shard_timings is None:
+            return None
+        return len(self.shard_timings)
 
 
 class FunctionalTrainer:
@@ -78,10 +101,24 @@ class FunctionalTrainer:
         Batch source; its geometry must match the model.
     optimizer:
         Applied to dense and sparse parameters alike.
+    num_shards:
+        ``None`` (default) trains on the single-device path.  Any positive
+        integer partitions the embedding tables across that many logical
+        shards and routes every embedding phase through a
+        :class:`~repro.model.sharded.ShardedEmbeddingSet`; ``num_shards=1``
+        exercises the full sharded machinery yet produces bit-identical
+        parameters to the unsharded path.
+    policy:
+        Partition policy for sharded runs: ``"row"`` or ``"table"``.
     """
 
     def __init__(
-        self, model: DLRM, stream: SyntheticCTRStream, optimizer: Optimizer
+        self,
+        model: DLRM,
+        stream: SyntheticCTRStream,
+        optimizer: Optimizer,
+        num_shards: int | None = None,
+        policy: str = "row",
     ) -> None:
         if stream.num_tables != len(model.embeddings):
             raise ValueError(
@@ -91,6 +128,11 @@ class FunctionalTrainer:
         self.model = model
         self.stream = stream
         self.optimizer = optimizer
+        self.sharded: ShardedEmbeddingSet | None = None
+        if num_shards is not None:
+            self.sharded = ShardedEmbeddingSet(
+                model.embeddings, num_shards=num_shards, policy=policy
+            )
 
     def train(
         self,
@@ -104,10 +146,18 @@ class FunctionalTrainer:
         ``mode`` selects the embedding backward strategy (``"baseline"`` or
         ``"casted"``); in casted mode the cast is computed eagerly right
         after batch generation — before the forward pass — mirroring the
-        runtime's decoupled casting stage.
+        runtime's decoupled casting stage.  Sharded trainers support
+        ``"casted"`` only: the per-shard exchange payload *is* the casted
+        index representation, so there is no baseline variant to shard.
         """
         if steps <= 0:
             raise ValueError(f"steps must be positive, got {steps}")
+        if self.sharded is not None:
+            if mode != "casted":
+                raise ValueError(
+                    f"sharded training supports mode='casted' only, got {mode!r}"
+                )
+            return self._train_sharded(batch, steps, rng)
         timings = PhaseTimings()
         losses: List[float] = []
         for _ in range(steps):
@@ -139,3 +189,88 @@ class FunctionalTrainer:
                 bag.apply_gradient(grad, self.optimizer)
             timings.add("update", time.perf_counter() - start)
         return TrainingReport(losses=losses, timings=timings, mode=mode, steps=steps)
+
+    def _train_sharded(
+        self, batch: int, steps: int, rng: np.random.Generator
+    ) -> TrainingReport:
+        """Sharded training loop: shard-by-shard phases + simulated exchange.
+
+        Each shard's work is timed individually (``shard_timings[s]``) — on
+        real hardware the shards run concurrently, so the *slowest* shard's
+        time per phase is the modeled critical path; the aggregate phases in
+        ``timings`` remain directly comparable to the unsharded trainer.
+        """
+        sharded = self.sharded
+        assert sharded is not None
+        shards = range(sharded.num_shards)
+        timings = PhaseTimings()
+        shard_timings = [PhaseTimings() for _ in shards]
+        losses: List[float] = []
+        exchange_bytes = 0
+        for _ in range(steps):
+            data = self.stream.make_batch(batch, rng)
+
+            start = time.perf_counter()
+            plan = sharded.plan_batch(data.indices)
+            timings.add("partition", time.perf_counter() - start)
+
+            for shard in shards:  # per-shard Algorithm 2, off the critical path
+                start = time.perf_counter()
+                sharded.cast_shard(plan, shard)
+                elapsed = time.perf_counter() - start
+                shard_timings[shard].add("casting", elapsed)
+                timings.add("casting", elapsed)
+
+            self.model.zero_grad()
+            for shard in shards:
+                start = time.perf_counter()
+                sharded.forward_shard(plan, shard)
+                elapsed = time.perf_counter() - start
+                shard_timings[shard].add("gather", elapsed)
+                timings.add("forward", elapsed)
+
+            start = time.perf_counter()
+            emb_outs = sharded.assemble_pooled(plan)
+            timings.add("exchange", time.perf_counter() - start)
+
+            start = time.perf_counter()
+            logits = self.model.forward_from_pooled(data.dense, emb_outs)
+            timings.add("forward", time.perf_counter() - start)
+
+            start = time.perf_counter()
+            loss, dlogits = bce_with_logits(logits, data.labels)
+            timings.add("loss", time.perf_counter() - start)
+            losses.append(loss)
+
+            start = time.perf_counter()
+            grad_tables = self.model.backward_through_dense(dlogits)
+            sharded.prepare_backward(plan, grad_tables)
+            timings.add("backward", time.perf_counter() - start)
+
+            per_shard_coalesced = []
+            for shard in shards:
+                start = time.perf_counter()
+                coalesced = sharded.backward_shard(plan, shard, grad_tables)
+                elapsed = time.perf_counter() - start
+                shard_timings[shard].add("backward", elapsed)
+                timings.add("backward", elapsed)
+                per_shard_coalesced.append(coalesced)
+
+            start = time.perf_counter()
+            self.optimizer.step(self.model.dense_parameters())
+            timings.add("update", time.perf_counter() - start)
+            for shard in shards:
+                start = time.perf_counter()
+                sharded.update_shard(shard, per_shard_coalesced[shard], self.optimizer)
+                elapsed = time.perf_counter() - start
+                shard_timings[shard].add("update", elapsed)
+                timings.add("update", elapsed)
+            exchange_bytes += plan.exchange_bytes
+        return TrainingReport(
+            losses=losses,
+            timings=timings,
+            mode="casted",
+            steps=steps,
+            shard_timings=shard_timings,
+            exchange_bytes=exchange_bytes,
+        )

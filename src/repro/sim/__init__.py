@@ -12,7 +12,7 @@ from .cpu import CPUModel
 from .dram import BURST_BYTES, DDR4_2400, DDR4_3200, DRAMChannel, DRAMTiming
 from .energy import DevicePower, EnergyModel, EnergyReport
 from .gpu import GPUModel
-from .interconnect import Link
+from .interconnect import AllToAll, Link
 from .memsys import AddressMapping, PatternBandwidth, build_gather_requests, build_sequential_requests
 from .nmp import NMPPoolModel
 from .specs import (
@@ -30,6 +30,7 @@ from .specs import (
 
 __all__ = [
     "AddressMapping",
+    "AllToAll",
     "BURST_BYTES",
     "CPUModel",
     "CPUSpec",

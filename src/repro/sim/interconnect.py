@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from .specs import LinkSpec
 
-__all__ = ["Link"]
+__all__ = ["Link", "AllToAll"]
 
 
 class Link:
@@ -37,3 +37,55 @@ class Link:
         if num_bytes < 0:
             raise ValueError(f"num_bytes must be non-negative, got {num_bytes}")
         return num_bytes / self.spec.effective_bandwidth
+
+
+class AllToAll:
+    """All-to-all exchange among ``num_devices`` peers on a symmetric fabric.
+
+    Models the gradient/embedding redistribution of sharded (model-parallel)
+    embedding training: every device simultaneously sends each peer its slice
+    of the payload and receives the slices it owns.  Each device has one
+    full-duplex port of the given :class:`LinkSpec`, all ports operate
+    concurrently, and a fraction ``1/num_devices`` of every device's payload
+    is destined for itself and never crosses the fabric — so completion time
+    is the port-egress time of the remote fraction plus one fixed latency::
+
+        time = latency + per_device_bytes * (N - 1) / N / effective_bandwidth
+
+    A single device degenerates to a local no-op (zero seconds), which is
+    what keeps the 1-shard sharded system's timeline identical to the
+    unsharded one.
+    """
+
+    def __init__(self, spec: LinkSpec, num_devices: int) -> None:
+        if num_devices <= 0:
+            raise ValueError(f"num_devices must be positive, got {num_devices}")
+        self.spec = spec
+        self.num_devices = int(num_devices)
+
+    @property
+    def name(self) -> str:
+        return f"{self.spec.name} all-to-all x{self.num_devices}"
+
+    def remote_fraction(self) -> float:
+        """Share of a device's payload that actually crosses the fabric."""
+        return (self.num_devices - 1) / self.num_devices
+
+    def remote_bytes(self, per_device_bytes: int) -> int:
+        """Bytes of a device's payload that leave the device."""
+        if per_device_bytes < 0:
+            raise ValueError(
+                f"per_device_bytes must be non-negative, got {per_device_bytes}"
+            )
+        return int(round(per_device_bytes * self.remote_fraction()))
+
+    def exchange_time(self, per_device_bytes: int) -> float:
+        """Seconds for every device to complete its exchange leg.
+
+        ``per_device_bytes`` is the payload one device must ingest (or,
+        symmetrically, emit) across the whole exchange, local share included.
+        """
+        wire_bytes = self.remote_bytes(per_device_bytes)
+        if self.num_devices == 1 or wire_bytes == 0:
+            return 0.0
+        return self.spec.latency_s + wire_bytes / self.spec.effective_bandwidth

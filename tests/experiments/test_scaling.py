@@ -1,0 +1,59 @@
+"""Tests for the multi-device scaling sweep experiment."""
+
+import pytest
+
+from repro.experiments.scaling import ScalingRow, format_scaling, scaling_sweep
+from repro.model.configs import RM1
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return scaling_sweep(models=(RM1,), batches=(2048,),
+                         shard_counts=(1, 2, 4, 8))
+
+
+class TestScalingSweep:
+    def test_grid_shape(self, rows):
+        assert len(rows) == 2 * 4  # two policies x four shard counts
+        assert all(isinstance(r, ScalingRow) for r in rows)
+
+    def test_reference_speedup_is_one(self, rows):
+        for row in rows:
+            if row.num_shards == 1:
+                assert row.speedup == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("policy", ["row", "table"])
+    def test_speedup_grows_with_shards(self, rows, policy):
+        series = sorted(
+            (r for r in rows if r.policy == policy),
+            key=lambda r: r.num_shards,
+        )
+        speedups = [r.speedup for r in series]
+        assert all(a < b for a, b in zip(speedups, speedups[1:]))
+
+    @pytest.mark.parametrize("policy", ["row", "table"])
+    def test_traffic_monotone_non_increasing(self, rows, policy):
+        """The acceptance criterion: per-device gradient traffic never grows."""
+        series = sorted(
+            (r for r in rows if r.policy == policy),
+            key=lambda r: r.num_shards,
+        )
+        traffic = [r.per_device_exchange_bytes for r in series]
+        assert all(a >= b for a, b in zip(traffic, traffic[1:]))
+
+    def test_custom_shard_counts(self):
+        rows = scaling_sweep(models=(RM1,), batches=(1024,),
+                             shard_counts=(2,), policies=("row",))
+        assert len(rows) == 1
+        assert rows[0].num_shards == 2
+        assert rows[0].speedup > 1.0  # reference x1 simulated implicitly
+
+
+class TestFormatScaling:
+    def test_renders_all_cells(self, rows):
+        text = format_scaling(rows)
+        assert "Speedup" in text and "Ingest/dev (MB)" in text
+        assert "RM1" in text and "table" in text
+
+    def test_empty(self):
+        assert format_scaling([]) == "(no rows)"

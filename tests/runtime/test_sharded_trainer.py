@@ -1,0 +1,111 @@
+"""Tests for the sharded functional training path of FunctionalTrainer."""
+
+import numpy as np
+import pytest
+
+from repro.data.generator import SyntheticCTRStream
+from repro.model.configs import RM1
+from repro.model.dlrm import DLRM
+from repro.model.optim import SGD, Adagrad
+from repro.runtime.trainer import FunctionalTrainer
+
+CONFIG = RM1.with_overrides(
+    num_tables=3, gathers_per_table=4, rows_per_table=60,
+    bottom_mlp=(8, 4), top_mlp=(4, 1), embedding_dim=4,
+)
+
+
+def make_trainer(num_shards=None, policy="row", optimizer_cls=SGD, seed=0):
+    model = DLRM(CONFIG, rng=np.random.default_rng(seed))
+    stream = SyntheticCTRStream(
+        num_tables=3, num_rows=60, lookups_per_sample=4,
+        dense_features=8, seed=seed,
+    )
+    trainer = FunctionalTrainer(
+        model, stream, optimizer_cls(lr=0.3),
+        num_shards=num_shards, policy=policy,
+    )
+    return model, trainer
+
+
+def all_params(model):
+    return [p for p, _ in model.dense_parameters()] + [
+        bag.table for bag in model.embeddings
+    ]
+
+
+class TestSingleShardEquivalence:
+    """num_shards=1 must be bit-identical to the unsharded trainer."""
+
+    @pytest.mark.parametrize("policy", ["row", "table"])
+    def test_parameters_bit_identical(self, policy):
+        ref_model, ref_trainer = make_trainer()
+        ref_trainer.train(16, 4, np.random.default_rng(1))
+        model, trainer = make_trainer(num_shards=1, policy=policy)
+        trainer.train(16, 4, np.random.default_rng(1))
+        for got, want in zip(all_params(model), all_params(ref_model)):
+            assert np.array_equal(got, want)
+
+    def test_losses_bit_identical(self):
+        _, ref_trainer = make_trainer()
+        ref = ref_trainer.train(16, 4, np.random.default_rng(1))
+        _, trainer = make_trainer(num_shards=1)
+        got = trainer.train(16, 4, np.random.default_rng(1))
+        assert got.losses == ref.losses
+
+    def test_stateful_optimizer_bit_identical(self):
+        ref_model, ref_trainer = make_trainer(optimizer_cls=Adagrad)
+        ref_trainer.train(16, 3, np.random.default_rng(1))
+        model, trainer = make_trainer(num_shards=1, optimizer_cls=Adagrad)
+        trainer.train(16, 3, np.random.default_rng(1))
+        for got, want in zip(all_params(model), all_params(ref_model)):
+            assert np.array_equal(got, want)
+
+
+@pytest.mark.parametrize("policy", ["row", "table"])
+@pytest.mark.parametrize("num_shards", [2, 3])
+class TestMultiShardTraining:
+    def test_matches_unsharded_closely(self, policy, num_shards):
+        ref_model, ref_trainer = make_trainer()
+        ref_trainer.train(16, 3, np.random.default_rng(1))
+        model, trainer = make_trainer(num_shards=num_shards, policy=policy)
+        trainer.train(16, 3, np.random.default_rng(1))
+        # Sharding only reorders floating-point summation.
+        for got, want in zip(all_params(model), all_params(ref_model)):
+            np.testing.assert_allclose(got, want, rtol=1e-9, atol=1e-12)
+
+    def test_learning_happens(self, policy, num_shards):
+        _, trainer = make_trainer(num_shards=num_shards, policy=policy)
+        report = trainer.train(64, 25, np.random.default_rng(3))
+        assert report.final_loss < report.initial_loss
+
+
+class TestShardedReport:
+    def test_per_shard_timings_recorded(self):
+        _, trainer = make_trainer(num_shards=2)
+        report = trainer.train(16, 2, np.random.default_rng(1))
+        assert report.num_shards == 2
+        assert len(report.shard_timings) == 2
+        for shard in report.shard_timings:
+            for phase in ("casting", "gather", "backward", "update"):
+                assert phase in shard.totals
+        for phase in ("partition", "casting", "forward", "exchange",
+                      "loss", "backward", "update"):
+            assert phase in report.timings.totals
+
+    def test_exchange_bytes_positive(self):
+        _, trainer = make_trainer(num_shards=2)
+        report = trainer.train(16, 2, np.random.default_rng(1))
+        assert report.exchange_bytes > 0
+
+    def test_unsharded_report_has_no_shard_fields(self):
+        _, trainer = make_trainer()
+        report = trainer.train(16, 2, np.random.default_rng(1))
+        assert report.shard_timings is None
+        assert report.num_shards is None
+        assert report.exchange_bytes == 0
+
+    def test_sharded_rejects_baseline_mode(self):
+        _, trainer = make_trainer(num_shards=2)
+        with pytest.raises(ValueError, match="casted"):
+            trainer.train(16, 2, np.random.default_rng(1), mode="baseline")

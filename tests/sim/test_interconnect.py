@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.interconnect import Link
+from repro.sim.interconnect import AllToAll, Link
 from repro.sim.specs import DEFAULT_NMP_LINK, NVLINK, PCIE_GEN3
 
 
@@ -52,3 +52,41 @@ class TestLink:
 
     def test_name_passthrough(self):
         assert Link(PCIE_GEN3).name == "PCIe gen3 x16"
+
+
+class TestAllToAll:
+    def test_single_device_is_local_noop(self):
+        fabric = AllToAll(DEFAULT_NMP_LINK, 1)
+        assert fabric.exchange_time(10**9) == 0.0
+        assert fabric.remote_bytes(10**9) == 0
+
+    def test_zero_payload_costs_nothing(self):
+        assert AllToAll(DEFAULT_NMP_LINK, 4).exchange_time(0) == 0.0
+
+    def test_remote_fraction_excludes_local_share(self):
+        fabric = AllToAll(DEFAULT_NMP_LINK, 4)
+        assert fabric.remote_fraction() == pytest.approx(0.75)
+        assert fabric.remote_bytes(1000) == 750
+
+    def test_exchange_time_formula(self):
+        fabric = AllToAll(DEFAULT_NMP_LINK, 8)
+        payload = 10**7
+        wire = payload * 7 / 8
+        expected = DEFAULT_NMP_LINK.latency_s + wire / DEFAULT_NMP_LINK.effective_bandwidth
+        assert fabric.exchange_time(payload) == pytest.approx(expected)
+
+    def test_fixed_payload_gets_cheaper_with_fewer_remote_bytes(self):
+        # Same per-device payload, more devices -> larger remote fraction.
+        payload = 10**7
+        t2 = AllToAll(DEFAULT_NMP_LINK, 2).exchange_time(payload)
+        t8 = AllToAll(DEFAULT_NMP_LINK, 8).exchange_time(payload)
+        assert t2 < t8
+
+    def test_rejects_invalid_arguments(self):
+        with pytest.raises(ValueError, match="num_devices"):
+            AllToAll(DEFAULT_NMP_LINK, 0)
+        with pytest.raises(ValueError, match="non-negative"):
+            AllToAll(DEFAULT_NMP_LINK, 2).remote_bytes(-1)
+
+    def test_name_mentions_device_count(self):
+        assert "x4" in AllToAll(DEFAULT_NMP_LINK, 4).name

@@ -62,6 +62,17 @@ class TestMain:
         assert code == 0
         assert "RM3" in capsys.readouterr().out
 
+    def test_scaling_with_shards(self, capsys):
+        code = main(["scaling", "--models", "RM1", "--batches", "1024",
+                     "--shards", "1", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Shards" in out and "Speedup" in out
+
+    def test_shards_option_parses(self):
+        args = build_parser().parse_args(["scaling", "--shards", "1", "4"])
+        assert args.shards == [1, 4]
+
     def test_registry_descriptions_reference_paper_artifacts(self):
         for name, (_, description) in EXPERIMENTS.items():
             assert "Figure" in description or "Table" in description or "Section" in description

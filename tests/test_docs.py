@@ -10,7 +10,9 @@ import pytest
 
 import repro
 
-EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+EXAMPLES_DIR = REPO_ROOT / "examples"
+README = REPO_ROOT / "README.md"
 
 
 class TestDoctests:
@@ -43,6 +45,37 @@ class TestPublicAPI:
         assert repro.__version__
 
 
+class TestReadme:
+    """The README exists and its module map cannot rot silently."""
+
+    def test_readme_exists(self):
+        assert README.is_file(), "top-level README.md is missing"
+
+    def test_every_public_package_is_mentioned(self):
+        text = README.read_text()
+        src = REPO_ROOT / "src" / "repro"
+        packages = sorted(
+            path.name for path in src.iterdir()
+            if path.is_dir() and (path / "__init__.py").is_file()
+        )
+        assert packages, "no packages found under src/repro"
+        for package in packages:
+            assert f"repro.{package}" in text, (
+                f"README.md module map does not mention repro.{package}"
+            )
+
+    def test_quickstart_commands_present(self):
+        text = README.read_text()
+        assert "python -m pytest" in text  # tier-1 verify command
+        assert "python -m repro" in text   # CLI usage
+
+    def test_registered_experiments_referenced(self):
+        """Spot-check that headline CLI experiments appear in the README."""
+        text = README.read_text()
+        for name in ("fig13", "fig6", "scaling"):
+            assert name in text
+
+
 class TestExamples:
     def test_all_examples_exist(self):
         expected = {
@@ -51,6 +84,7 @@ class TestExamples:
             "design_space_exploration.py",
             "dataset_locality_study.py",
             "trace_replay.py",
+            "sharded_training.py",
         }
         present = {path.name for path in EXAMPLES_DIR.glob("*.py")}
         assert expected <= present
