@@ -20,7 +20,8 @@ Package tour
 * :mod:`repro.sim` — cycle-level DDR4 simulation, CPU/GPU/NMP device models,
   interconnects and energy accounting;
 * :mod:`repro.runtime` — execution timelines, the four system design points,
-  and a wall-clock-instrumented functional trainer;
+  a wall-clock-instrumented functional trainer, and the pipelined
+  cast-ahead trainer that executes the Section IV-B overlap;
 * :mod:`repro.experiments` — one harness per table/figure of the evaluation.
 
 Quickstart
@@ -81,6 +82,7 @@ from .runtime import (
     CPUOnlySystem,
     FunctionalTrainer,
     NMPSystem,
+    PipelinedTrainer,
     ShardedNMPSystem,
     SystemHardware,
     Timeline,
@@ -128,6 +130,7 @@ __all__ = [
     "Momentum",
     "NMPPoolModel",
     "NMPSystem",
+    "PipelinedTrainer",
     "RMSprop",
     "SGD",
     "ShardedEmbeddingSet",

@@ -16,6 +16,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import sys
 from typing import Callable, Dict, Sequence
 
 from .experiments import (
@@ -38,11 +39,15 @@ from .experiments import (
     format_fig14,
     format_fig15,
     format_link_sweep,
+    format_overlap,
     format_scaling,
     format_sensitivity,
     format_table1,
     format_table2,
     link_bandwidth_sweep,
+    OVERLAP_BATCHES,
+    OVERLAP_SHARDS,
+    overlap_sweep,
     SCALING_SHARDS,
     scaling_sweep,
 )
@@ -151,6 +156,19 @@ def _run_scaling(args, hardware) -> str:
     )
 
 
+def _run_overlap(args, hardware) -> str:
+    batches = args.batches or OVERLAP_BATCHES
+    shard_counts = (
+        tuple(args.shards) if args.shards is not None else OVERLAP_SHARDS
+    )
+    # `or` would swallow an explicit 0, hiding overlap_sweep's validation.
+    steps = args.steps if args.steps is not None else 8
+    return format_overlap(
+        overlap_sweep(batches=batches, shard_counts=shard_counts, steps=steps,
+                      dataset=args.dataset, hardware=hardware)
+    )
+
+
 #: Experiment registry: name -> (runner, description).
 EXPERIMENTS: Dict[str, tuple[Callable, str]] = {
     "table1": (_run_table1, "Table I - disaggregated memory configuration"),
@@ -168,6 +186,8 @@ EXPERIMENTS: Dict[str, tuple[Callable, str]] = {
     "link": (_run_link, "Section VI-D - link-bandwidth sweep"),
     "scaling": (_run_scaling, "Beyond the paper - Section IV runtime sharded "
                               "across N devices (speedup + traffic)"),
+    "overlap": (_run_overlap, "Section IV-B executed - measured cast-ahead "
+                              "pipeline vs the analytic overlap bound"),
 }
 
 
@@ -197,8 +217,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--shards", nargs="*", type=int, default=None, metavar="N",
-        help="shard counts for the scaling sweep "
-             f"(default: {' '.join(str(s) for s in SCALING_SHARDS)})",
+        help="shard counts for the scaling/overlap sweeps; for 'overlap', "
+             "0 selects the unsharded trainer "
+             f"(scaling default: {' '.join(str(s) for s in SCALING_SHARDS)})",
+    )
+    parser.add_argument(
+        "--steps", type=int, default=None, metavar="S",
+        help="training steps per measured cell of the 'overlap' experiment "
+             "(default: 8)",
     )
     return parser
 
@@ -217,6 +243,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(report.summary())
         return 0 if report.passed else 1
     runner, description = EXPERIMENTS[args.experiment]
+    try:
+        output = runner(args, SystemHardware())
+    except ValueError as error:
+        # Bad numeric arguments (--batches 0, --steps 0, --shards -2, ...)
+        # surface as the experiment's own ValueError; report it argparse-style
+        # instead of a traceback so scripts get a clean nonzero exit.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     print(f"# {description}")
-    print(runner(args, SystemHardware()))
+    print(output)
     return 0

@@ -15,7 +15,13 @@ Algorithms 2-3):
 * :mod:`~repro.core.traffic` — analytic memory-traffic models (Figure 6).
 """
 
-from .casting import CastedIndex, hash_casting, tensor_casting, tensor_casting_reference
+from .casting import (
+    CastedIndex,
+    hash_casting,
+    precompute_casts,
+    tensor_casting,
+    tensor_casting_reference,
+)
 from .coalesce import (
     expand_coalesce,
     gradient_coalesce,
@@ -87,6 +93,7 @@ __all__ = [
     "gradient_scatter_reference",
     "hash_casting",
     "make_partition",
+    "precompute_casts",
     "reassemble_pooled",
     "scatter_traffic",
     "scatter_with_optimizer",

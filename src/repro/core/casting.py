@@ -22,7 +22,7 @@ forward embedding gather (see :mod:`repro.runtime.systems`).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
@@ -33,6 +33,7 @@ __all__ = [
     "tensor_casting",
     "tensor_casting_reference",
     "hash_casting",
+    "precompute_casts",
 ]
 
 
@@ -116,6 +117,20 @@ def tensor_casting(index: IndexArray) -> CastedIndex:
         rows=rows.astype(np.int64),
         num_gradients=index.num_outputs,
     )
+
+
+def precompute_casts(indices: Sequence[IndexArray]) -> List[CastedIndex]:
+    """Cast every table of a mini-batch ahead of gradient materialization.
+
+    This is the cast-ahead API of the runtime co-design: it consumes only
+    the batch's index arrays — available the moment the batch is drawn,
+    before any forward activation or gradient exists — so a caller may
+    invoke it for batch ``i+1`` while batch ``i`` is still training.  The
+    pipelined trainer (:mod:`repro.runtime.pipeline`) does exactly that on a
+    background worker, turning the paper's "hide casting under forward
+    propagation" schedule into executed wall-clock overlap.
+    """
+    return [tensor_casting(index) for index in indices]
 
 
 def tensor_casting_reference(src: np.ndarray, dst: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:

@@ -21,6 +21,16 @@ from .gradient_size import (
     format_fig5a,
     format_fig5b,
 )
+from .overlap import (
+    OVERLAP_BATCHES,
+    OVERLAP_CONFIG,
+    OVERLAP_SHARDS,
+    OverlapRow,
+    analytic_overlap_speedup,
+    format_overlap,
+    overlap_sweep,
+    scaled_distribution,
+)
 from .plotting import bar_chart, series_chart, stacked_bar_chart
 from .report import format_table, normalize
 from .scaling import SCALING_SHARDS, ScalingRow, format_scaling, scaling_sweep
@@ -43,6 +53,10 @@ __all__ = [
     "EnergyRow",
     "GradientSizeRow",
     "LinkSweepRow",
+    "OVERLAP_BATCHES",
+    "OVERLAP_CONFIG",
+    "OVERLAP_SHARDS",
+    "OverlapRow",
     "ProbabilityPoint",
     "SCALING_SHARDS",
     "ScalingRow",
@@ -50,6 +64,7 @@ __all__ = [
     "SpeedupRow",
     "TrafficRow",
     "UtilizationRow",
+    "analytic_overlap_speedup",
     "bar_chart",
     "default_energy_model",
     "fig12_breakdown",
@@ -71,6 +86,7 @@ __all__ = [
     "format_fig5b",
     "format_fig6",
     "format_link_sweep",
+    "format_overlap",
     "format_scaling",
     "format_sensitivity",
     "format_table",
@@ -78,6 +94,8 @@ __all__ = [
     "format_table2",
     "link_bandwidth_sweep",
     "normalize",
+    "overlap_sweep",
+    "scaled_distribution",
     "scaling_sweep",
     "series_chart",
     "stacked_bar_chart",

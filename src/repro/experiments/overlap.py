@@ -1,0 +1,384 @@
+"""Measured vs. analytic cast-ahead overlap: the "overlap" experiment.
+
+The paper's Section IV-B runtime hides Tensor Casting under forward
+propagation; :class:`~repro.runtime.pipeline.PipelinedTrainer` executes that
+schedule on the host.  This experiment sweeps batch size × shard count and,
+for each cell, trains the same down-scaled DLRM twice — once through the
+serial :class:`~repro.runtime.trainer.FunctionalTrainer`, once through the
+pipelined trainer — and reports:
+
+* **measured throughput** of both trainers (steps/s) and their ratio, the
+  measured overlap speedup;
+* **the analytic prediction** from the ``Ours(NMP)`` /
+  :class:`~repro.runtime.systems.ShardedNMPSystem` timeline: the ratio of
+  the makespan with the casting stage forced onto the critical path to the
+  makespan with it overlapped — the most speedup cast-ahead alone can buy;
+* **the overlap ratio** (measured / analytic) — how much of the modeled
+  benefit the host pipeline realizes (NumPy's lock-step threading typically
+  keeps this below 1);
+* a **bit-identical** flag: losses and every parameter tensor of the two
+  runs are compared exactly, so a throughput win can never come from
+  numerical drift;
+* per-stage all-to-all accounting for sharded cells (forward vs. backward
+  exchange bytes).
+
+Measured overlap is bounded by the host's parallelism: the pipeline takes
+the cast off the critical *path*, but a core must still execute it, so on a
+single-core host the speedup degenerates to parity and the scheduling win
+shows up only in the timing split (``cast_wait`` ≈ 0 while ``casting``
+stays full-size).  The formatter prints the host core count next to the
+ratios so the reader can calibrate.
+
+Everything trains a deliberately small model: the point is the *schedule*,
+not the model scale.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from ..data.datasets import get_dataset
+from ..data.distributions import (
+    LookupDistribution,
+    UniformDistribution,
+    ZipfDistribution,
+)
+from ..data.generator import SyntheticCTRStream
+from ..model.configs import ModelConfig, RM1
+from ..model.dlrm import DLRM
+from ..model.optim import SGD
+from ..runtime.pipeline import PipelinedTrainer
+from ..runtime.systems import (
+    NMPSystem,
+    OP_CASTING,
+    ShardedNMPSystem,
+    SystemHardware,
+    compute_workload,
+)
+from ..runtime.trainer import FunctionalTrainer, TrainingReport
+from .report import format_table
+
+__all__ = [
+    "OVERLAP_BATCHES",
+    "OVERLAP_CONFIG",
+    "OVERLAP_SHARDS",
+    "OverlapRow",
+    "analytic_overlap_speedup",
+    "overlap_sweep",
+    "format_overlap",
+    "scaled_distribution",
+]
+
+#: Down-scaled RM1 the functional overlap measurement trains (small tables,
+#: narrow MLPs — big enough for the casting stage to be worth hiding).
+OVERLAP_CONFIG: ModelConfig = RM1.with_overrides(
+    num_tables=4,
+    gathers_per_table=16,
+    rows_per_table=20_000,
+    bottom_mlp=(32, 16),
+    top_mlp=(16, 1),
+    embedding_dim=16,
+)
+
+#: Default sweep axes: shard count 0 means the unsharded trainer path.
+OVERLAP_BATCHES = (512, 2048)
+OVERLAP_SHARDS = (0, 2)
+
+
+@dataclass(frozen=True)
+class OverlapRow:
+    """One (batch, shard-count) cell of the overlap sweep.
+
+    ``num_shards == 0`` marks the unsharded trainer path; any positive value
+    is a sharded run over that many logical devices.  Exchange bytes are
+    zero for unsharded cells.
+    """
+
+    model: str
+    batch: int
+    num_shards: int
+    steps: int
+    serial_steps_per_s: float
+    pipelined_steps_per_s: float
+    measured_speedup: float
+    analytic_speedup: float
+    overlap_ratio: float
+    bit_identical: bool
+    forward_exchange_bytes: int
+    backward_exchange_bytes: int
+    #: Worker-side casting seconds of the pipelined run (the hidden work).
+    cast_seconds: float = 0.0
+    #: Seconds the pipelined step loop blocked on the cast-ahead future (the
+    #: exposed remainder; ≈0 when the schedule fully hides the cast).
+    cast_wait_seconds: float = 0.0
+
+
+def scaled_distribution(dataset: str, num_rows: int) -> LookupDistribution:
+    """A named profile's popularity *shape* rescaled to ``num_rows``.
+
+    The functional overlap measurement trains a down-scaled model, so the
+    calibrated catalog sizes of :mod:`repro.data.datasets` cannot be used
+    directly — but the locality shape (uniform vs. Zipf exponent/shift) can.
+    The same rescaled distribution feeds both the measured stream and the
+    analytic workload, keeping the measured/analytic comparison
+    apples-to-apples for every dataset.
+    """
+    if dataset == "random":
+        return UniformDistribution(num_rows)
+    profile_dist = get_dataset(dataset).distribution()
+    if isinstance(profile_dist, ZipfDistribution):
+        return ZipfDistribution(
+            num_rows, exponent=profile_dist.exponent, shift=profile_dist.shift
+        )
+    if isinstance(profile_dist, UniformDistribution):
+        return UniformDistribution(num_rows)
+    raise ValueError(
+        f"dataset {dataset!r} uses a {type(profile_dist).__name__}, which the "
+        "overlap sweep cannot rescale to the functional table height"
+    )
+
+
+def analytic_overlap_speedup(
+    config: ModelConfig,
+    batch: int,
+    num_shards: int = 0,
+    hardware: SystemHardware | None = None,
+    dataset: "str | LookupDistribution" = "random",
+) -> float:
+    """Predicted serial/pipelined ratio when only the cast is overlapped.
+
+    Runs the casting-enabled analytic timeline (``Ours(NMP)`` for the
+    unsharded cell, :class:`ShardedNMPSystem` otherwise), in which the
+    casting stage is already hidden, and compares its makespan against the
+    same schedule with the casting stage serialized onto the critical path
+    — i.e. ``(makespan + t_cast) / makespan``.  This is exactly the benefit
+    the functional pipeline chases: it moves the cast off the critical path
+    and nothing else.
+    """
+    hardware = hardware or SystemHardware()
+    stats = compute_workload(config, batch, dataset=dataset)
+    if num_shards > 1:
+        system: NMPSystem | ShardedNMPSystem = ShardedNMPSystem(
+            hardware, num_shards=num_shards
+        )
+    else:
+        system = NMPSystem(hardware, casting=True)
+    result = system.run_iteration(stats)
+    cast_seconds = result.breakdown.get(OP_CASTING, 0.0)
+    return (result.total + cast_seconds) / result.total
+
+
+def _make_trainer(
+    trainer_cls,
+    config: ModelConfig,
+    num_shards: int,
+    seed: int,
+    distribution: LookupDistribution | None = None,
+):
+    """Fresh (model, trainer) pair; identical seeds ⇒ identical start state."""
+    model = DLRM(config, rng=np.random.default_rng(seed), dtype=np.float32)
+    distributions = None
+    if distribution is not None:
+        distributions = [distribution] * config.num_tables
+    stream = SyntheticCTRStream(
+        num_tables=config.num_tables,
+        num_rows=config.rows_per_table,
+        lookups_per_sample=config.gathers_per_table,
+        dense_features=config.dense_features,
+        distributions=distributions,
+        seed=seed,
+    )
+    trainer = trainer_cls(
+        model,
+        stream,
+        SGD(lr=0.1),
+        num_shards=num_shards if num_shards > 0 else None,
+        policy="row",
+    )
+    return model, trainer
+
+
+def _runs_bit_identical(
+    serial_model: DLRM,
+    serial_report: TrainingReport,
+    pipelined_model: DLRM,
+    pipelined_report: TrainingReport,
+) -> bool:
+    """Exact (not approximate) agreement of losses and every parameter."""
+    if serial_report.losses != pipelined_report.losses:
+        return False
+    return all(
+        np.array_equal(a, b)
+        for a, b in zip(
+            serial_model.all_parameters(), pipelined_model.all_parameters()
+        )
+    )
+
+
+def _best_of(
+    trainer_cls,
+    config: ModelConfig,
+    num_shards: int,
+    seed: int,
+    batch: int,
+    steps: int,
+    repeats: int,
+    distribution: LookupDistribution | None = None,
+):
+    """Train ``repeats`` fresh identically-seeded runs; keep the fastest.
+
+    Best-of-k is the standard way to strip scheduler noise from a wall-clock
+    comparison; every repeat is numerically identical (fresh model, same
+    seeds), so the minimum is a legitimate sample of the same computation.
+    Returns the *whole* report of the fastest run — wall clock and phase
+    timings stay mutually consistent — paired with one run's model for the
+    bit-identity check (all repeats produce identical parameters).
+    """
+    best_model = None
+    best_report = None
+    for _ in range(repeats):
+        model, trainer = _make_trainer(
+            trainer_cls, config, num_shards, seed, distribution
+        )
+        report = trainer.train(batch, steps, np.random.default_rng(seed + 1))
+        if best_report is None or report.wall_seconds < best_report.wall_seconds:
+            best_model, best_report = model, report
+    assert best_model is not None and best_report is not None
+    return best_model, best_report
+
+
+def overlap_sweep(
+    batches: Sequence[int] = OVERLAP_BATCHES,
+    shard_counts: Sequence[int] = OVERLAP_SHARDS,
+    steps: int = 8,
+    config: ModelConfig = OVERLAP_CONFIG,
+    dataset: str = "random",
+    hardware: SystemHardware | None = None,
+    seed: int = 0,
+    repeats: int = 3,
+) -> List[OverlapRow]:
+    """Sweep batch × shard count, measuring serial vs. pipelined training.
+
+    Each cell builds two identically-seeded trainers, trains ``steps``
+    iterations through each (best wall-clock of ``repeats`` runs), verifies
+    bitwise agreement, and pairs the measured speedup with the analytic
+    cast-overlap prediction for the same geometry.  ``shard_counts``
+    entries of 0 select the unsharded path.
+    """
+    if steps <= 0:
+        raise ValueError(f"steps must be positive, got {steps}")
+    if repeats <= 0:
+        raise ValueError(f"repeats must be positive, got {repeats}")
+    bad_batches = [batch for batch in batches if batch <= 0]
+    if bad_batches:
+        raise ValueError(f"batch sizes must be positive, got {bad_batches}")
+    negative = [shards for shards in shard_counts if shards < 0]
+    if negative:
+        raise ValueError(
+            f"shard counts must be >= 0 (0 = unsharded), got {negative}"
+        )
+    hardware = hardware or SystemHardware()
+    # The same rescaled locality profile drives the measured streams and the
+    # analytic workload — apples-to-apples for every --dataset.
+    distribution = scaled_distribution(dataset, config.rows_per_table)
+    # One throwaway step through every (trainer class, shard count) pair the
+    # sweep will measure, so no measured cell absorbs NumPy/thread-pool/
+    # sharded-machinery warm-up costs.
+    for warmup_shards in sorted(set(shard_counts)):
+        for warmup_cls in (FunctionalTrainer, PipelinedTrainer):
+            _, warmup_trainer = _make_trainer(
+                warmup_cls, config, warmup_shards, seed, distribution
+            )
+            warmup_trainer.train(8, 1, np.random.default_rng(seed))
+    rows: List[OverlapRow] = []
+    for batch in batches:
+        for num_shards in shard_counts:
+            serial_model, serial = _best_of(
+                FunctionalTrainer, config, num_shards, seed, batch, steps,
+                repeats, distribution,
+            )
+            pipelined_model, pipelined = _best_of(
+                PipelinedTrainer, config, num_shards, seed, batch, steps,
+                repeats, distribution,
+            )
+            measured = (
+                serial.wall_seconds / pipelined.wall_seconds
+                if pipelined.wall_seconds > 0
+                else 0.0
+            )
+            analytic = analytic_overlap_speedup(
+                config, batch, num_shards, hardware, distribution
+            )
+            rows.append(
+                OverlapRow(
+                    model=config.name,
+                    batch=batch,
+                    num_shards=num_shards,
+                    steps=steps,
+                    serial_steps_per_s=serial.steps_per_second,
+                    pipelined_steps_per_s=pipelined.steps_per_second,
+                    measured_speedup=measured,
+                    analytic_speedup=analytic,
+                    overlap_ratio=measured / analytic if analytic > 0 else 0.0,
+                    bit_identical=_runs_bit_identical(
+                        serial_model, serial, pipelined_model, pipelined
+                    ),
+                    forward_exchange_bytes=pipelined.forward_exchange_bytes,
+                    backward_exchange_bytes=pipelined.backward_exchange_bytes,
+                    cast_seconds=pipelined.timings.totals.get("casting", 0.0),
+                    cast_wait_seconds=pipelined.timings.totals.get(
+                        "cast_wait", 0.0
+                    ),
+                )
+            )
+    return rows
+
+
+def format_overlap(rows: Sequence[OverlapRow]) -> str:
+    """Render the sweep: throughputs, measured vs. analytic, exchange split."""
+    if not rows:
+        return "(no rows)"
+    headers = [
+        "Model", "Batch", "Shards", "Serial (it/s)", "Pipelined (it/s)",
+        "Speedup", "Analytic", "Overlap", "Cast (ms)", "Wait (ms)",
+        "Bitwise", "FwdEx (KB)", "BwdEx (KB)",
+    ]
+    table_rows = []
+    for row in rows:
+        table_rows.append(
+            [
+                row.model,
+                row.batch,
+                row.num_shards if row.num_shards > 0 else "-",
+                f"{row.serial_steps_per_s:.2f}",
+                f"{row.pipelined_steps_per_s:.2f}",
+                f"{row.measured_speedup:.2f}x",
+                f"{row.analytic_speedup:.2f}x",
+                f"{row.overlap_ratio:.2f}",
+                f"{row.cast_seconds * 1e3:.1f}",
+                f"{row.cast_wait_seconds * 1e3:.1f}",
+                "OK" if row.bit_identical else "DIVERGED",
+                f"{row.forward_exchange_bytes / 1e3:.1f}",
+                f"{row.backward_exchange_bytes / 1e3:.1f}",
+            ]
+        )
+    cores = os.cpu_count() or 1
+    return format_table(headers, table_rows) + (
+        "\nSpeedup = measured serial/pipelined wall-clock ratio; Analytic = "
+        "the cast-overlap bound\n(makespan + t_cast) / makespan from the "
+        "Ours(NMP) timeline; Overlap = measured/analytic.\nBitwise OK means "
+        "the pipelined run's losses and parameters match the serial run "
+        "exactly.\nCast = worker-side casting time of the pipelined run "
+        "(the hidden work); Wait = how long the\nstep loop actually blocked "
+        "on it (≈0 means the schedule fully hides the cast).\n"
+        "FwdEx/BwdEx split the sharded all-to-all payload by pipeline stage "
+        "(0 when unsharded).\n"
+        f"Host cores: {cores} — measured overlap needs a spare core to run "
+        "the hidden cast on;\non a single-core host expect parity here and "
+        "see the trainer's casting-vs-cast_wait split\nfor the scheduling "
+        "proof."
+    )

@@ -227,6 +227,17 @@ class DLRM:
         """``(param, grad)`` pairs of both MLPs for dense optimizer steps."""
         return self.bottom_mlp.parameters() + self.top_mlp.parameters()
 
+    def all_parameters(self) -> List[np.ndarray]:
+        """Every trainable tensor: dense MLP parameters + embedding tables.
+
+        The single source of truth for whole-model parameter comparisons
+        (e.g. the trainer equivalence checks) — extend here when the model
+        grows a parameter group so no comparison silently misses it.
+        """
+        return [param for param, _ in self.dense_parameters()] + [
+            bag.table for bag in self.embeddings
+        ]
+
     def zero_grad(self) -> None:
         """Clear accumulated dense gradients before a new iteration."""
         self.bottom_mlp.zero_grad()

@@ -2,10 +2,13 @@
 
 The co-designed runtime of Section IV-B lives here — the Figure 9 overlap
 of casting with forward propagation (:mod:`~repro.runtime.systems`), the
-timeline machinery behind it (:mod:`~repro.runtime.timeline`), and a
-wall-clock-instrumented functional trainer (:mod:`~repro.runtime.trainer`).
+timeline machinery behind it (:mod:`~repro.runtime.timeline`), a
+wall-clock-instrumented functional trainer (:mod:`~repro.runtime.trainer`),
+and the pipelined cast-ahead trainer that executes the overlap for real
+(:mod:`~repro.runtime.pipeline`).
 """
 
+from .pipeline import CastAheadWorker, PipelinedTrainer
 from .systems import (
     CPUGPUSystem,
     CPUOnlySystem,
@@ -43,6 +46,7 @@ from .trainer import FunctionalTrainer, PhaseTimings, TrainingReport
 __all__ = [
     "CPUGPUSystem",
     "CPUOnlySystem",
+    "CastAheadWorker",
     "FunctionalTrainer",
     "IterationResult",
     "NMPSystem",
@@ -58,6 +62,7 @@ __all__ = [
     "OP_FWD_DNN",
     "OP_FWD_GATHER",
     "PhaseTimings",
+    "PipelinedTrainer",
     "RESOURCE_CPU",
     "RESOURCE_GPU",
     "RESOURCE_LINK",

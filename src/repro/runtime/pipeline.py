@@ -1,0 +1,242 @@
+"""Pipelined cast-ahead training: the Section IV-B overlap, executed.
+
+The paper's runtime co-design hides Tensor Casting off the critical path by
+computing the cast for a batch *while the previous batch is still training*
+— the cast needs nothing but the index arrays, which exist the moment the
+batch is drawn.  :mod:`repro.runtime.systems` models that overlap
+analytically; this module **executes** it: :class:`PipelinedTrainer` is a
+double-buffered :class:`~repro.runtime.trainer.FunctionalTrainer` whose
+casting stage (and, in sharded mode, per-shard index splitting) for batch
+``i+1`` runs on a background :class:`CastAheadWorker` concurrently with
+batch ``i``'s forward/backward/update.
+
+Two guarantees make the measurement honest:
+
+* **Bit-identity** — the pipeline reorders only *when* phases run, never
+  *what* they compute: batches are drawn on the main thread in the same RNG
+  order as the serial trainer, and every phase executes through the very
+  same hook methods (`_cast_batch` / `_run_step` / `_plan_and_cast` /
+  `_run_sharded_step`), so parameters and losses match the serial trainer
+  exactly for the same seed.
+* **Thread safety by data disjointness** — the worker touches only index
+  data of the *next* batch (pure functions of the lookup ids), while the
+  main thread mutates parameters of the *current* batch; the two never
+  share mutable state.
+
+Per-phase wall-clock timings record what the overlap bought: ``casting`` is
+the worker-side cast time (hidden work), ``cast_wait`` is the part of it
+the step loop still had to wait for (exposed work).  The measured
+serial-vs-pipelined throughput ratio is compared against the analytic
+``Ours(NMP)`` prediction by ``python -m repro overlap``
+(:mod:`repro.experiments.overlap`).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import replace
+from typing import Any, Callable, List, Tuple
+
+import numpy as np
+
+from ..data.generator import CTRBatch
+from ..model.sharded import ShardedStepPlan
+from .trainer import FunctionalTrainer, PhaseTimings, TrainingReport
+
+__all__ = ["CastAheadWorker", "PipelinedTrainer"]
+
+
+class CastAheadWorker:
+    """A one-thread worker queue for cast-ahead (prefetch) jobs.
+
+    Thin wrapper over :class:`concurrent.futures.ThreadPoolExecutor` with a
+    single worker thread — the functional stand-in for the accelerator that
+    runs the casting stage in the paper's runtime (the GPU in Figure 9(b)).
+    Jobs are timed on the worker, so callers can split "how long the hidden
+    work took" (the returned seconds) from "how long the critical path
+    waited for it" (their own clock around ``Future.result()``).
+
+    Usable as a context manager; exiting shuts the worker down and waits
+    for in-flight jobs.
+    """
+
+    def __init__(self) -> None:
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="cast-ahead"
+        )
+
+    def submit(
+        self, fn: Callable[..., Any], *args: Any
+    ) -> "Future[Tuple[Any, float]]":
+        """Queue ``fn(*args)``; the future resolves to ``(result, seconds)``."""
+
+        def timed() -> Tuple[Any, float]:
+            start = time.perf_counter()
+            result = fn(*args)
+            return result, time.perf_counter() - start
+
+        return self._executor.submit(timed)
+
+    def shutdown(self) -> None:
+        """Stop accepting work and wait for any in-flight job."""
+        self._executor.shutdown(wait=True)
+
+    def __enter__(self) -> "CastAheadWorker":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> bool:
+        self.shutdown()
+        return False
+
+
+class PipelinedTrainer(FunctionalTrainer):
+    """Double-buffered trainer: batch ``i+1`` casts while batch ``i`` trains.
+
+    Accepts exactly the constructor of
+    :class:`~repro.runtime.trainer.FunctionalTrainer` (including the
+    ``num_shards`` / ``policy`` knobs) and produces bit-identical parameters
+    and losses for the same seed — only the wall-clock schedule differs.
+    Supports ``mode="casted"`` only: the baseline expand-coalesce has no
+    decoupled casting stage to pull off the critical path.
+
+    The report's phase timings gain two pipeline-specific entries:
+
+    ``prefetch``
+        Main-thread batch generation for the *next* step (kept on the main
+        thread so the RNG draw order matches the serial trainer).
+    ``cast_wait``
+        Time the step loop blocked on the cast-ahead future — the exposed
+        remainder of the casting stage.  Full overlap drives this toward
+        zero while ``casting`` (worker-side) stays unchanged.
+    """
+
+    def train(
+        self,
+        batch: int,
+        steps: int,
+        rng: np.random.Generator,
+        mode: str = "casted",
+    ) -> TrainingReport:
+        """Run ``steps`` pipelined iterations (see class docstring)."""
+        if mode != "casted":
+            raise ValueError(
+                "pipelined training supports mode='casted' only (the baseline "
+                f"backward has no casting stage to overlap), got {mode!r}"
+            )
+        self._validate_train_args(steps, mode)
+        wall_start = time.perf_counter()
+        if self.sharded is not None:
+            report = self._train_sharded_pipelined(batch, steps, rng)
+        else:
+            report = self._train_unsharded_pipelined(batch, steps, rng)
+        return replace(report, wall_seconds=time.perf_counter() - wall_start)
+
+    # ------------------------------------------------------------------
+    # Unsharded pipeline
+    # ------------------------------------------------------------------
+    def _train_unsharded_pipelined(
+        self, batch: int, steps: int, rng: np.random.Generator
+    ) -> TrainingReport:
+        timings = PhaseTimings()
+        losses: List[float] = []
+        with CastAheadWorker() as worker:
+            data, future = self._prefetch(batch, rng, worker, timings)
+            for step in range(steps):
+                upcoming = None
+                if step + 1 < steps:
+                    # Enqueue the next batch's cast before consuming this
+                    # one, so the worker overlaps with the step below.
+                    upcoming = self._prefetch(batch, rng, worker, timings)
+                start = time.perf_counter()
+                casts, cast_seconds = future.result()
+                timings.add("cast_wait", time.perf_counter() - start)
+                timings.add("casting", cast_seconds)
+                self._run_step(data, casts, "casted", timings, losses)
+                if upcoming is not None:
+                    data, future = upcoming
+        return TrainingReport(
+            losses=losses, timings=timings, mode="casted", steps=steps
+        )
+
+    def _prefetch(
+        self,
+        batch: int,
+        rng: np.random.Generator,
+        worker: CastAheadWorker,
+        timings: PhaseTimings,
+    ) -> Tuple[CTRBatch, "Future[Tuple[Any, float]]"]:
+        """Draw the next batch (main thread) and queue its casting stage."""
+        start = time.perf_counter()
+        data = self.stream.make_batch(batch, rng)
+        timings.add("prefetch", time.perf_counter() - start)
+        return data, worker.submit(self._cast_batch, data.indices)
+
+    # ------------------------------------------------------------------
+    # Sharded pipeline
+    # ------------------------------------------------------------------
+    def _train_sharded_pipelined(
+        self, batch: int, steps: int, rng: np.random.Generator
+    ) -> TrainingReport:
+        sharded = self.sharded
+        assert sharded is not None
+        timings = PhaseTimings()
+        shard_timings = [PhaseTimings() for _ in range(sharded.num_shards)]
+        losses: List[float] = []
+        forward_bytes = 0
+        backward_bytes = 0
+        with CastAheadWorker() as worker:
+            data, future = self._prefetch_sharded(batch, rng, worker, timings)
+            for step in range(steps):
+                upcoming = None
+                if step + 1 < steps:
+                    upcoming = self._prefetch_sharded(batch, rng, worker, timings)
+                start = time.perf_counter()
+                (plan, local, local_shards), _ = future.result()
+                timings.add("cast_wait", time.perf_counter() - start)
+                timings.merge(local)
+                for mine, theirs in zip(shard_timings, local_shards):
+                    mine.merge(theirs)
+                plan = self._run_sharded_step(
+                    data, plan, timings, shard_timings, losses
+                )
+                forward_bytes += plan.forward_exchange_bytes
+                backward_bytes += plan.backward_exchange_bytes
+                if upcoming is not None:
+                    data, future = upcoming
+        return TrainingReport(
+            losses=losses,
+            timings=timings,
+            mode="casted",
+            steps=steps,
+            shard_timings=shard_timings,
+            exchange_bytes=forward_bytes + backward_bytes,
+            forward_exchange_bytes=forward_bytes,
+            backward_exchange_bytes=backward_bytes,
+        )
+
+    def _prefetch_sharded(
+        self,
+        batch: int,
+        rng: np.random.Generator,
+        worker: CastAheadWorker,
+        timings: PhaseTimings,
+    ) -> Tuple[CTRBatch, "Future[Tuple[Any, float]]"]:
+        """Draw the next batch and queue its split + per-shard casts.
+
+        The worker records its ``partition``/``casting`` phases into local
+        accountings, merged into the step loop's on future completion — so
+        concurrent steps never write to shared timing state.
+        """
+        start = time.perf_counter()
+        data = self.stream.make_batch(batch, rng)
+        timings.add("prefetch", time.perf_counter() - start)
+
+        def plan_and_cast() -> Tuple[ShardedStepPlan, PhaseTimings, List[PhaseTimings]]:
+            assert self.sharded is not None
+            local = PhaseTimings()
+            local_shards = [PhaseTimings() for _ in range(self.sharded.num_shards)]
+            plan = self._plan_and_cast(data.indices, local, local_shards)
+            return plan, local, local_shards
+
+        return data, worker.submit(plan_and_cast)

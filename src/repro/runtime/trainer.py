@@ -12,8 +12,15 @@ With ``num_shards`` set, the trainer instead drives a
 :class:`~repro.model.sharded.ShardedEmbeddingSet`: the embedding phases run
 shard by shard (each timed separately, standing in for ``N`` concurrent
 devices), pooled vectors and gradient slices cross a simulated all-to-all
-whose byte counts land in the report, and the model parameters end up
+whose byte counts land in the report (attributed per pipeline stage —
+forward exchange vs. backward exchange), and the model parameters end up
 bit-identical to the unsharded trainer when ``num_shards=1``.
+
+Every phase of a step is exposed as a hook method (``_cast_batch``,
+``_run_step``, ``_plan_and_cast``, ``_run_sharded_step``) so that
+:class:`~repro.runtime.pipeline.PipelinedTrainer` can re-schedule *when*
+phases run — casting batch ``i+1`` concurrently with batch ``i``'s
+compute — while executing the exact same numerical code path.
 
 Used by the examples, the end-to-end tests, and the kernel benchmarks.
 """
@@ -21,17 +28,18 @@ Used by the examples, the end-to-end tests, and the kernel benchmarks.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..core.casting import tensor_casting
-from ..data.generator import SyntheticCTRStream
+from ..core.casting import CastedIndex, precompute_casts
+from ..core.indexing import IndexArray
+from ..data.generator import CTRBatch, SyntheticCTRStream
 from ..model.dlrm import DLRM
 from ..model.loss import bce_with_logits
 from ..model.optim import Optimizer
-from ..model.sharded import ShardedEmbeddingSet
+from ..model.sharded import ShardedEmbeddingSet, ShardedStepPlan
 
 __all__ = ["PhaseTimings", "TrainingReport", "FunctionalTrainer"]
 
@@ -44,6 +52,15 @@ class PhaseTimings:
 
     def add(self, phase: str, seconds: float) -> None:
         self.totals[phase] = self.totals.get(phase, 0.0) + seconds
+
+    def merge(self, other: "PhaseTimings") -> None:
+        """Fold another accounting into this one (phase-wise addition).
+
+        Used by the pipelined trainer to absorb the timings a background
+        cast-ahead worker recorded into the step-loop's accounting.
+        """
+        for phase, seconds in other.totals.items():
+            self.add(phase, seconds)
 
     def total(self) -> float:
         """All instrumented time across phases."""
@@ -61,10 +78,18 @@ class PhaseTimings:
 class TrainingReport:
     """Outcome of a measured training run.
 
-    ``shard_timings`` and ``exchange_bytes`` are populated only by sharded
-    runs: one :class:`PhaseTimings` per shard (phases ``casting`` /
-    ``gather`` / ``backward`` / ``update``) and the total simulated
-    all-to-all payload across all steps.
+    ``shard_timings`` and the exchange-byte counters are populated only by
+    sharded runs: one :class:`PhaseTimings` per shard (phases ``casting`` /
+    ``gather`` / ``backward`` / ``update``) and the simulated all-to-all
+    payload across all steps, attributed per pipeline stage —
+    ``forward_exchange_bytes`` (partial pooled sums to the sample owners)
+    plus ``backward_exchange_bytes`` (gradient rows and casted pairs to the
+    table owners), with ``exchange_bytes`` their sum.
+
+    ``wall_seconds`` is the end-to-end wall-clock of the whole
+    :meth:`FunctionalTrainer.train` call — the denominator of
+    :attr:`steps_per_second`, which is how the pipelined and serial
+    trainers' throughput are compared.
     """
 
     losses: List[float]
@@ -73,6 +98,9 @@ class TrainingReport:
     steps: int
     shard_timings: Optional[List[PhaseTimings]] = None
     exchange_bytes: int = 0
+    forward_exchange_bytes: int = 0
+    backward_exchange_bytes: int = 0
+    wall_seconds: float = 0.0
 
     @property
     def final_loss(self) -> float:
@@ -88,6 +116,13 @@ class TrainingReport:
         if self.shard_timings is None:
             return None
         return len(self.shard_timings)
+
+    @property
+    def steps_per_second(self) -> float:
+        """Measured training throughput (0.0 when wall time was not recorded)."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.steps / self.wall_seconds
 
 
 class FunctionalTrainer:
@@ -125,13 +160,22 @@ class FunctionalTrainer:
                 f"stream produces {stream.num_tables} tables, model has "
                 f"{len(model.embeddings)}"
             )
+        if num_shards is not None and (
+            isinstance(num_shards, bool)
+            or not isinstance(num_shards, (int, np.integer))
+            or num_shards <= 0
+        ):
+            raise ValueError(
+                "num_shards must be a positive integer (or None for the "
+                f"unsharded path), got {num_shards!r}"
+            )
         self.model = model
         self.stream = stream
         self.optimizer = optimizer
         self.sharded: ShardedEmbeddingSet | None = None
         if num_shards is not None:
             self.sharded = ShardedEmbeddingSet(
-                model.embeddings, num_shards=num_shards, policy=policy
+                model.embeddings, num_shards=int(num_shards), policy=policy
             )
 
     def train(
@@ -150,44 +194,168 @@ class FunctionalTrainer:
         ``"casted"`` only: the per-shard exchange payload *is* the casted
         index representation, so there is no baseline variant to shard.
         """
+        self._validate_train_args(steps, mode)
+        wall_start = time.perf_counter()
+        if self.sharded is not None:
+            report = self._train_sharded(batch, steps, rng)
+        else:
+            report = self._train_serial(batch, steps, rng, mode)
+        return replace(report, wall_seconds=time.perf_counter() - wall_start)
+
+    def _validate_train_args(self, steps: int, mode: str) -> None:
         if steps <= 0:
             raise ValueError(f"steps must be positive, got {steps}")
-        if self.sharded is not None:
-            if mode != "casted":
-                raise ValueError(
-                    f"sharded training supports mode='casted' only, got {mode!r}"
-                )
-            return self._train_sharded(batch, steps, rng)
+        if self.sharded is not None and mode != "casted":
+            raise ValueError(
+                f"sharded training supports mode='casted' only, got {mode!r}"
+            )
+
+    # ------------------------------------------------------------------
+    # Phase hooks — the numerical step, shared with the pipelined trainer
+    # ------------------------------------------------------------------
+    def _cast_batch(self, indices: Sequence[IndexArray]) -> List[CastedIndex]:
+        """Casting stage: Algorithm 2 over every table of one batch.
+
+        Depends only on the index arrays, so it may run arbitrarily far
+        ahead of the batch's forward pass (the pipelined trainer runs it on
+        a background worker while the previous batch trains).
+        """
+        return precompute_casts(indices)
+
+    def _run_step(
+        self,
+        data: CTRBatch,
+        casts: Optional[Sequence[CastedIndex]],
+        mode: str,
+        timings: PhaseTimings,
+        losses: List[float],
+    ) -> None:
+        """Forward → loss → backward → update on one prepared batch."""
+        self.model.zero_grad()
+        start = time.perf_counter()
+        logits = self.model.forward(data.dense, data.indices)
+        timings.add("forward", time.perf_counter() - start)
+
+        start = time.perf_counter()
+        loss, dlogits = bce_with_logits(logits, data.labels)
+        timings.add("loss", time.perf_counter() - start)
+        losses.append(loss)
+
+        start = time.perf_counter()
+        sparse_grads = self.model.backward(dlogits, mode=mode, casts=casts)
+        timings.add("backward", time.perf_counter() - start)
+
+        start = time.perf_counter()
+        self.optimizer.step(self.model.dense_parameters())
+        for bag, grad in zip(self.model.embeddings, sparse_grads):
+            bag.apply_gradient(grad, self.optimizer)
+        timings.add("update", time.perf_counter() - start)
+
+    def _plan_and_cast(
+        self,
+        indices: Sequence[IndexArray],
+        timings: PhaseTimings,
+        shard_timings: List[PhaseTimings],
+    ) -> ShardedStepPlan:
+        """Split one batch's index arrays by shard and cast every slice.
+
+        Like :meth:`_cast_batch`, this consumes index data only — no
+        parameters, no gradients — so the pipelined trainer runs it for
+        batch ``i+1`` concurrently with batch ``i``'s compute.
+        """
+        sharded = self.sharded
+        assert sharded is not None
+        start = time.perf_counter()
+        plan = sharded.plan_batch(indices)
+        timings.add("partition", time.perf_counter() - start)
+        for shard in range(sharded.num_shards):
+            # per-shard Algorithm 2, off the critical path
+            start = time.perf_counter()
+            sharded.cast_shard(plan, shard)
+            elapsed = time.perf_counter() - start
+            shard_timings[shard].add("casting", elapsed)
+            timings.add("casting", elapsed)
+        return plan
+
+    def _run_sharded_step(
+        self,
+        data: CTRBatch,
+        plan: ShardedStepPlan,
+        timings: PhaseTimings,
+        shard_timings: List[PhaseTimings],
+        losses: List[float],
+    ) -> ShardedStepPlan:
+        """Sharded forward/exchange/backward/update over a prepared plan.
+
+        Returns the plan so callers can harvest its per-stage exchange-byte
+        counters (``forward_exchange_bytes`` / ``backward_exchange_bytes``).
+        """
+        sharded = self.sharded
+        assert sharded is not None
+        shards = range(sharded.num_shards)
+
+        self.model.zero_grad()
+        for shard in shards:
+            start = time.perf_counter()
+            sharded.forward_shard(plan, shard)
+            elapsed = time.perf_counter() - start
+            shard_timings[shard].add("gather", elapsed)
+            timings.add("forward", elapsed)
+
+        start = time.perf_counter()
+        emb_outs = sharded.assemble_pooled(plan)
+        timings.add("exchange", time.perf_counter() - start)
+
+        start = time.perf_counter()
+        logits = self.model.forward_from_pooled(data.dense, emb_outs)
+        timings.add("forward", time.perf_counter() - start)
+
+        start = time.perf_counter()
+        loss, dlogits = bce_with_logits(logits, data.labels)
+        timings.add("loss", time.perf_counter() - start)
+        losses.append(loss)
+
+        start = time.perf_counter()
+        grad_tables = self.model.backward_through_dense(dlogits)
+        sharded.prepare_backward(plan, grad_tables)
+        timings.add("backward", time.perf_counter() - start)
+
+        per_shard_coalesced = []
+        for shard in shards:
+            start = time.perf_counter()
+            coalesced = sharded.backward_shard(plan, shard, grad_tables)
+            elapsed = time.perf_counter() - start
+            shard_timings[shard].add("backward", elapsed)
+            timings.add("backward", elapsed)
+            per_shard_coalesced.append(coalesced)
+
+        start = time.perf_counter()
+        self.optimizer.step(self.model.dense_parameters())
+        timings.add("update", time.perf_counter() - start)
+        for shard in shards:
+            start = time.perf_counter()
+            sharded.update_shard(shard, per_shard_coalesced[shard], self.optimizer)
+            elapsed = time.perf_counter() - start
+            shard_timings[shard].add("update", elapsed)
+            timings.add("update", elapsed)
+        return plan
+
+    # ------------------------------------------------------------------
+    # Serial step loops
+    # ------------------------------------------------------------------
+    def _train_serial(
+        self, batch: int, steps: int, rng: np.random.Generator, mode: str
+    ) -> TrainingReport:
         timings = PhaseTimings()
         losses: List[float] = []
         for _ in range(steps):
             data = self.stream.make_batch(batch, rng)
-
             casts = None
             if mode == "casted":
                 start = time.perf_counter()
-                casts = [tensor_casting(index) for index in data.indices]
+                casts = self._cast_batch(data.indices)
                 timings.add("casting", time.perf_counter() - start)
-
-            self.model.zero_grad()
-            start = time.perf_counter()
-            logits = self.model.forward(data.dense, data.indices)
-            timings.add("forward", time.perf_counter() - start)
-
-            start = time.perf_counter()
-            loss, dlogits = bce_with_logits(logits, data.labels)
-            timings.add("loss", time.perf_counter() - start)
-            losses.append(loss)
-
-            start = time.perf_counter()
-            sparse_grads = self.model.backward(dlogits, mode=mode, casts=casts)
-            timings.add("backward", time.perf_counter() - start)
-
-            start = time.perf_counter()
-            self.optimizer.step(self.model.dense_parameters())
-            for bag, grad in zip(self.model.embeddings, sparse_grads):
-                bag.apply_gradient(grad, self.optimizer)
-            timings.add("update", time.perf_counter() - start)
+            self._run_step(data, casts, mode, timings, losses)
         return TrainingReport(losses=losses, timings=timings, mode=mode, steps=steps)
 
     def _train_sharded(
@@ -202,75 +370,24 @@ class FunctionalTrainer:
         """
         sharded = self.sharded
         assert sharded is not None
-        shards = range(sharded.num_shards)
         timings = PhaseTimings()
-        shard_timings = [PhaseTimings() for _ in shards]
+        shard_timings = [PhaseTimings() for _ in range(sharded.num_shards)]
         losses: List[float] = []
-        exchange_bytes = 0
+        forward_bytes = 0
+        backward_bytes = 0
         for _ in range(steps):
             data = self.stream.make_batch(batch, rng)
-
-            start = time.perf_counter()
-            plan = sharded.plan_batch(data.indices)
-            timings.add("partition", time.perf_counter() - start)
-
-            for shard in shards:  # per-shard Algorithm 2, off the critical path
-                start = time.perf_counter()
-                sharded.cast_shard(plan, shard)
-                elapsed = time.perf_counter() - start
-                shard_timings[shard].add("casting", elapsed)
-                timings.add("casting", elapsed)
-
-            self.model.zero_grad()
-            for shard in shards:
-                start = time.perf_counter()
-                sharded.forward_shard(plan, shard)
-                elapsed = time.perf_counter() - start
-                shard_timings[shard].add("gather", elapsed)
-                timings.add("forward", elapsed)
-
-            start = time.perf_counter()
-            emb_outs = sharded.assemble_pooled(plan)
-            timings.add("exchange", time.perf_counter() - start)
-
-            start = time.perf_counter()
-            logits = self.model.forward_from_pooled(data.dense, emb_outs)
-            timings.add("forward", time.perf_counter() - start)
-
-            start = time.perf_counter()
-            loss, dlogits = bce_with_logits(logits, data.labels)
-            timings.add("loss", time.perf_counter() - start)
-            losses.append(loss)
-
-            start = time.perf_counter()
-            grad_tables = self.model.backward_through_dense(dlogits)
-            sharded.prepare_backward(plan, grad_tables)
-            timings.add("backward", time.perf_counter() - start)
-
-            per_shard_coalesced = []
-            for shard in shards:
-                start = time.perf_counter()
-                coalesced = sharded.backward_shard(plan, shard, grad_tables)
-                elapsed = time.perf_counter() - start
-                shard_timings[shard].add("backward", elapsed)
-                timings.add("backward", elapsed)
-                per_shard_coalesced.append(coalesced)
-
-            start = time.perf_counter()
-            self.optimizer.step(self.model.dense_parameters())
-            timings.add("update", time.perf_counter() - start)
-            for shard in shards:
-                start = time.perf_counter()
-                sharded.update_shard(shard, per_shard_coalesced[shard], self.optimizer)
-                elapsed = time.perf_counter() - start
-                shard_timings[shard].add("update", elapsed)
-                timings.add("update", elapsed)
-            exchange_bytes += plan.exchange_bytes
+            plan = self._plan_and_cast(data.indices, timings, shard_timings)
+            plan = self._run_sharded_step(data, plan, timings, shard_timings, losses)
+            forward_bytes += plan.forward_exchange_bytes
+            backward_bytes += plan.backward_exchange_bytes
         return TrainingReport(
             losses=losses,
             timings=timings,
             mode="casted",
             steps=steps,
             shard_timings=shard_timings,
-            exchange_bytes=exchange_bytes,
+            exchange_bytes=forward_bytes + backward_bytes,
+            forward_exchange_bytes=forward_bytes,
+            backward_exchange_bytes=backward_bytes,
         )

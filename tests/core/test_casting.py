@@ -8,9 +8,12 @@ from hypothesis import strategies as st
 from repro.core.casting import (
     CastedIndex,
     hash_casting,
+    precompute_casts,
     tensor_casting,
     tensor_casting_reference,
 )
+from repro.core.coalesce import expand_coalesce
+from repro.core.gather_reduce import casted_gather_reduce
 from repro.core.indexing import IndexArray
 from tests.conftest import make_random_index
 
@@ -111,6 +114,76 @@ class TestStructuralInvariants:
         row7_positions = cast.casted_dst == cast.casted_dst[np.searchsorted(cast.rows, 7)]
         gathered = cast.casted_src[row7_positions]
         assert gathered.tolist() == [0, 3]
+
+
+class TestDegenerateShapes:
+    """Single-lookup and all-same-src arrays through cast *and* backward."""
+
+    def test_single_lookup_matches_reference(self):
+        index = IndexArray([3], [0], num_rows=5)
+        cast = tensor_casting(index)
+        ref_src, ref_dst = tensor_casting_reference(index.src, index.dst)
+        assert np.array_equal(cast.casted_src, ref_src)
+        assert np.array_equal(cast.casted_dst, ref_dst)
+
+    def test_single_lookup_backward_roundtrip(self, rng):
+        """One lookup: the coalesced gradient IS that sample's gradient."""
+        index = IndexArray([3], [0], num_rows=5, num_outputs=2)
+        grads = rng.standard_normal((2, 4))
+        rows, coalesced = casted_gather_reduce(grads, tensor_casting(index))
+        assert rows.tolist() == [3]
+        assert np.array_equal(coalesced, grads[[0]])
+
+    def test_all_same_src_matches_reference(self):
+        index = IndexArray([2, 2, 2, 2], [3, 0, 2, 1], num_rows=5)
+        cast = tensor_casting(index)
+        ref_src, ref_dst = tensor_casting_reference(index.src, index.dst)
+        assert np.array_equal(cast.casted_src, ref_src)
+        assert np.array_equal(cast.casted_dst, ref_dst)
+        # Stable sort on a constant key preserves the original dst order.
+        assert cast.casted_src.tolist() == [3, 0, 2, 1]
+        assert cast.rows.tolist() == [2]
+
+    def test_all_same_src_backward_sums_every_gradient(self, rng):
+        """All lookups hit one row: its gradient is the full-batch sum."""
+        index = IndexArray([2, 2, 2, 2], [0, 1, 2, 3], num_rows=5)
+        grads = rng.standard_normal((4, 3))
+        rows, coalesced = casted_gather_reduce(grads, tensor_casting(index))
+        assert rows.tolist() == [2]
+        assert np.allclose(coalesced[0], grads.sum(axis=0))
+
+    @pytest.mark.parametrize(
+        "src, dst",
+        [([3], [0]), ([2, 2, 2, 2], [0, 1, 2, 3])],
+        ids=["single-lookup", "all-same-src"],
+    )
+    def test_degenerate_casted_equals_baseline(self, src, dst, rng):
+        index = IndexArray(src, dst, num_rows=5)
+        grads = rng.standard_normal((index.num_outputs, 3))
+        rows_b, coal_b = expand_coalesce(index, grads)
+        rows_c, coal_c = casted_gather_reduce(grads, tensor_casting(index))
+        assert np.array_equal(rows_b, rows_c)
+        assert np.allclose(coal_b, coal_c)
+
+
+class TestPrecomputeCasts:
+    """The batch-level cast-ahead API used by the pipelined runtime."""
+
+    def test_one_cast_per_table(self, rng):
+        indices = [
+            make_random_index(rng, num_rows=30, batch=6, lookups=4)
+            for _ in range(3)
+        ]
+        casts = precompute_casts(indices)
+        assert len(casts) == 3
+        for cast, index in zip(casts, indices):
+            expected = tensor_casting(index)
+            assert np.array_equal(cast.casted_src, expected.casted_src)
+            assert np.array_equal(cast.casted_dst, expected.casted_dst)
+            assert np.array_equal(cast.rows, expected.rows)
+
+    def test_empty_batch(self):
+        assert precompute_casts([]) == []
 
 
 class TestAsIndexArray:

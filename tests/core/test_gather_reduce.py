@@ -92,6 +92,55 @@ class TestForwardGatherReduce:
         assert gather_reduce(table, paper_index).dtype == np.float32
 
 
+class TestWeightedGatherReduce:
+    """The weighted (mean/attention pooling) variant of the kernel."""
+
+    def test_weighted_matches_reference(self, rng):
+        index = make_random_index(rng, num_rows=25, batch=6, lookups=5)
+        table = rng.standard_normal((25, 4))
+        weights = rng.standard_normal(index.num_lookups)
+        assert np.allclose(
+            gather_reduce(table, index, weights=weights),
+            gather_reduce_reference(table, index, weights=weights),
+        )
+
+    def test_float32_table_float64_weights_keeps_float32_output(self, rng):
+        """float64 weights must not silently upcast a float32 gather."""
+        index = make_random_index(rng, num_rows=25, batch=6, lookups=5)
+        table = rng.standard_normal((25, 4)).astype(np.float32)
+        weights = rng.standard_normal(index.num_lookups)  # float64
+        out = gather_reduce(table, index, weights=weights)
+        assert out.dtype == np.float32
+        assert np.allclose(
+            out, gather_reduce_reference(table, index, weights=weights),
+            atol=1e-6,
+        )
+
+    def test_float32_weighted_unsorted_dst_keeps_float32_output(self, rng):
+        """The scattered-add fallback path preserves dtype too."""
+        src = rng.integers(0, 20, 30)
+        dst = rng.integers(0, 6, 30)
+        index = IndexArray(src, dst, num_rows=20, num_outputs=6)
+        table = rng.standard_normal((20, 3)).astype(np.float32)
+        weights = rng.standard_normal(30)  # float64
+        out = gather_reduce(table, index, weights=weights)
+        assert out.dtype == np.float32
+
+    def test_preallocated_float32_out_respected_with_float64_weights(self, rng):
+        index = make_random_index(rng, num_rows=25, batch=6, lookups=5)
+        table = rng.standard_normal((25, 4)).astype(np.float32)
+        weights = rng.standard_normal(index.num_lookups)  # float64
+        out = np.zeros((6, 4), dtype=np.float32)
+        result = gather_reduce(table, index, out=out, weights=weights)
+        assert result is out
+        assert result.dtype == np.float32
+
+    def test_rejects_bad_weight_shape(self, paper_index):
+        table = np.ones((6, 2))
+        with pytest.raises(ValueError, match="weights must have shape"):
+            gather_reduce(table, paper_index, weights=np.ones(3))
+
+
 class TestCastedGatherReduce:
     def test_equals_baseline_on_paper_example(self, paper_index):
         grads = np.array([[1.0, 1.0], [10.0, 10.0]])

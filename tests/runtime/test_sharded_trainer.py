@@ -3,7 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.data.generator import SyntheticCTRStream
+from repro.core.indexing import IndexArray
+from repro.data.generator import CTRBatch, SyntheticCTRStream
 from repro.model.configs import RM1
 from repro.model.dlrm import DLRM
 from repro.model.optim import SGD, Adagrad
@@ -29,9 +30,7 @@ def make_trainer(num_shards=None, policy="row", optimizer_cls=SGD, seed=0):
 
 
 def all_params(model):
-    return [p for p, _ in model.dense_parameters()] + [
-        bag.table for bag in model.embeddings
-    ]
+    return model.all_parameters()
 
 
 class TestSingleShardEquivalence:
@@ -109,3 +108,94 @@ class TestShardedReport:
         _, trainer = make_trainer(num_shards=2)
         with pytest.raises(ValueError, match="casted"):
             trainer.train(16, 2, np.random.default_rng(1), mode="baseline")
+
+    def test_exchange_bytes_attributed_per_stage(self):
+        _, trainer = make_trainer(num_shards=2)
+        report = trainer.train(16, 2, np.random.default_rng(1))
+        assert report.forward_exchange_bytes > 0
+        assert report.backward_exchange_bytes > 0
+        assert report.exchange_bytes == (
+            report.forward_exchange_bytes + report.backward_exchange_bytes
+        )
+
+
+class TestConstructionValidation:
+    """num_shards is validated up front, not deep inside partitioning."""
+
+    @pytest.mark.parametrize("num_shards", [0, -1, -8])
+    def test_nonpositive_num_shards_rejected(self, num_shards):
+        with pytest.raises(ValueError, match="num_shards must be a positive"):
+            make_trainer(num_shards=num_shards)
+
+    @pytest.mark.parametrize("num_shards", [1.5, "2", True])
+    def test_non_integer_num_shards_rejected(self, num_shards):
+        with pytest.raises(ValueError, match="num_shards must be a positive"):
+            make_trainer(num_shards=num_shards)
+
+    def test_numpy_integer_accepted(self):
+        _, trainer = make_trainer(num_shards=np.int64(2))
+        assert trainer.sharded.num_shards == 2
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="policy"):
+            make_trainer(num_shards=2, policy="diagonal")
+
+
+class _EmptyTablesStream(SyntheticCTRStream):
+    """A stream that empties out the index arrays of selected tables."""
+
+    def __init__(self, empty_tables, **kwargs):
+        super().__init__(**kwargs)
+        self.empty_tables = set(empty_tables)
+
+    def make_batch(self, batch, rng):
+        data = super().make_batch(batch, rng)
+        indices = [
+            IndexArray([], [], num_rows=index.num_rows, num_outputs=batch)
+            if table_id in self.empty_tables else index
+            for table_id, index in enumerate(data.indices)
+        ]
+        return CTRBatch(dense=data.dense, indices=indices, labels=data.labels)
+
+
+class TestZeroLookupBatches:
+    """Empty index arrays flow through the full sharded step without error."""
+
+    def _trainer(self, empty_tables, num_shards=2, policy="row"):
+        model = DLRM(CONFIG, rng=np.random.default_rng(0))
+        stream = _EmptyTablesStream(
+            empty_tables,
+            num_tables=3, num_rows=60, lookups_per_sample=4,
+            dense_features=8, seed=0,
+        )
+        return FunctionalTrainer(
+            model, stream, SGD(lr=0.3), num_shards=num_shards, policy=policy,
+        )
+
+    @pytest.mark.parametrize("policy", ["row", "table"])
+    def test_one_empty_table_trains_and_counts_other_tables(self, policy):
+        trainer = self._trainer({0}, policy=policy)
+        report = trainer.train(16, 2, np.random.default_rng(1))
+        assert len(report.losses) == 2
+        assert all(np.isfinite(loss) for loss in report.losses)
+        # The remaining two tables still exchange payload.
+        assert report.exchange_bytes > 0
+
+    def test_all_tables_empty_reports_zero_exchange(self):
+        trainer = self._trainer({0, 1, 2})
+        report = trainer.train(16, 2, np.random.default_rng(1))
+        assert report.exchange_bytes == 0
+        assert report.forward_exchange_bytes == 0
+        assert report.backward_exchange_bytes == 0
+        assert all(np.isfinite(loss) for loss in report.losses)
+
+    def test_empty_table_contributes_zero_bytes(self):
+        """Emptying a table removes exactly its payload, nothing else."""
+        full = self._trainer(set()).train(16, 2, np.random.default_rng(1))
+        partial = self._trainer({1}).train(16, 2, np.random.default_rng(1))
+        assert partial.exchange_bytes < full.exchange_bytes
+
+    def test_unsharded_casted_mode_tolerates_empty_table(self):
+        trainer = self._trainer({0}, num_shards=None)
+        report = trainer.train(16, 2, np.random.default_rng(1))
+        assert all(np.isfinite(loss) for loss in report.losses)

@@ -73,6 +73,55 @@ class TestMain:
         args = build_parser().parse_args(["scaling", "--shards", "1", "4"])
         assert args.shards == [1, 4]
 
+    def test_overlap_tiny_sweep(self, capsys):
+        code = main(["overlap", "--batches", "16", "--shards", "0",
+                     "--steps", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Pipelined" in out and "Analytic" in out
+
+    def test_steps_option_parses(self):
+        args = build_parser().parse_args(["overlap", "--steps", "3"])
+        assert args.steps == 3
+
+    def test_overlap_explicit_zero_steps_not_coerced_to_default(self, capsys):
+        assert main(["overlap", "--batches", "16", "--steps", "0"]) == 2
+        assert "steps must be positive" in capsys.readouterr().err
+
+    def test_overlap_zero_batch_exits_cleanly(self, capsys):
+        assert main(["overlap", "--batches", "0"]) == 2
+        assert "batch sizes must be positive" in capsys.readouterr().err
+
     def test_registry_descriptions_reference_paper_artifacts(self):
         for name, (_, description) in EXPERIMENTS.items():
             assert "Figure" in description or "Table" in description or "Section" in description
+
+
+class TestExitCodes:
+    """The process exit code is trustworthy for scripting/CI."""
+
+    def test_unknown_experiment_exits_nonzero(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fig99"])
+        assert excinfo.value.code not in (0, None)
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_validate_failure_propagates_nonzero(self, monkeypatch, capsys):
+        from repro import validation
+
+        failing = validation.ValidationReport(
+            checks=[validation.CheckResult("doomed", False, "synthetic failure")]
+        )
+        monkeypatch.setattr(validation, "validate_all", lambda: failing)
+        assert main(["validate"]) == 1
+        assert "VALIDATION FAILED" in capsys.readouterr().out
+
+    def test_validate_success_returns_zero(self, monkeypatch, capsys):
+        from repro import validation
+
+        passing = validation.ValidationReport(
+            checks=[validation.CheckResult("fine", True, "synthetic pass")]
+        )
+        monkeypatch.setattr(validation, "validate_all", lambda: passing)
+        assert main(["validate"]) == 0
+        assert "ALL CHECKS PASSED" in capsys.readouterr().out
