@@ -6,14 +6,22 @@ expand-coalesce and skips the expanded-tensor materialization, so it wins in
 actual NumPy wall-clock — the same mechanism behind the paper's software-only
 1.2-2.8x.  pytest-benchmark reports ops/sec for each primitive.
 
+Every hot-kernel benchmark is parametrized over the pluggable kernel engine
+(:mod:`repro.backends`).  Select with ``--backend NAME``; ``--backend all``
+sweeps every available backend side by side (the registry's order), which is
+how the reference-oracle, vectorized-NumPy, numba-JIT, and autotuned engines
+are compared on identical workloads.
+
 Set ``BENCH_SMOKE=1`` to shrink the workload to a CI-friendly smoke size.
 """
 
 import os
+import time
 
 import numpy as np
 import pytest
 
+from repro.backends import available_backends, get_backend
 from repro.core.casting import hash_casting, tensor_casting
 from repro.core.coalesce import expand_coalesce
 from repro.core.gather_reduce import casted_gather_reduce, gather_reduce
@@ -27,6 +35,21 @@ if _SMOKE:
     BATCH, LOOKUPS, ROWS, DIM = 256, 4, 2_000, 16
 else:
     BATCH, LOOKUPS, ROWS, DIM = 4_096, 16, 200_000, 64
+
+
+def pytest_generate_tests(metafunc):
+    """Expand ``kernel_backend`` from the ``--backend`` option."""
+    if "kernel_backend" not in metafunc.fixturenames:
+        return
+    spec = metafunc.config.getoption("--backend")
+    if spec == "all":
+        names = list(available_backends())
+    elif spec is None:
+        names = ["vectorized"]
+    else:
+        get_backend(spec)  # fail fast, listing the registered names
+        names = [spec]
+    metafunc.parametrize("kernel_backend", names)
 
 
 @pytest.fixture(scope="module")
@@ -43,31 +66,33 @@ def workload():
     return index, table, gradients
 
 
-def test_forward_gather_reduce(benchmark, workload):
+def test_forward_gather_reduce(benchmark, workload, kernel_backend):
     index, table, _ = workload
-    result = benchmark(gather_reduce, table, index)
+    result = benchmark(gather_reduce, table, index, backend=kernel_backend)
     assert result.shape == (BATCH, DIM)
 
 
-def test_backward_baseline_expand_coalesce(benchmark, workload):
+def test_backward_baseline_expand_coalesce(benchmark, workload, kernel_backend):
     index, _, gradients = workload
-    rows, _ = benchmark(expand_coalesce, index, gradients)
+    rows, _ = benchmark(expand_coalesce, index, gradients,
+                        backend=kernel_backend)
     assert rows.size == index.num_unique_sources()
 
 
-def test_backward_casted_gather_reduce(benchmark, workload):
+def test_backward_casted_gather_reduce(benchmark, workload, kernel_backend):
     """Algorithm 3 Step B alone - the only part on the backward critical
     path once the runtime hides the cast."""
     index, _, gradients = workload
     cast = tensor_casting(index)
-    rows, _ = benchmark(casted_gather_reduce, gradients, cast)
+    rows, _ = benchmark(casted_gather_reduce, gradients, cast,
+                        backend=kernel_backend)
     assert rows.size == cast.num_coalesced
 
 
-def test_casting_stage(benchmark, workload):
+def test_casting_stage(benchmark, workload, kernel_backend):
     """Algorithm 2 alone - the part the runtime hides under forward."""
     index, _, _ = workload
-    cast = benchmark(tensor_casting, index)
+    cast = benchmark(tensor_casting, index, backend=kernel_backend)
     assert cast.num_lookups == index.num_lookups
 
 
@@ -77,15 +102,25 @@ def test_hash_casting_stage(benchmark, workload):
     assert cast.num_lookups == index.num_lookups
 
 
-def test_gradient_scatter_update(benchmark, workload):
+def test_gradient_scatter_update(benchmark, workload, kernel_backend):
     index, table, gradients = workload
     cast = tensor_casting(index)
     rows, coalesced = casted_gather_reduce(gradients, cast)
 
     def scatter():
-        gradient_scatter(table, rows, coalesced, lr=1e-6)
+        gradient_scatter(table, rows, coalesced, lr=1e-6,
+                         backend=kernel_backend)
 
     benchmark(scatter)
+
+
+def _best_of(func, repeats=5):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        func()
+        best = min(best, time.perf_counter() - start)
+    return best
 
 
 @pytest.mark.skipif(
@@ -93,21 +128,34 @@ def test_gradient_scatter_update(benchmark, workload):
 )
 def test_casted_beats_baseline_wallclock(workload):
     """Direct A/B: exposed backward path, baseline vs casted (cast hidden)."""
-    import time
-
     index, _, gradients = workload
     cast = tensor_casting(index)
 
-    def measure(func, repeats=5):
-        best = float("inf")
-        for _ in range(repeats):
-            start = time.perf_counter()
-            func()
-            best = min(best, time.perf_counter() - start)
-        return best
-
-    baseline = measure(lambda: expand_coalesce(index, gradients))
-    casted = measure(lambda: casted_gather_reduce(gradients, cast))
+    baseline = _best_of(lambda: expand_coalesce(index, gradients))
+    casted = _best_of(lambda: casted_gather_reduce(gradients, cast))
     print(f"\n[kernels] exposed backward: baseline {baseline * 1e3:.2f} ms vs "
           f"casted {casted * 1e3:.2f} ms -> {baseline / casted:.2f}x")
     assert casted < baseline
+
+
+@pytest.mark.skipif(
+    _SMOKE, reason="A/B wall-clock assertion needs the full-size workload"
+)
+def test_vectorized_beats_reference_casted_backward(workload):
+    """Backend A/B at the paper's default shapes: the fused vectorized
+    engine must beat the pure-Python oracle on the casted backward
+    gather-reduce (the ISSUE's acceptance bar for the backend subsystem)."""
+    index, _, gradients = workload
+    cast = tensor_casting(index)
+
+    reference = _best_of(
+        lambda: casted_gather_reduce(gradients, cast, backend="reference"),
+        repeats=3,
+    )
+    vectorized = _best_of(
+        lambda: casted_gather_reduce(gradients, cast, backend="vectorized")
+    )
+    print(f"\n[backends] casted backward: reference {reference * 1e3:.2f} ms "
+          f"vs vectorized {vectorized * 1e3:.2f} ms -> "
+          f"{reference / vectorized:.1f}x")
+    assert vectorized < reference

@@ -12,6 +12,9 @@ Package tour
 * :mod:`repro.core` — index arrays, gather-reduce/scatter kernels, the
   baseline expand-coalesce pipeline, Tensor Casting itself, and analytic
   memory-traffic models;
+* :mod:`repro.backends` — the pluggable kernel engine every hot kernel
+  dispatches through: ``reference`` oracles, fused ``vectorized`` NumPy,
+  optional JIT ``numba``, and the autotuned ``auto`` policy;
 * :mod:`repro.model` — a from-scratch NumPy DLRM (MLPs, embedding bags with
   both backward strategies, interactions, losses, optimizers) plus the
   Table II configurations;
@@ -36,6 +39,14 @@ Quickstart
 [0, 1, 2, 4]
 """
 
+from .backends import (
+    KernelBackend,
+    available_backends,
+    get_backend,
+    registered_backends,
+    set_default_backend,
+    use_backend,
+)
 from .core import (
     CastedIndex,
     IndexArray,
@@ -124,6 +135,7 @@ __all__ = [
     "FunctionalTrainer",
     "GPUModel",
     "IndexArray",
+    "KernelBackend",
     "Link",
     "MLP",
     "ModelConfig",
@@ -162,5 +174,10 @@ __all__ = [
     "sharded_exchange_bytes",
     "tcasted_grad_gather_reduce",
     "tensor_casting",
+    "available_backends",
+    "get_backend",
+    "registered_backends",
+    "set_default_backend",
+    "use_backend",
     "__version__",
 ]

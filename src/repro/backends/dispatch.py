@@ -1,0 +1,71 @@
+"""Backend resolution: how the thin core dispatchers pick an engine.
+
+Every hot kernel in :mod:`repro.core` accepts a ``backend=`` argument that
+may be a backend *name*, a :class:`~repro.backends.base.KernelBackend`
+instance, or ``None`` meaning "the process default" (:data:`initially
+<_DEFAULT_NAME>` the ``vectorized`` NumPy engine, so plain library use keeps
+its historical behavior).  The trainers resolve their ``backend=`` knob once
+at construction and thread the resulting *instance* through the model and
+sharded executor, so a training run never consults mutable process state —
+:func:`set_default_backend` / :func:`use_backend` exist for scripts and the
+CLI, which set the default before any kernel runs.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Union
+
+from .base import KernelBackend
+from .registry import get_backend
+
+__all__ = [
+    "BackendSpec",
+    "get_default_backend",
+    "resolve_backend",
+    "set_default_backend",
+    "use_backend",
+]
+
+#: Anything a ``backend=`` argument accepts.
+BackendSpec = Union[str, KernelBackend, None]
+
+_DEFAULT_NAME = "vectorized"
+
+
+def get_default_backend() -> str:
+    """Name of the backend ``backend=None`` resolves to."""
+    return _DEFAULT_NAME
+
+
+def set_default_backend(name: str) -> None:
+    """Set the process-wide default backend (validates the name eagerly)."""
+    global _DEFAULT_NAME
+    get_backend(name)  # raises Unknown/Unavailable with the names listed
+    _DEFAULT_NAME = name
+
+
+def resolve_backend(spec: BackendSpec = None) -> KernelBackend:
+    """Resolve a ``backend=`` argument to a concrete backend instance."""
+    if spec is None:
+        return get_backend(_DEFAULT_NAME)
+    if isinstance(spec, KernelBackend):
+        return spec
+    return get_backend(spec)
+
+
+@contextmanager
+def use_backend(name: str) -> Iterator[KernelBackend]:
+    """Temporarily swap the process default backend (not thread-scoped).
+
+    The pipelined trainer's background worker reads the backend *instance*
+    its trainer resolved at construction, never this default — so scoping
+    the default per-thread buys nothing; keep overlapping trainers on
+    explicit ``backend=`` arguments instead.
+    """
+    previous = _DEFAULT_NAME
+    set_default_backend(name)
+    try:
+        yield get_backend(name)
+    finally:
+        set_default_backend(previous)

@@ -19,6 +19,11 @@ import argparse
 import sys
 from typing import Callable, Dict, Sequence
 
+from .backends import (
+    available_backends,
+    registered_backends,
+    set_default_backend,
+)
 from .experiments import (
     fig4_breakdown,
     fig5a_probability_functions,
@@ -54,7 +59,7 @@ from .experiments import (
 from .model.configs import ALL_MODELS, get_model
 from .runtime.systems import SystemHardware
 
-__all__ = ["main", "EXPERIMENTS"]
+__all__ = ["main", "EXPERIMENTS", "BUILTIN_COMMANDS"]
 
 
 def _models_from(args) -> list:
@@ -165,7 +170,8 @@ def _run_overlap(args, hardware) -> str:
     steps = args.steps if args.steps is not None else 8
     return format_overlap(
         overlap_sweep(batches=batches, shard_counts=shard_counts, steps=steps,
-                      dataset=args.dataset, hardware=hardware)
+                      dataset=args.dataset, hardware=hardware,
+                      backend=args.backend)
     )
 
 
@@ -191,6 +197,40 @@ EXPERIMENTS: Dict[str, tuple[Callable, str]] = {
 }
 
 
+def _run_list(args) -> int:
+    """Enumerate every runnable command plus the kernel-backend inventory."""
+    for name, (_, description) in sorted(
+        list(EXPERIMENTS.items()) + list(BUILTIN_COMMANDS.items())
+    ):
+        print(f"{name:8s} {description}")
+    print()
+    available = set(available_backends())
+    tags = [
+        name if name in available else f"{name} (unavailable)"
+        for name in registered_backends()
+    ]
+    print(f"backends: {', '.join(tags)}  (select with --backend NAME)")
+    return 0
+
+
+def _run_validate(args) -> int:
+    from .validation import validate_all
+
+    report = validate_all()
+    print(report.summary())
+    return 0 if report.passed else 1
+
+
+#: Built-in (non-experiment) commands.  Same registry shape as EXPERIMENTS,
+#: but runners take only ``args``, print their own output, and return the
+#: exit code.  Parser choices and the ``list`` output both derive from the
+#: two registries — there is no third hand-maintained name list to drift.
+BUILTIN_COMMANDS: Dict[str, tuple[Callable, str]] = {
+    "list": (_run_list, "Enumerate every command and kernel backend"),
+    "validate": (_run_validate, "Run the cross-cutting self-checks"),
+}
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``python -m repro`` argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -199,7 +239,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["list", "validate"],
+        choices=sorted(EXPERIMENTS) + sorted(BUILTIN_COMMANDS),
         help="which artifact to regenerate ('list' to enumerate, "
              "'validate' to run the self-checks)",
     )
@@ -226,22 +266,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="training steps per measured cell of the 'overlap' experiment "
              "(default: 8)",
     )
+    parser.add_argument(
+        "--backend", default=None, metavar="NAME",
+        help="kernel backend routed to every measured kernel (registered: "
+             f"{', '.join(registered_backends())}; default: the trainers' "
+             "'auto' policy)",
+    )
     return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
-    if args.experiment == "list":
-        for name, (_, description) in sorted(EXPERIMENTS.items()):
-            print(f"{name:8s} {description}")
-        return 0
-    if args.experiment == "validate":
-        from .validation import validate_all
-
-        report = validate_all()
-        print(report.summary())
-        return 0 if report.passed else 1
+    if args.backend is not None:
+        try:
+            # Validates the name (unknown/unavailable exits nonzero with
+            # the candidates listed) and makes it the process default so
+            # every kernel of the run routes through it.
+            set_default_backend(args.backend)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    if args.experiment in BUILTIN_COMMANDS:
+        runner, _ = BUILTIN_COMMANDS[args.experiment]
+        return runner(args)
     runner, description = EXPERIMENTS[args.experiment]
     try:
         output = runner(args, SystemHardware())

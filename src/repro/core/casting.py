@@ -17,6 +17,13 @@ Because everything the cast needs (the index array) is available at the start
 of forward propagation, the cast can be computed *ahead of time* and off the
 critical path — the runtime co-design of Section IV-B hides it under the
 forward embedding gather (see :mod:`repro.runtime.systems`).
+
+:func:`tensor_casting` is a thin dispatcher into the pluggable kernel
+engine (:mod:`repro.backends`): the stable-argsort implementation lives in
+the ``vectorized`` backend, a counting-sort variant in the optional
+``numba`` backend, and the literal pseudo-code transcription below
+(:func:`tensor_casting_reference`) doubles as the ``reference`` backend.
+Every backend produces the identical cast (integer arrays, stable order).
 """
 
 from __future__ import annotations
@@ -47,9 +54,10 @@ class CastedIndex:
         ``(n,)`` rows to gather from the gradient table (values in ``[0, B)``).
     casted_dst:
         ``(n,)`` coalesced slot each gathered gradient reduces into (values in
-        ``[0, u)``).  Produced by :func:`tensor_casting` in non-decreasing
-        order, which lets the gather-reduce kernel use a streaming
-        segment-reduction.
+        ``[0, u)``).  Produced by :func:`tensor_casting` as a dense
+        non-decreasing ``0..u-1`` ramp, which lets the gather-reduce kernel
+        scatter-add straight into the coalesced output with no sortedness
+        scan (see :meth:`segment_starts`).
     rows:
         ``(u,)`` embedding-table rows receiving each coalesced slot, ascending.
         These are the scatter targets of the subsequent model update.
@@ -86,40 +94,53 @@ class CastedIndex:
             num_outputs=self.num_coalesced,
         )
 
+    def segment_starts(self) -> np.ndarray:
+        """``(u,)`` start offset of each coalesced slot's run in casted order.
 
-def tensor_casting(index: IndexArray) -> CastedIndex:
+        ``casted_dst`` is a dense monotone ``0..u-1`` ramp by construction,
+        so the ``u`` segments map one-to-one onto the coalesced output slots
+        — the invariant that lets the vectorized backend's casted
+        gather-reduce scatter-add straight into the coalesced output with
+        no sortedness scan.  Derived lazily and cached; a convenience view
+        for engines (or analyses) that want explicit segment boundaries.
+        """
+        cached = getattr(self, "_segment_starts", None)
+        if cached is None:
+            boundaries = np.empty(self.casted_dst.size, dtype=bool)
+            if boundaries.size:
+                boundaries[0] = True
+                boundaries[1:] = self.casted_dst[1:] != self.casted_dst[:-1]
+            cached = np.flatnonzero(boundaries)
+            object.__setattr__(self, "_segment_starts", cached)
+        return cached
+
+
+def tensor_casting(index: IndexArray, backend=None) -> CastedIndex:
     """Cast a forward index array for backward gather-reduce (Algorithm 2).
 
-    Vectorized implementation: stable sort-by-key on ``src`` (line 3), reuse
-    of the sorted ``dst`` as ``casted_src`` (line 4), boundary scan (lines
-    5-8) and cumulative sum (line 9).
+    Thin dispatcher into the selected kernel backend's ``cast_indices``
+    (``backend`` is a name, a :class:`~repro.backends.base.KernelBackend`,
+    or ``None`` for the process default — the stable-argsort ``vectorized``
+    engine: sort-by-key on ``src`` (line 3), reuse of the sorted ``dst`` as
+    ``casted_src`` (line 4), boundary scan (lines 5-8), cumulative sum
+    (line 9)).
 
-    Complexity is ``O(n log n)`` dominated by the sort; the paper's runtime
+    Complexity is ``O(n log n)`` for sort-based engines (``O(n +
+    num_rows)`` for the counting-sort numba engine); the paper's runtime
     hides this latency under forward propagation because the cast depends
     only on the index array, not on any gradient values.
     """
-    src, dst = index.src, index.dst
-    n = src.size
-    if n == 0:
+    if index.num_lookups == 0:
         empty = np.empty(0, dtype=np.int64)
         return CastedIndex(empty, empty.copy(), empty.copy(), index.num_outputs)
-    order = np.argsort(src, kind="stable")  # line 3: SortByKey
-    sorted_src = src[order]
-    casted_src = dst[order]  # line 4: casted_src <- sorted_dst
-    scan = np.empty(n, dtype=np.int64)  # lines 5-8: boundary scan
-    scan[0] = 1
-    scan[1:] = sorted_src[1:] != sorted_src[:-1]
-    casted_dst = np.cumsum(scan) - 1  # line 9
-    rows = sorted_src[scan.astype(bool)]
-    return CastedIndex(
-        casted_src=casted_src.astype(np.int64),
-        casted_dst=casted_dst,
-        rows=rows.astype(np.int64),
-        num_gradients=index.num_outputs,
-    )
+    from ..backends.dispatch import resolve_backend  # deferred: avoids cycle
+
+    return resolve_backend(backend).cast_indices(index)
 
 
-def precompute_casts(indices: Sequence[IndexArray]) -> List[CastedIndex]:
+def precompute_casts(
+    indices: Sequence[IndexArray], backend=None
+) -> List[CastedIndex]:
     """Cast every table of a mini-batch ahead of gradient materialization.
 
     This is the cast-ahead API of the runtime co-design: it consumes only
@@ -130,7 +151,7 @@ def precompute_casts(indices: Sequence[IndexArray]) -> List[CastedIndex]:
     background worker, turning the paper's "hide casting under forward
     propagation" schedule into executed wall-clock overlap.
     """
-    return [tensor_casting(index) for index in indices]
+    return [tensor_casting(index, backend=backend) for index in indices]
 
 
 def tensor_casting_reference(src: np.ndarray, dst: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:

@@ -94,12 +94,17 @@ def gradient_coalesce(
     # Step A: sort src to make coalescable indices consecutive.
     order = np.argsort(src, kind="stable")
     sorted_src = src[order]
-    # Step B: accumulate runs of equal ids.
+    # Step B: accumulate runs of equal ids, sequentially in sorted order —
+    # the oracle's accumulation order, which np.add.at preserves
+    # (np.add.reduceat's pairwise partial sums would drift by ulps from
+    # the loop-based backends and break the trainers' bit-identity).
     boundaries = np.empty(src.size, dtype=bool)
     boundaries[0] = True
     boundaries[1:] = sorted_src[1:] != sorted_src[:-1]
     starts = np.flatnonzero(boundaries)
-    coalesced = np.add.reduceat(expanded[order], starts, axis=0)
+    segment_ids = np.cumsum(boundaries) - 1
+    coalesced = np.zeros((starts.size, expanded.shape[1]), dtype=expanded.dtype)
+    np.add.at(coalesced, segment_ids, expanded[order])
     return sorted_src[starts].astype(np.int64), coalesced
 
 
@@ -136,14 +141,27 @@ def gradient_coalesce_reference(
 
 
 def expand_coalesce(
-    index: IndexArray, gradients: np.ndarray
+    index: IndexArray, gradients: np.ndarray, backend=None
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Run the full baseline two-step pipeline on an :class:`IndexArray`.
 
     This is the reference backward path the paper characterizes as the
     dominant training bottleneck; Tensor Casting's
     :func:`repro.core.gather_reduce.tcasted_grad_gather_reduce` computes the
-    identical ``(rows, coalesced)`` result in one fused pass.
+    identical ``(rows, coalesced)`` result in one fused pass.  Dispatches
+    into the selected kernel backend (name, instance, or ``None`` for the
+    process default — the :func:`gradient_expand` + :func:`gradient_coalesce`
+    NumPy pipeline below).
     """
-    expanded = gradient_expand(gradients, index.dst)
-    return gradient_coalesce(index.src, expanded)
+    gradients = np.asarray(gradients)
+    if gradients.ndim != 2:
+        raise ValueError(f"gradients must be 2-D (B, dim), got shape {gradients.shape}")
+    if index.num_lookups and (
+        index.dst.min() < 0 or index.dst.max() >= gradients.shape[0]
+    ):
+        raise ValueError("dst references a gradient row that does not exist")
+    if index.num_lookups == 0:
+        return index.src.astype(np.int64), gradients[index.dst].copy()
+    from ..backends.dispatch import resolve_backend  # deferred: avoids cycle
+
+    return resolve_backend(backend).expand_coalesce(index, gradients)

@@ -4,8 +4,11 @@ Gather-reduce is the unifying compute primitive of the paper: forward
 propagation gathers embedding rows by ``src`` and reduces them into ``dst``
 slots on the fly (Figure 2(a)), and — after Tensor Casting — backpropagation
 performs the *same* operation over the gradient table (Figure 7,
-Algorithm 3).  The kernels here implement both directions plus literal
-pure-Python references used as test oracles.
+Algorithm 3).  The public functions here validate arguments and dispatch
+into the pluggable kernel engine (:mod:`repro.backends`): the fused NumPy
+implementation lives in the ``vectorized`` backend, JIT loop nests in the
+optional ``numba`` backend, and the literal pure-Python oracle below
+(:func:`gather_reduce_reference`) doubles as the ``reference`` backend.
 
 The fused formulation matters: reducing "on the fly inside on-chip registers"
 means the ``n`` gathered vectors are never materialized to memory, which is
@@ -35,6 +38,7 @@ def gather_reduce(
     index: IndexArray,
     out: np.ndarray | None = None,
     weights: np.ndarray | None = None,
+    backend=None,
 ) -> np.ndarray:
     """Fused embedding gather-reduce (forward pass, Figure 2(a)).
 
@@ -54,6 +58,10 @@ def gather_reduce(
         Optional ``(n,)`` per-lookup scale factors — the weighted-pooling
         variant of the operator (per-lookup multiply at line rate in the NMP
         vector ALU; mean pooling and attention-weighted bags use this).
+    backend:
+        Kernel engine: a registered backend name, a
+        :class:`~repro.backends.base.KernelBackend` instance, or ``None``
+        for the process default (see :mod:`repro.backends`).
 
     Returns
     -------
@@ -80,33 +88,11 @@ def gather_reduce(
         )
     if index.num_lookups == 0:
         return out
+    from ..backends.dispatch import resolve_backend  # deferred: avoids cycle
 
-    def _gathered() -> np.ndarray:
-        gathered = table[index.src]
-        if weights is not None:
-            gathered = gathered * weights[:, None]
-        return gathered
-
-    dst = index.dst
-    if dst.size > 1 and np.all(dst[1:] >= dst[:-1]):
-        # Sorted destinations (the common EmbeddingBag layout and the casted
-        # layout): stream with a segment reduction instead of scattered adds.
-        boundaries = np.empty(dst.size, dtype=bool)
-        boundaries[0] = True
-        boundaries[1:] = dst[1:] != dst[:-1]
-        starts = np.flatnonzero(boundaries)
-        segments = np.add.reduceat(_gathered(), starts, axis=0)
-        if starts.size == index.num_outputs:
-            # Every output slot receives a segment; since the slot ids are
-            # strictly increasing they are exactly 0..num_outputs-1, so the
-            # scatter degenerates to a dense add (the register-resident
-            # streaming write of the fused kernel).
-            out += segments
-        else:
-            out[dst[starts]] += segments
-    else:
-        np.add.at(out, dst, _gathered())
-    return out
+    return resolve_backend(backend).gather_reduce(
+        table, index, out=out, weights=weights
+    )
 
 
 def gather_reduce_reference(
@@ -128,7 +114,7 @@ def gather_reduce_reference(
 
 
 def casted_gather_reduce(
-    gradients: np.ndarray, casted: CastedIndex
+    gradients: np.ndarray, casted: CastedIndex, backend=None
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Gradient gather-reduce over a precomputed cast (Algorithm 3, Step B).
 
@@ -136,6 +122,9 @@ def casted_gather_reduce(
     ``casted_src`` and reduces them into ``u`` coalesced slots named by
     ``casted_dst`` — producing exactly the coalesced gradients that the
     baseline expand-coalesce pipeline would, with no expanded intermediate.
+    Dispatches to the selected backend's fused casted path (every backend's
+    default is its own :meth:`~repro.backends.base.KernelBackend.gather_reduce`
+    over the cast viewed as an index array — the paper's key identity).
 
     Returns
     -------
@@ -153,18 +142,33 @@ def casted_gather_reduce(
             f"gradient table has {gradients.shape[0]} rows, cast expects "
             f"{casted.num_gradients}"
         )
-    index = IndexArray(
-        casted.casted_src,
-        casted.casted_dst,
-        num_rows=max(gradients.shape[0], 1),
-        num_outputs=casted.num_coalesced,
-    )
-    coalesced = gather_reduce(gradients, index)
-    return casted.rows, coalesced
+    if casted.num_lookups == 0:
+        return casted.rows, np.zeros(
+            (casted.num_coalesced, gradients.shape[1]), dtype=gradients.dtype
+        )
+    # CastedIndex is an unvalidated frozen dataclass; bound-check a
+    # hand-built cast here (the casting kernels always produce valid ones)
+    # so no backend — compiled loop nests included — ever scatters out of
+    # bounds.
+    src_lo, src_hi = int(casted.casted_src.min()), int(casted.casted_src.max())
+    if src_lo < 0 or src_hi >= max(casted.num_gradients, 1):
+        raise ValueError(
+            f"casted_src ids must lie in [0, {casted.num_gradients}), got "
+            f"range [{src_lo}, {src_hi}]"
+        )
+    dst_lo, dst_hi = int(casted.casted_dst.min()), int(casted.casted_dst.max())
+    if dst_lo < 0 or dst_hi >= casted.num_coalesced:
+        raise ValueError(
+            f"casted_dst ids must lie in [0, {casted.num_coalesced}), got "
+            f"range [{dst_lo}, {dst_hi}]"
+        )
+    from ..backends.dispatch import resolve_backend  # deferred: avoids cycle
+
+    return resolve_backend(backend).casted_gather_reduce(gradients, casted)
 
 
 def tcasted_grad_gather_reduce(
-    index: IndexArray, gradients: np.ndarray
+    index: IndexArray, gradients: np.ndarray, backend=None
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Full Tensor-Casted backward primitive (Algorithm 3).
 
@@ -174,5 +178,5 @@ def tcasted_grad_gather_reduce(
     (:mod:`repro.runtime`), so only Step B sits on the backward critical
     path; this convenience wrapper performs both for functional use.
     """
-    casted = tensor_casting(index)  # Step A
-    return casted_gather_reduce(gradients, casted)  # Step B
+    casted = tensor_casting(index, backend=backend)  # Step A
+    return casted_gather_reduce(gradients, casted, backend=backend)  # Step B

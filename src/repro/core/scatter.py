@@ -50,19 +50,24 @@ def gradient_scatter(
     rows: np.ndarray,
     gradients: np.ndarray,
     lr: float = 1.0,
+    backend=None,
 ) -> np.ndarray:
     """Plain-SGD scatter update: ``table[rows] -= lr * gradients`` in place.
 
     ``rows`` must be unique (i.e. already coalesced) — duplicate targets
     would make the update order-dependent, which is precisely the hazard
-    coalescing exists to remove.
+    coalescing exists to remove.  Dispatches into the selected kernel
+    backend's ``scatter_update`` (name, instance, or ``None`` for the
+    process default).
 
     Returns the table for call chaining.
     """
     rows, gradients = _validate_scatter_args(table, rows, gradients)
-    if rows.size:
-        table[rows] -= lr * gradients
-    return table
+    if rows.size == 0:
+        return table
+    from ..backends.dispatch import resolve_backend  # deferred: avoids cycle
+
+    return resolve_backend(backend).scatter_update(table, rows, gradients, lr=lr)
 
 
 def gradient_scatter_reference(

@@ -178,6 +178,7 @@ def _make_trainer(
     num_shards: int,
     seed: int,
     distribution: LookupDistribution | None = None,
+    backend: str | None = None,
 ):
     """Fresh (model, trainer) pair; identical seeds ⇒ identical start state."""
     model = DLRM(config, rng=np.random.default_rng(seed), dtype=np.float32)
@@ -198,6 +199,7 @@ def _make_trainer(
         SGD(lr=0.1),
         num_shards=num_shards if num_shards > 0 else None,
         policy="row",
+        backend=backend if backend is not None else "auto",
     )
     return model, trainer
 
@@ -228,6 +230,7 @@ def _best_of(
     steps: int,
     repeats: int,
     distribution: LookupDistribution | None = None,
+    backend: str | None = None,
 ):
     """Train ``repeats`` fresh identically-seeded runs; keep the fastest.
 
@@ -242,7 +245,7 @@ def _best_of(
     best_report = None
     for _ in range(repeats):
         model, trainer = _make_trainer(
-            trainer_cls, config, num_shards, seed, distribution
+            trainer_cls, config, num_shards, seed, distribution, backend
         )
         report = trainer.train(batch, steps, np.random.default_rng(seed + 1))
         if best_report is None or report.wall_seconds < best_report.wall_seconds:
@@ -260,6 +263,7 @@ def overlap_sweep(
     hardware: SystemHardware | None = None,
     seed: int = 0,
     repeats: int = 3,
+    backend: str | None = None,
 ) -> List[OverlapRow]:
     """Sweep batch × shard count, measuring serial vs. pipelined training.
 
@@ -267,7 +271,11 @@ def overlap_sweep(
     iterations through each (best wall-clock of ``repeats`` runs), verifies
     bitwise agreement, and pairs the measured speedup with the analytic
     cast-overlap prediction for the same geometry.  ``shard_counts``
-    entries of 0 select the unsharded path.
+    entries of 0 select the unsharded path.  ``backend`` names the kernel
+    engine both trainers route their hot kernels through (``None`` → the
+    trainers' default ``auto`` policy); every engine is bit-identical for
+    the float32 model *to itself across schedules*, which is all the
+    bitwise flag compares.
     """
     if steps <= 0:
         raise ValueError(f"steps must be positive, got {steps}")
@@ -291,7 +299,7 @@ def overlap_sweep(
     for warmup_shards in sorted(set(shard_counts)):
         for warmup_cls in (FunctionalTrainer, PipelinedTrainer):
             _, warmup_trainer = _make_trainer(
-                warmup_cls, config, warmup_shards, seed, distribution
+                warmup_cls, config, warmup_shards, seed, distribution, backend
             )
             warmup_trainer.train(8, 1, np.random.default_rng(seed))
     rows: List[OverlapRow] = []
@@ -299,11 +307,11 @@ def overlap_sweep(
         for num_shards in shard_counts:
             serial_model, serial = _best_of(
                 FunctionalTrainer, config, num_shards, seed, batch, steps,
-                repeats, distribution,
+                repeats, distribution, backend,
             )
             pipelined_model, pipelined = _best_of(
                 PipelinedTrainer, config, num_shards, seed, batch, steps,
-                repeats, distribution,
+                repeats, distribution, backend,
             )
             measured = (
                 serial.wall_seconds / pipelined.wall_seconds

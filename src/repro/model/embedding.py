@@ -88,6 +88,13 @@ class EmbeddingBag:
     dtype:
         Table dtype; float64 by default so finite-difference gradient checks
         are meaningful, float32 for footprint-faithful experiments.
+    backend:
+        Kernel engine forwarded to every hot kernel this bag launches
+        (gather-reduce, casting, expand-coalesce): a registered backend
+        name, a :class:`~repro.backends.base.KernelBackend` instance, or
+        ``None`` for the process default.  Plain attribute — the trainers
+        assign their resolved backend here so a ``backend=`` knob set on a
+        trainer reaches the model's kernels.
     """
 
     #: Supported pooling reductions.  ``"sum"`` is the paper's default;
@@ -102,6 +109,7 @@ class EmbeddingBag:
         rng: np.random.Generator | None = None,
         dtype: np.dtype = np.float64,
         pooling: str = "sum",
+        backend=None,
     ) -> None:
         if num_rows <= 0 or dim <= 0:
             raise ValueError("num_rows and dim must be positive")
@@ -114,6 +122,7 @@ class EmbeddingBag:
         bound = 1.0 / np.sqrt(num_rows)
         self.table = rng.uniform(-bound, bound, size=(num_rows, dim)).astype(dtype)
         self.pooling = pooling
+        self.backend = backend
         self._last_index: IndexArray | None = None
         self._last_inverse_counts: np.ndarray | None = None
 
@@ -139,7 +148,7 @@ class EmbeddingBag:
                 f"index addresses {index.num_rows} rows, table has {self.num_rows}"
             )
         self._last_index = index
-        pooled = gather_reduce(self.table, index)
+        pooled = gather_reduce(self.table, index, backend=self.backend)
         if self.pooling == "mean":
             inverse = inverse_lookup_counts(index, self.table.dtype)
             self._last_inverse_counts = inverse
@@ -155,7 +164,7 @@ class EmbeddingBag:
         CPU/NMP-side forward gather (Figure 9(b)); functionally it only needs
         the index array, which is available before forward propagation starts.
         """
-        return tensor_casting(index)
+        return tensor_casting(index, backend=self.backend)
 
     def backward(
         self,
@@ -193,11 +202,13 @@ class EmbeddingBag:
             # strategies see the same inputs.
             grad_output = grad_output * self._last_inverse_counts[:, None]
         if mode == "baseline":
-            rows, values = expand_coalesce(index, grad_output)
+            rows, values = expand_coalesce(index, grad_output, backend=self.backend)
         else:
             if cast is None:
-                cast = tensor_casting(index)
-            rows, values = casted_gather_reduce(grad_output, cast)
+                cast = tensor_casting(index, backend=self.backend)
+            rows, values = casted_gather_reduce(
+                grad_output, cast, backend=self.backend
+            )
         return SparseGradient(rows=rows, values=values)
 
     def apply_gradient(self, grad: SparseGradient, optimizer) -> None:

@@ -93,6 +93,13 @@ class ShardedEmbeddingSet:
     policy:
         ``"row"`` (stripe rows) or ``"table"`` (whole tables round-robin);
         see :mod:`repro.core.sharding`.
+    backend:
+        Kernel engine forwarded into every per-shard kernel launch
+        (casting, gather-reduce, casted backward): a registered backend
+        name, a :class:`~repro.backends.base.KernelBackend` instance, or
+        ``None`` for the process default.  On real multi-device deployments
+        this is where heterogeneous pools plug in — each shard's kernels
+        route through whatever engine its device runs.
     """
 
     def __init__(
@@ -100,10 +107,12 @@ class ShardedEmbeddingSet:
         bags: Sequence[EmbeddingBag],
         num_shards: int,
         policy: str = "row",
+        backend=None,
     ) -> None:
         if not bags:
             raise ValueError("need at least one embedding bag to shard")
         self.bags = list(bags)
+        self.backend = backend
         self.partition: ShardPartition = make_partition(policy, num_shards)
         self.views: List[List[Optional[np.ndarray]]] = [
             [
@@ -167,7 +176,9 @@ class ShardedEmbeddingSet:
         for table_id in range(self.num_tables):
             slice_ = plan.slices[table_id][shard]
             if slice_ is not None:
-                plan.casts[table_id][shard] = tensor_casting(slice_.index)
+                plan.casts[table_id][shard] = tensor_casting(
+                    slice_.index, backend=self.backend
+                )
 
     # ------------------------------------------------------------------
     # Phase 3: forward
@@ -179,7 +190,9 @@ class ShardedEmbeddingSet:
             if slice_ is None:
                 continue
             view = self.views[table_id][shard]
-            plan.partials[table_id][shard] = gather_reduce(view, slice_.index)
+            plan.partials[table_id][shard] = gather_reduce(
+                view, slice_.index, backend=self.backend
+            )
 
     def assemble_pooled(self, plan: ShardedStepPlan) -> List[np.ndarray]:
         """Forward all-to-all: ship partials to sample owners and sum them.
@@ -281,7 +294,7 @@ class ShardedEmbeddingSet:
             if slice_ is None:
                 continue
             if cast is None:
-                cast = tensor_casting(slice_.index)
+                cast = tensor_casting(slice_.index, backend=self.backend)
                 plan.casts[table_id][shard] = cast
             grad_slice = plan.scaled_grads[table_id][slice_.touched]
             vec_bytes = bag.dim * grad_slice.dtype.itemsize
@@ -289,7 +302,9 @@ class ShardedEmbeddingSet:
                 slice_.num_touched * vec_bytes
                 + 2 * slice_.num_lookups * _INDEX_ITEMSIZE
             )
-            rows, values = casted_gather_reduce(grad_slice, cast)
+            rows, values = casted_gather_reduce(
+                grad_slice, cast, backend=self.backend
+            )
             coalesced.append((table_id, rows, values))
         return coalesced
 

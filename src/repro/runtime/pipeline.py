@@ -95,8 +95,11 @@ class PipelinedTrainer(FunctionalTrainer):
 
     Accepts exactly the constructor of
     :class:`~repro.runtime.trainer.FunctionalTrainer` (including the
-    ``num_shards`` / ``policy`` knobs) and produces bit-identical parameters
-    and losses for the same seed — only the wall-clock schedule differs.
+    ``num_shards`` / ``policy`` / ``backend`` knobs) and produces
+    bit-identical parameters and losses for the same seed — only the
+    wall-clock schedule differs.  The background worker runs its casts
+    through the trainer's *resolved* backend instance, never mutable
+    process state, so the pipeline stays backend-consistent across threads.
     Supports ``mode="casted"`` only: the baseline expand-coalesce has no
     decoupled casting stage to pull off the critical path.
 
@@ -156,7 +159,11 @@ class PipelinedTrainer(FunctionalTrainer):
                 if upcoming is not None:
                     data, future = upcoming
         return TrainingReport(
-            losses=losses, timings=timings, mode="casted", steps=steps
+            losses=losses,
+            timings=timings,
+            mode="casted",
+            steps=steps,
+            backend=self.backend.name,
         )
 
     def _prefetch(
@@ -213,6 +220,7 @@ class PipelinedTrainer(FunctionalTrainer):
             exchange_bytes=forward_bytes + backward_bytes,
             forward_exchange_bytes=forward_bytes,
             backward_exchange_bytes=backward_bytes,
+            backend=self.backend.name,
         )
 
     def _prefetch_sharded(

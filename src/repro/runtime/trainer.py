@@ -33,6 +33,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..backends.dispatch import resolve_backend
 from ..core.casting import CastedIndex, precompute_casts
 from ..core.indexing import IndexArray
 from ..data.generator import CTRBatch, SyntheticCTRStream
@@ -90,6 +91,10 @@ class TrainingReport:
     :meth:`FunctionalTrainer.train` call — the denominator of
     :attr:`steps_per_second`, which is how the pipelined and serial
     trainers' throughput are compared.
+
+    ``backend`` records which kernel engine the run's hot kernels routed
+    through (the trainer's resolved ``backend=`` knob) so a throughput
+    number is never separated from the engine that produced it.
     """
 
     losses: List[float]
@@ -101,6 +106,7 @@ class TrainingReport:
     forward_exchange_bytes: int = 0
     backward_exchange_bytes: int = 0
     wall_seconds: float = 0.0
+    backend: str = "vectorized"
 
     @property
     def final_loss(self) -> float:
@@ -145,6 +151,19 @@ class FunctionalTrainer:
         parameters to the unsharded path.
     policy:
         Partition policy for sharded runs: ``"row"`` or ``"table"``.
+    backend:
+        Kernel engine for every hot kernel of the run: a registered backend
+        name, a :class:`~repro.backends.base.KernelBackend` instance, or
+        ``None`` for the process default.  Defaults to ``"auto"`` — the
+        autotuned policy that micro-benchmarks the available engines per
+        shape class and delegates to the winner (a no-op passthrough to
+        ``vectorized`` when it is the only candidate).  Resolved once here
+        and threaded into the model's embedding bags and the sharded
+        executor, so the whole run uses one engine regardless of which
+        thread launches a kernel.  Note the bags' routing follows whichever
+        trainer most recently constructed over — or trains — the model:
+        :meth:`train` re-asserts it, so sharing one model between trainers
+        with different backends is safe per run.
     """
 
     def __init__(
@@ -154,6 +173,7 @@ class FunctionalTrainer:
         optimizer: Optimizer,
         num_shards: int | None = None,
         policy: str = "row",
+        backend="auto",
     ) -> None:
         if stream.num_tables != len(model.embeddings):
             raise ValueError(
@@ -172,10 +192,20 @@ class FunctionalTrainer:
         self.model = model
         self.stream = stream
         self.optimizer = optimizer
+        # Resolve the knob eagerly: unknown/unavailable names fail at
+        # construction (with the registered names listed), and the resolved
+        # instance is shared by every dispatch site including the pipelined
+        # trainer's background worker.
+        self.backend = resolve_backend(backend)
+        for bag in model.embeddings:
+            bag.backend = self.backend
         self.sharded: ShardedEmbeddingSet | None = None
         if num_shards is not None:
             self.sharded = ShardedEmbeddingSet(
-                model.embeddings, num_shards=int(num_shards), policy=policy
+                model.embeddings,
+                num_shards=int(num_shards),
+                policy=policy,
+                backend=self.backend,
             )
 
     def train(
@@ -195,6 +225,12 @@ class FunctionalTrainer:
         index representation, so there is no baseline variant to shard.
         """
         self._validate_train_args(steps, mode)
+        # Re-assert kernel routing: another trainer constructed over the
+        # same model would have re-pointed the bags' backend; whichever
+        # trainer trains, *its* engine runs — keeping the report's
+        # ``backend`` field truthful.
+        for bag in self.model.embeddings:
+            bag.backend = self.backend
         wall_start = time.perf_counter()
         if self.sharded is not None:
             report = self._train_sharded(batch, steps, rng)
@@ -220,7 +256,7 @@ class FunctionalTrainer:
         ahead of the batch's forward pass (the pipelined trainer runs it on
         a background worker while the previous batch trains).
         """
-        return precompute_casts(indices)
+        return precompute_casts(indices, backend=self.backend)
 
     def _run_step(
         self,
@@ -356,7 +392,13 @@ class FunctionalTrainer:
                 casts = self._cast_batch(data.indices)
                 timings.add("casting", time.perf_counter() - start)
             self._run_step(data, casts, mode, timings, losses)
-        return TrainingReport(losses=losses, timings=timings, mode=mode, steps=steps)
+        return TrainingReport(
+            losses=losses,
+            timings=timings,
+            mode=mode,
+            steps=steps,
+            backend=self.backend.name,
+        )
 
     def _train_sharded(
         self, batch: int, steps: int, rng: np.random.Generator
@@ -390,4 +432,5 @@ class FunctionalTrainer:
             exchange_bytes=forward_bytes + backward_bytes,
             forward_exchange_bytes=forward_bytes,
             backward_exchange_bytes=backward_bytes,
+            backend=self.backend.name,
         )

@@ -94,6 +94,22 @@ class TestStructuralInvariants:
         assert cast.num_coalesced == 0
         assert cast.num_gradients == 3
 
+    def test_segment_starts_name_every_coalesced_slot(self, rng):
+        """The dense 0..u-1 ramp means segment k starts where casted_dst
+        first reaches k — the invariant behind the argsort-free backward."""
+        index = make_random_index(rng, num_rows=30, batch=10, lookups=6)
+        cast = tensor_casting(index)
+        starts = cast.segment_starts()
+        assert starts.size == cast.num_coalesced
+        assert np.array_equal(cast.casted_dst[starts],
+                              np.arange(cast.num_coalesced))
+        # Lazily derived once, then cached on the (frozen) dataclass.
+        assert cast.segment_starts() is starts
+
+    def test_segment_starts_empty_cast(self):
+        cast = tensor_casting(IndexArray([], [], num_rows=5, num_outputs=3))
+        assert cast.segment_starts().size == 0
+
     def test_single_lookup(self):
         cast = tensor_casting(IndexArray([3], [0], num_rows=5))
         assert cast.casted_src.tolist() == [0]

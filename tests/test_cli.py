@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.cli import EXPERIMENTS, build_parser, main
+from repro.backends import available_backends, registered_backends
+from repro.cli import BUILTIN_COMMANDS, EXPERIMENTS, build_parser, main
 
 
 class TestParser:
@@ -14,6 +15,18 @@ class TestParser:
 
     def test_list_is_a_choice(self):
         assert build_parser().parse_args(["list"]).experiment == "list"
+
+    def test_every_builtin_command_is_a_choice(self):
+        parser = build_parser()
+        for name in BUILTIN_COMMANDS:
+            assert parser.parse_args([name]).experiment == name
+
+    def test_choices_derive_from_the_registries(self):
+        """No hand-maintained name list: the positional's choices are exactly
+        the union of the experiment and builtin registries."""
+        parser = build_parser()
+        (action,) = [a for a in parser._actions if a.dest == "experiment"]
+        assert set(action.choices) == set(EXPERIMENTS) | set(BUILTIN_COMMANDS)
 
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
@@ -35,6 +48,15 @@ class TestMain:
         assert main(["list"]) == 0
         out = capsys.readouterr().out
         for name in EXPERIMENTS:
+            assert name in out
+
+    def test_list_prints_builtins_and_backends(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in BUILTIN_COMMANDS:
+            assert name in out
+        assert "backends:" in out
+        for name in registered_backends():
             assert name in out
 
     def test_table1(self, capsys):
@@ -125,3 +147,54 @@ class TestExitCodes:
         monkeypatch.setattr(validation, "validate_all", lambda: passing)
         assert main(["validate"]) == 0
         assert "ALL CHECKS PASSED" in capsys.readouterr().out
+
+
+class TestBackendFlag:
+    """The --backend knob: validation, routing, and the failure contract."""
+
+    def test_backend_option_parses(self):
+        args = build_parser().parse_args(["fig6", "--backend", "reference"])
+        assert args.backend == "reference"
+
+    def test_backend_defaults_to_none(self):
+        assert build_parser().parse_args(["fig6"]).backend is None
+
+    def test_unknown_backend_exits_nonzero_listing_names(self, capsys):
+        assert main(["fig6", "--backend", "warp-drive"]) == 2
+        err = capsys.readouterr().err
+        assert "warp-drive" in err
+        for name in registered_backends():
+            assert name in err
+
+    @pytest.mark.skipif(
+        "numba" in available_backends(),
+        reason="numba installed: backend is selectable",
+    )
+    def test_unavailable_backend_exits_nonzero_listing_available(self, capsys):
+        assert main(["fig6", "--backend", "numba"]) == 2
+        err = capsys.readouterr().err
+        assert "not available" in err
+        for name in available_backends():
+            assert name in err
+
+    def test_valid_backend_runs_and_restores_default(self, capsys):
+        from repro.backends import get_default_backend, set_default_backend
+
+        previous = get_default_backend()
+        try:
+            assert main(["fig6", "--backend", "reference"]) == 0
+            assert "Figure 6" in capsys.readouterr().out
+        finally:
+            set_default_backend(previous)
+
+    def test_overlap_accepts_backend(self, capsys):
+        from repro.backends import get_default_backend, set_default_backend
+
+        previous = get_default_backend()
+        try:
+            code = main(["overlap", "--batches", "16", "--shards", "0",
+                         "--steps", "1", "--backend", "vectorized"])
+            assert code == 0
+            assert "Pipelined" in capsys.readouterr().out
+        finally:
+            set_default_backend(previous)

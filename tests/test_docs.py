@@ -29,6 +29,7 @@ class TestPublicAPI:
             assert hasattr(repro, name), f"repro.__all__ lists missing {name}"
 
     def test_subpackage_exports_resolve(self):
+        import repro.backends
         import repro.core
         import repro.data
         import repro.experiments
@@ -36,8 +37,9 @@ class TestPublicAPI:
         import repro.runtime
         import repro.sim
 
-        for module in (repro.core, repro.data, repro.experiments,
-                       repro.model, repro.runtime, repro.sim):
+        for module in (repro.backends, repro.core, repro.data,
+                       repro.experiments, repro.model, repro.runtime,
+                       repro.sim):
             for name in module.__all__:
                 assert hasattr(module, name), f"{module.__name__} missing {name}"
 
@@ -75,6 +77,17 @@ class TestReadme:
         for name in ("fig13", "fig6", "scaling"):
             assert name in text
 
+    def test_backend_registry_documented(self):
+        """The README's backend section cannot drift from the registry."""
+        from repro.backends import registered_backends
+
+        text = README.read_text()
+        assert "--backend" in text
+        for name in registered_backends():
+            assert f"`{name}`" in text, (
+                f"README.md does not document kernel backend {name!r}"
+            )
+
 
 class TestExamples:
     def test_all_examples_exist(self):
@@ -85,6 +98,7 @@ class TestExamples:
             "dataset_locality_study.py",
             "trace_replay.py",
             "sharded_training.py",
+            "backend_tuning.py",
         }
         present = {path.name for path in EXAMPLES_DIR.glob("*.py")}
         assert expected <= present
