@@ -18,8 +18,11 @@ Package tour
 * :mod:`repro.model` — a from-scratch NumPy DLRM (MLPs, embedding bags with
   both backward strategies, interactions, losses, optimizers) plus the
   Table II configurations;
-* :mod:`repro.data` — calibrated synthetic dataset profiles, histogram
-  tooling, and batch/CTR generators;
+* :mod:`repro.data` — the streaming batch data plane: the ``BatchSource``
+  protocol with synthetic generation, constant-memory trace replay, a
+  Criteo-style file reader, and composable wrappers (prefetch, arrival
+  shaping, remapping), plus calibrated dataset profiles and histogram
+  tooling;
 * :mod:`repro.sim` — cycle-level DDR4 simulation, CPU/GPU/NMP device models,
   interconnects and energy accounting;
 * :mod:`repro.runtime` — execution timelines, the four system design points,
@@ -65,12 +68,21 @@ from .core import (
     tensor_casting,
 )
 from .data import (
+    BatchSource,
+    CTRBatch,
+    CriteoFileSource,
     DATASETS,
+    PrefetchingSource,
+    SourceExhausted,
     SyntheticCTRStream,
+    TraceReplaySource,
     UniformDistribution,
     ZipfDistribution,
     generate_index_array,
     get_dataset,
+    load_trace,
+    record_trace,
+    save_trace,
 )
 from .model import (
     ALL_MODELS,
@@ -78,6 +90,7 @@ from .model import (
     Adam,
     DLRM,
     EmbeddingBag,
+    HotRowCache,
     MLP,
     ModelConfig,
     Momentum,
@@ -121,10 +134,13 @@ __all__ = [
     "Adagrad",
     "Adam",
     "AllToAll",
+    "BatchSource",
     "CPUGPUSystem",
     "CPUModel",
     "CPUOnlySystem",
+    "CTRBatch",
     "CastedIndex",
+    "CriteoFileSource",
     "DATASETS",
     "DDR4_2400",
     "DDR4_3200",
@@ -134,6 +150,7 @@ __all__ = [
     "EnergyModel",
     "FunctionalTrainer",
     "GPUModel",
+    "HotRowCache",
     "IndexArray",
     "KernelBackend",
     "Link",
@@ -143,15 +160,18 @@ __all__ = [
     "NMPPoolModel",
     "NMPSystem",
     "PipelinedTrainer",
+    "PrefetchingSource",
     "RMSprop",
     "SGD",
     "ShardedEmbeddingSet",
     "ShardedNMPSystem",
+    "SourceExhausted",
     "SparseGradient",
     "SyntheticCTRStream",
     "SystemHardware",
     "TABLE_I_POOL",
     "Timeline",
+    "TraceReplaySource",
     "Traffic",
     "UniformDistribution",
     "WorkloadStats",
@@ -170,7 +190,10 @@ __all__ = [
     "gradient_expand",
     "gradient_scatter",
     "hash_casting",
+    "load_trace",
     "make_partition",
+    "record_trace",
+    "save_trace",
     "sharded_exchange_bytes",
     "tcasted_grad_gather_reduce",
     "tensor_casting",

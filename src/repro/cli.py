@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Callable, Dict, Sequence
 
 from .backends import (
@@ -24,7 +25,10 @@ from .backends import (
     registered_backends,
     set_default_backend,
 )
+from .data.datasets import DATASETS, dataset_names
 from .experiments import (
+    format_hotcache,
+    hotcache_sweep,
     fig4_breakdown,
     fig5a_probability_functions,
     fig5b_gradient_sizes,
@@ -171,7 +175,16 @@ def _run_overlap(args, hardware) -> str:
     return format_overlap(
         overlap_sweep(batches=batches, shard_counts=shard_counts, steps=steps,
                       dataset=args.dataset, hardware=hardware,
-                      backend=args.backend)
+                      backend=args.backend, trace=args.trace)
+    )
+
+
+def _run_cache(args, hardware) -> str:
+    batch = (args.batches or (1024,))[0]
+    steps = args.steps if args.steps is not None else 24
+    return format_hotcache(
+        hotcache_sweep(dataset=args.dataset, batch=batch, steps=steps,
+                       trace=args.trace, backend=args.backend)
     )
 
 
@@ -194,7 +207,13 @@ EXPERIMENTS: Dict[str, tuple[Callable, str]] = {
                               "across N devices (speedup + traffic)"),
     "overlap": (_run_overlap, "Section IV-B executed - measured cast-ahead "
                               "pipeline vs the analytic overlap bound"),
+    "cache": (_run_cache, "Section II-D related work executed - hot-row "
+                          "cache hit rates, measured (LRU/LFU) vs analytic"),
 }
+
+#: Experiments that train through the data plane and therefore accept a
+#: recorded batch trace as their source (``--trace``).
+TRACE_EXPERIMENTS = ("cache", "overlap")
 
 
 def _run_list(args) -> int:
@@ -253,7 +272,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--dataset", default="random",
-        help="locality profile: random, amazon, movielens, alibaba, criteo",
+        help="locality profile: random, amazon, movielens, alibaba, criteo "
+             "(unknown names exit nonzero listing the candidates)",
+    )
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="replay a recorded batch trace (repro.data.record_trace) as the "
+             "training stream instead of synthetic generation; accepted by "
+             f"the trainer-backed experiments: {', '.join(TRACE_EXPERIMENTS)}",
     )
     parser.add_argument(
         "--shards", nargs="*", type=int, default=None, metavar="N",
@@ -278,6 +304,32 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    # Source selection mirrors the --backend convention: unknown names exit
+    # nonzero with the candidates listed, before any experiment runs.
+    if args.dataset is not None and args.dataset.lower() not in DATASETS:
+        print(
+            f"error: unknown dataset {args.dataset!r}; registered profiles: "
+            f"{', '.join(dataset_names())} (or replay a recorded stream "
+            "with --trace PATH)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.trace is not None:
+        if args.experiment not in TRACE_EXPERIMENTS:
+            print(
+                f"error: --trace does not apply to {args.experiment!r}; "
+                "the trainer-backed experiments that replay traces are: "
+                f"{', '.join(TRACE_EXPERIMENTS)}",
+                file=sys.stderr,
+            )
+            return 2
+        if not Path(args.trace).is_file():
+            print(
+                f"error: trace file {args.trace!r} does not exist "
+                "(record one with repro.data.record_trace)",
+                file=sys.stderr,
+            )
+            return 2
     if args.backend is not None:
         try:
             # Validates the name (unknown/unavailable exits nonzero with

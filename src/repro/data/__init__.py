@@ -1,22 +1,43 @@
-"""Dataset substrate: popularity distributions, histograms and generators.
+"""The data plane: batch sources, traces, distributions, and histograms.
 
-Synthetic, calibrated stand-ins for the paper's public datasets (Amazon,
-MovieLens, Alibaba, Criteo, plus the Random control) and the machinery that
-converts them into the index arrays and CTR batches the experiments consume.
+Batch production is a first-class streaming subsystem: every trainer
+consumes the :class:`~repro.data.source.BatchSource` protocol, with
+interchangeable implementations — the learnable
+:class:`~repro.data.generator.SyntheticCTRStream`, constant-memory trace
+replay (:class:`~repro.data.trace.TraceReplaySource` /
+:class:`~repro.data.trace.IndexReplaySource`), a Criteo-style file reader
+(:class:`~repro.data.source.CriteoFileSource`), and composable wrappers
+(prefetching, arrival shaping, table remapping, stream bounding).  The
+calibrated synthetic stand-ins for the paper's public datasets and the
+histogram tooling that measures locality live alongside.
 """
 
 from .datasets import DATASETS, PAPER_ORDER, DatasetProfile, dataset_names, get_dataset
 from .distributions import LookupDistribution, UniformDistribution, ZipfDistribution
 from .generator import (
-    CTRBatch,
     SyntheticCTRStream,
     generate_index_array,
     generate_table_indices,
 )
+from .source import (
+    ArrivalShapedSource,
+    BatchSource,
+    CTRBatch,
+    CriteoFileSource,
+    PrefetchingSource,
+    SourceExhausted,
+    TableRemapSource,
+    TakeSource,
+    as_batch_source,
+)
 from .trace import (
+    BatchTraceWriter,
     EmpiricalDistribution,
+    IndexReplaySource,
+    TraceReplaySource,
     distribution_from_trace,
     load_trace,
+    record_trace,
     save_trace,
 )
 from .histogram import (
@@ -28,18 +49,30 @@ from .histogram import (
 )
 
 __all__ = [
+    "ArrivalShapedSource",
+    "BatchSource",
+    "BatchTraceWriter",
     "CTRBatch",
+    "CriteoFileSource",
     "EmpiricalDistribution",
     "DATASETS",
     "DatasetProfile",
+    "IndexReplaySource",
     "LookupDistribution",
     "PAPER_ORDER",
+    "PrefetchingSource",
+    "SourceExhausted",
     "SyntheticCTRStream",
+    "TableRemapSource",
+    "TakeSource",
+    "TraceReplaySource",
     "UniformDistribution",
     "ZipfDistribution",
+    "as_batch_source",
     "dataset_names",
     "distribution_from_trace",
     "load_trace",
+    "record_trace",
     "save_trace",
     "empirical_probability_function",
     "generate_index_array",

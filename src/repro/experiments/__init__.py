@@ -21,6 +21,14 @@ from .gradient_size import (
     format_fig5a,
     format_fig5b,
 )
+from .hotcache import (
+    HIT_RATE_TOLERANCE,
+    HOTCACHE_CONFIG,
+    HotCacheRow,
+    format_hotcache,
+    hotcache_sweep,
+    trace_analytic_hit_rate,
+)
 from .overlap import (
     OVERLAP_BATCHES,
     OVERLAP_CONFIG,
@@ -52,6 +60,9 @@ __all__ = [
     "BreakdownRow",
     "EnergyRow",
     "GradientSizeRow",
+    "HIT_RATE_TOLERANCE",
+    "HOTCACHE_CONFIG",
+    "HotCacheRow",
     "LinkSweepRow",
     "OVERLAP_BATCHES",
     "OVERLAP_CONFIG",
@@ -85,6 +96,7 @@ __all__ = [
     "format_fig5a",
     "format_fig5b",
     "format_fig6",
+    "format_hotcache",
     "format_link_sweep",
     "format_overlap",
     "format_scaling",
@@ -92,6 +104,7 @@ __all__ = [
     "format_table",
     "format_table1",
     "format_table2",
+    "hotcache_sweep",
     "link_bandwidth_sweep",
     "normalize",
     "overlap_sweep",
@@ -102,5 +115,6 @@ __all__ = [
     "speedup_summary",
     "table1_rows",
     "table2_rows",
+    "trace_analytic_hit_rate",
     "fig6_traffic",
 ]

@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
+from pathlib import Path
 from typing import List, Sequence
 
 import numpy as np
@@ -48,6 +49,7 @@ from ..data.distributions import (
     ZipfDistribution,
 )
 from ..data.generator import SyntheticCTRStream
+from ..data.trace import TraceReplaySource, distribution_from_trace
 from ..model.configs import ModelConfig, RM1
 from ..model.dlrm import DLRM
 from ..model.optim import SGD
@@ -179,20 +181,29 @@ def _make_trainer(
     seed: int,
     distribution: LookupDistribution | None = None,
     backend: str | None = None,
+    source_factory=None,
 ):
-    """Fresh (model, trainer) pair; identical seeds ⇒ identical start state."""
+    """Fresh (model, trainer) pair; identical seeds ⇒ identical start state.
+
+    ``source_factory`` overrides the synthetic stream with any
+    :class:`~repro.data.source.BatchSource` builder (a fresh source per
+    trainer, so exhaustible sources replay from the top for every run).
+    """
     model = DLRM(config, rng=np.random.default_rng(seed), dtype=np.float32)
-    distributions = None
-    if distribution is not None:
-        distributions = [distribution] * config.num_tables
-    stream = SyntheticCTRStream(
-        num_tables=config.num_tables,
-        num_rows=config.rows_per_table,
-        lookups_per_sample=config.gathers_per_table,
-        dense_features=config.dense_features,
-        distributions=distributions,
-        seed=seed,
-    )
+    if source_factory is not None:
+        stream = source_factory()
+    else:
+        distributions = None
+        if distribution is not None:
+            distributions = [distribution] * config.num_tables
+        stream = SyntheticCTRStream(
+            num_tables=config.num_tables,
+            num_rows=config.rows_per_table,
+            lookups_per_sample=config.gathers_per_table,
+            dense_features=config.dense_features,
+            distributions=distributions,
+            seed=seed,
+        )
     trainer = trainer_cls(
         model,
         stream,
@@ -231,6 +242,7 @@ def _best_of(
     repeats: int,
     distribution: LookupDistribution | None = None,
     backend: str | None = None,
+    source_factory=None,
 ):
     """Train ``repeats`` fresh identically-seeded runs; keep the fastest.
 
@@ -245,13 +257,89 @@ def _best_of(
     best_report = None
     for _ in range(repeats):
         model, trainer = _make_trainer(
-            trainer_cls, config, num_shards, seed, distribution, backend
+            trainer_cls, config, num_shards, seed, distribution, backend,
+            source_factory,
         )
         report = trainer.train(batch, steps, np.random.default_rng(seed + 1))
+        trainer.stream.close()
         if best_report is None or report.wall_seconds < best_report.wall_seconds:
             best_model, best_report = model, report
     assert best_model is not None and best_report is not None
     return best_model, best_report
+
+
+def _overlap_trace_cell(
+    trace: str | Path,
+    steps: int,
+    hardware: SystemHardware,
+    seed: int,
+    repeats: int,
+    backend: str | None,
+) -> List[OverlapRow]:
+    """The trace-replay variant of the sweep: one unsharded measured cell.
+
+    Geometry is read from the trace header plus its first step; the model
+    is the overlap config reshaped to fit (tables sized to the tallest
+    recorded table — shorter tables simply leave rows untrained).
+    """
+    with TraceReplaySource(trace) as probe:
+        first = probe.next_batch(None)
+        batch = first.size
+        available_steps = probe.num_steps
+        lookups = sum(index.num_lookups for index in first.indices)
+        gathers = max(1, round(lookups / max(1, batch * probe.num_tables)))
+        config = OVERLAP_CONFIG.with_overrides(
+            num_tables=probe.num_tables,
+            rows_per_table=max(probe.rows_per_table),
+            gathers_per_table=gathers,
+            bottom_mlp=(probe.dense_features, *OVERLAP_CONFIG.bottom_mlp[1:]),
+        )
+        distribution = distribution_from_trace(first.indices, table=0)
+    steps = min(steps, available_steps)
+
+    def source_factory():
+        return TraceReplaySource(trace)
+
+    for warmup_cls in (FunctionalTrainer, PipelinedTrainer):
+        _, warmup_trainer = _make_trainer(
+            warmup_cls, config, 0, seed, None, backend, source_factory
+        )
+        warmup_trainer.train(batch, 1, np.random.default_rng(seed))
+        warmup_trainer.stream.close()
+    serial_model, serial = _best_of(
+        FunctionalTrainer, config, 0, seed, batch, steps, repeats,
+        None, backend, source_factory,
+    )
+    pipelined_model, pipelined = _best_of(
+        PipelinedTrainer, config, 0, seed, batch, steps, repeats,
+        None, backend, source_factory,
+    )
+    measured = (
+        serial.wall_seconds / pipelined.wall_seconds
+        if pipelined.wall_seconds > 0
+        else 0.0
+    )
+    analytic = analytic_overlap_speedup(config, batch, 0, hardware, distribution)
+    return [
+        OverlapRow(
+            model=f"trace:{Path(trace).name}",
+            batch=batch,
+            num_shards=0,
+            steps=serial.steps,
+            serial_steps_per_s=serial.steps_per_second,
+            pipelined_steps_per_s=pipelined.steps_per_second,
+            measured_speedup=measured,
+            analytic_speedup=analytic,
+            overlap_ratio=measured / analytic if analytic > 0 else 0.0,
+            bit_identical=_runs_bit_identical(
+                serial_model, serial, pipelined_model, pipelined
+            ),
+            forward_exchange_bytes=pipelined.forward_exchange_bytes,
+            backward_exchange_bytes=pipelined.backward_exchange_bytes,
+            cast_seconds=pipelined.timings.totals.get("casting", 0.0),
+            cast_wait_seconds=pipelined.timings.totals.get("cast_wait", 0.0),
+        )
+    ]
 
 
 def overlap_sweep(
@@ -264,6 +352,7 @@ def overlap_sweep(
     seed: int = 0,
     repeats: int = 3,
     backend: str | None = None,
+    trace: "str | Path | None" = None,
 ) -> List[OverlapRow]:
     """Sweep batch × shard count, measuring serial vs. pipelined training.
 
@@ -276,11 +365,25 @@ def overlap_sweep(
     trainers' default ``auto`` policy); every engine is bit-identical for
     the float32 model *to itself across schedules*, which is all the
     bitwise flag compares.
+
+    ``trace`` switches the measurement from synthetic generation to
+    replaying a recorded batch trace: one unsharded cell whose geometry
+    (batch size, table count/heights, dense width, available steps) comes
+    from the trace itself, with a fresh
+    :class:`~repro.data.trace.TraceReplaySource` per run so serial and
+    pipelined trainers consume the identical stream — the bitwise flag
+    then certifies the pipeline on real replayed data.  The analytic bound
+    uses the trace's own measured table-0 popularity.  ``batches`` and
+    ``shard_counts`` are ignored in trace mode.
     """
     if steps <= 0:
         raise ValueError(f"steps must be positive, got {steps}")
     if repeats <= 0:
         raise ValueError(f"repeats must be positive, got {repeats}")
+    if trace is not None:
+        return _overlap_trace_cell(
+            trace, steps, hardware or SystemHardware(), seed, repeats, backend
+        )
     bad_batches = [batch for batch in batches if batch <= 0]
     if bad_batches:
         raise ValueError(f"batch sizes must be positive, got {bad_batches}")

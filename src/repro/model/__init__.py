@@ -10,6 +10,7 @@ in :mod:`~repro.model.configs`.
 from .configs import ALL_MODELS, RM1, RM2, RM3, RM4, ModelConfig, get_model
 from .dlrm import DLRM, StepStats
 from .embedding import EmbeddingBag, SparseGradient
+from .hot_cache import HotRowCache
 from .interaction import CatInteraction, DotInteraction, interaction_output_dim
 from .layers import MLP, Linear, ReLU, Sigmoid
 from .loss import bce_with_logits, sigmoid
@@ -24,6 +25,7 @@ __all__ = [
     "DLRM",
     "DotInteraction",
     "EmbeddingBag",
+    "HotRowCache",
     "Linear",
     "MLP",
     "ModelConfig",

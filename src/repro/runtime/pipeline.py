@@ -36,11 +36,11 @@ from __future__ import annotations
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import replace
-from typing import Any, Callable, List, Tuple
+from typing import Any, Callable, List, Optional, Tuple
 
 import numpy as np
 
-from ..data.generator import CTRBatch
+from ..data.source import CTRBatch
 from ..model.sharded import ShardedStepPlan
 from .trainer import FunctionalTrainer, PhaseTimings, TrainingReport
 
@@ -128,12 +128,20 @@ class PipelinedTrainer(FunctionalTrainer):
                 f"backward has no casting stage to overlap), got {mode!r}"
             )
         self._validate_train_args(steps, mode)
+        for bag in self.model.embeddings:
+            bag.backend = self.backend
+        self._attach_caches()
+        self._reset_cache_stats()
         wall_start = time.perf_counter()
         if self.sharded is not None:
             report = self._train_sharded_pipelined(batch, steps, rng)
         else:
             report = self._train_unsharded_pipelined(batch, steps, rng)
-        return replace(report, wall_seconds=time.perf_counter() - wall_start)
+        return replace(
+            report,
+            wall_seconds=time.perf_counter() - wall_start,
+            **self._cache_fields(),
+        )
 
     # ------------------------------------------------------------------
     # Unsharded pipeline
@@ -144,7 +152,12 @@ class PipelinedTrainer(FunctionalTrainer):
         timings = PhaseTimings()
         losses: List[float] = []
         with CastAheadWorker() as worker:
-            data, future = self._prefetch(batch, rng, worker, timings)
+            prefetched = self._prefetch(batch, rng, worker, timings)
+            if prefetched is None:
+                raise ValueError(
+                    "the batch source was exhausted before the first step"
+                )
+            data, future = prefetched
             for step in range(steps):
                 upcoming = None
                 if step + 1 < steps:
@@ -156,13 +169,16 @@ class PipelinedTrainer(FunctionalTrainer):
                 timings.add("cast_wait", time.perf_counter() - start)
                 timings.add("casting", cast_seconds)
                 self._run_step(data, casts, "casted", timings, losses)
-                if upcoming is not None:
-                    data, future = upcoming
+                if upcoming is None:
+                    # Either the requested step count is reached or the
+                    # source exhausted — stop after the batch just trained.
+                    break
+                data, future = upcoming
         return TrainingReport(
             losses=losses,
             timings=timings,
             mode="casted",
-            steps=steps,
+            steps=len(losses),
             backend=self.backend.name,
         )
 
@@ -172,11 +188,17 @@ class PipelinedTrainer(FunctionalTrainer):
         rng: np.random.Generator,
         worker: CastAheadWorker,
         timings: PhaseTimings,
-    ) -> Tuple[CTRBatch, "Future[Tuple[Any, float]]"]:
-        """Draw the next batch (main thread) and queue its casting stage."""
+    ) -> Optional[Tuple[CTRBatch, "Future[Tuple[Any, float]]"]]:
+        """Draw the next batch (main thread) and queue its casting stage.
+
+        Returns ``None`` once the source exhausts — the step loop then
+        finishes the batches already in flight and stops.
+        """
         start = time.perf_counter()
-        data = self.stream.make_batch(batch, rng)
+        data = self._draw_batch(batch, rng)
         timings.add("prefetch", time.perf_counter() - start)
+        if data is None:
+            return None
         return data, worker.submit(self._cast_batch, data.indices)
 
     # ------------------------------------------------------------------
@@ -193,7 +215,12 @@ class PipelinedTrainer(FunctionalTrainer):
         forward_bytes = 0
         backward_bytes = 0
         with CastAheadWorker() as worker:
-            data, future = self._prefetch_sharded(batch, rng, worker, timings)
+            prefetched = self._prefetch_sharded(batch, rng, worker, timings)
+            if prefetched is None:
+                raise ValueError(
+                    "the batch source was exhausted before the first step"
+                )
+            data, future = prefetched
             for step in range(steps):
                 upcoming = None
                 if step + 1 < steps:
@@ -209,13 +236,14 @@ class PipelinedTrainer(FunctionalTrainer):
                 )
                 forward_bytes += plan.forward_exchange_bytes
                 backward_bytes += plan.backward_exchange_bytes
-                if upcoming is not None:
-                    data, future = upcoming
+                if upcoming is None:
+                    break
+                data, future = upcoming
         return TrainingReport(
             losses=losses,
             timings=timings,
             mode="casted",
-            steps=steps,
+            steps=len(losses),
             shard_timings=shard_timings,
             exchange_bytes=forward_bytes + backward_bytes,
             forward_exchange_bytes=forward_bytes,
@@ -229,16 +257,19 @@ class PipelinedTrainer(FunctionalTrainer):
         rng: np.random.Generator,
         worker: CastAheadWorker,
         timings: PhaseTimings,
-    ) -> Tuple[CTRBatch, "Future[Tuple[Any, float]]"]:
+    ) -> Optional[Tuple[CTRBatch, "Future[Tuple[Any, float]]"]]:
         """Draw the next batch and queue its split + per-shard casts.
 
         The worker records its ``partition``/``casting`` phases into local
         accountings, merged into the step loop's on future completion — so
-        concurrent steps never write to shared timing state.
+        concurrent steps never write to shared timing state.  Returns
+        ``None`` once the source exhausts.
         """
         start = time.perf_counter()
-        data = self.stream.make_batch(batch, rng)
+        data = self._draw_batch(batch, rng)
         timings.add("prefetch", time.perf_counter() - start)
+        if data is None:
+            return None
 
         def plan_and_cast() -> Tuple[ShardedStepPlan, PhaseTimings, List[PhaseTimings]]:
             assert self.sharded is not None

@@ -2,11 +2,15 @@
 
 Everything in :mod:`repro.runtime.systems` predicts performance; this module
 *measures* it, on the one real device available — the host CPU — by training
-an actual :class:`~repro.model.dlrm.DLRM` on a synthetic CTR stream and
-timing each phase of every iteration.  It is the reproduction's analogue of
-the paper's real-system prototype: the casted backward demonstrably beats
-the baseline expand-coalesce in wall-clock terms because it moves half the
-vector bytes and skips the expanded-tensor materialization.
+an actual :class:`~repro.model.dlrm.DLRM` on any
+:class:`~repro.data.source.BatchSource` — the synthetic CTR stream, a
+replayed trace, a Criteo-style file, or any composition of the data-plane
+wrappers — and timing each phase of every iteration.  It is the
+reproduction's analogue of the paper's real-system prototype: the casted
+backward demonstrably beats the baseline expand-coalesce in wall-clock
+terms because it moves half the vector bytes and skips the expanded-tensor
+materialization.  A finite source that exhausts mid-run stops the trainer
+cleanly (the report's ``steps`` records what actually trained).
 
 With ``num_shards`` set, the trainer instead drives a
 :class:`~repro.model.sharded.ShardedEmbeddingSet`: the embedding phases run
@@ -36,11 +40,13 @@ import numpy as np
 from ..backends.dispatch import resolve_backend
 from ..core.casting import CastedIndex, precompute_casts
 from ..core.indexing import IndexArray
-from ..data.generator import CTRBatch, SyntheticCTRStream
+from ..data.source import BatchSource, CTRBatch, SourceExhausted, as_batch_source
 from ..model.dlrm import DLRM
+from ..model.hot_cache import HotRowCache
 from ..model.loss import bce_with_logits
 from ..model.optim import Optimizer
 from ..model.sharded import ShardedEmbeddingSet, ShardedStepPlan
+from ..sim.cache import HotRowCacheSpec
 
 __all__ = ["PhaseTimings", "TrainingReport", "FunctionalTrainer"]
 
@@ -95,6 +101,16 @@ class TrainingReport:
     ``backend`` records which kernel engine the run's hot kernels routed
     through (the trainer's resolved ``backend=`` knob) so a throughput
     number is never separated from the engine that produced it.
+
+    ``steps`` is the number of iterations that *actually* trained — less
+    than requested when a finite batch source exhausted mid-run.
+
+    The ``cache_*`` fields are populated only when the trainer ran with an
+    executed hot-row cache (``hot_cache=`` knob): aggregate hits/accesses
+    across every table's :class:`~repro.model.hot_cache.HotRowCache`, the
+    measured ``cache_hit_rate`` (hits/accesses), and the replacement
+    ``cache_policy`` that produced it — the executed counterpart of
+    :class:`~repro.sim.cache.CachedCPUModel`'s analytic prediction.
     """
 
     losses: List[float]
@@ -107,6 +123,10 @@ class TrainingReport:
     backward_exchange_bytes: int = 0
     wall_seconds: float = 0.0
     backend: str = "vectorized"
+    cache_hit_rate: Optional[float] = None
+    cache_hits: int = 0
+    cache_accesses: int = 0
+    cache_policy: Optional[str] = None
 
     @property
     def final_loss(self) -> float:
@@ -139,7 +159,11 @@ class FunctionalTrainer:
     model:
         The DLRM instance to train (mutated in place).
     stream:
-        Batch source; its geometry must match the model.
+        Any :class:`~repro.data.source.BatchSource` (synthetic stream,
+        trace replay, file reader, or wrapped composition); geometry must
+        match the model.  Legacy objects exposing ``make_batch`` are
+        adapted automatically.  A finite source that exhausts mid-run ends
+        training cleanly after the last full batch.
     optimizer:
         Applied to dense and sparse parameters alike.
     num_shards:
@@ -164,17 +188,31 @@ class FunctionalTrainer:
         trainer most recently constructed over — or trains — the model:
         :meth:`train` re-asserts it, so sharing one model between trainers
         with different backends is safe per run.
+    hot_cache:
+        ``None`` (default) trains without caching.  A
+        :class:`~repro.sim.cache.HotRowCacheSpec` attaches one *executed*
+        :class:`~repro.model.hot_cache.HotRowCache` of
+        ``spec.capacity_rows`` rows per embedding table to the forward
+        gather path; the measured hit rate lands on the report's
+        ``cache_*`` fields.  Unsharded paths only — the sharded executor
+        gathers through shard-local table views the bag-level hook never
+        sees.
+    cache_policy:
+        Replacement policy for the executed caches: ``"lru"`` or ``"lfu"``.
     """
 
     def __init__(
         self,
         model: DLRM,
-        stream: SyntheticCTRStream,
+        stream,
         optimizer: Optimizer,
         num_shards: int | None = None,
         policy: str = "row",
         backend="auto",
+        hot_cache: HotRowCacheSpec | None = None,
+        cache_policy: str = "lru",
     ) -> None:
+        stream = as_batch_source(stream)
         if stream.num_tables != len(model.embeddings):
             raise ValueError(
                 f"stream produces {stream.num_tables} tables, model has "
@@ -199,6 +237,18 @@ class FunctionalTrainer:
         self.backend = resolve_backend(backend)
         for bag in model.embeddings:
             bag.backend = self.backend
+        self.hot_caches: List[HotRowCache] | None = None
+        if hot_cache is not None:
+            if num_shards is not None:
+                raise ValueError(
+                    "hot_cache is an unsharded-gather-path feature; the "
+                    "sharded executor bypasses the bag-level hook"
+                )
+            self.hot_caches = [
+                HotRowCache(hot_cache.capacity_rows, cache_policy)
+                for _ in model.embeddings
+            ]
+        self._attach_caches()
         self.sharded: ShardedEmbeddingSet | None = None
         if num_shards is not None:
             self.sharded = ShardedEmbeddingSet(
@@ -228,15 +278,21 @@ class FunctionalTrainer:
         # Re-assert kernel routing: another trainer constructed over the
         # same model would have re-pointed the bags' backend; whichever
         # trainer trains, *its* engine runs — keeping the report's
-        # ``backend`` field truthful.
+        # ``backend`` field truthful.  Same for the executed hot caches.
         for bag in self.model.embeddings:
             bag.backend = self.backend
+        self._attach_caches()
+        self._reset_cache_stats()
         wall_start = time.perf_counter()
         if self.sharded is not None:
             report = self._train_sharded(batch, steps, rng)
         else:
             report = self._train_serial(batch, steps, rng, mode)
-        return replace(report, wall_seconds=time.perf_counter() - wall_start)
+        return replace(
+            report,
+            wall_seconds=time.perf_counter() - wall_start,
+            **self._cache_fields(),
+        )
 
     def _validate_train_args(self, steps: int, mode: str) -> None:
         if steps <= 0:
@@ -245,6 +301,48 @@ class FunctionalTrainer:
             raise ValueError(
                 f"sharded training supports mode='casted' only, got {mode!r}"
             )
+
+    # ------------------------------------------------------------------
+    # Executed hot-row cache plumbing
+    # ------------------------------------------------------------------
+    def _attach_caches(self) -> None:
+        """Point every bag's gather hook at this trainer's caches (or clear it)."""
+        caches = self.hot_caches or [None] * len(self.model.embeddings)
+        for bag, cache in zip(self.model.embeddings, caches):
+            bag.hot_cache = cache
+
+    def _reset_cache_stats(self) -> None:
+        """Zero hit/access counters so the report measures this run only.
+
+        Resident rows are deliberately kept — training twice with the same
+        trainer measures the second run against a warm cache, which is how
+        steady-state hit rates are taken.
+        """
+        if self.hot_caches:
+            for cache in self.hot_caches:
+                cache.reset_stats()
+
+    def _cache_fields(self) -> Dict[str, object]:
+        """Report fields summarizing the executed caches (empty when off)."""
+        if not self.hot_caches:
+            return {}
+        hits = sum(cache.hits for cache in self.hot_caches)
+        accesses = sum(cache.accesses for cache in self.hot_caches)
+        return {
+            "cache_hits": hits,
+            "cache_accesses": accesses,
+            "cache_hit_rate": hits / accesses if accesses else 0.0,
+            "cache_policy": self.hot_caches[0].policy,
+        }
+
+    def _draw_batch(
+        self, batch: int, rng: np.random.Generator
+    ) -> Optional[CTRBatch]:
+        """Pull the next batch from the source; ``None`` once it exhausts."""
+        try:
+            return self.stream.next_batch(batch, rng)
+        except SourceExhausted:
+            return None
 
     # ------------------------------------------------------------------
     # Phase hooks — the numerical step, shared with the pipelined trainer
@@ -385,18 +483,24 @@ class FunctionalTrainer:
         timings = PhaseTimings()
         losses: List[float] = []
         for _ in range(steps):
-            data = self.stream.make_batch(batch, rng)
+            data = self._draw_batch(batch, rng)
+            if data is None:
+                break
             casts = None
             if mode == "casted":
                 start = time.perf_counter()
                 casts = self._cast_batch(data.indices)
                 timings.add("casting", time.perf_counter() - start)
             self._run_step(data, casts, mode, timings, losses)
+        if not losses:
+            raise ValueError(
+                "the batch source was exhausted before the first step"
+            )
         return TrainingReport(
             losses=losses,
             timings=timings,
             mode=mode,
-            steps=steps,
+            steps=len(losses),
             backend=self.backend.name,
         )
 
@@ -418,16 +522,22 @@ class FunctionalTrainer:
         forward_bytes = 0
         backward_bytes = 0
         for _ in range(steps):
-            data = self.stream.make_batch(batch, rng)
+            data = self._draw_batch(batch, rng)
+            if data is None:
+                break
             plan = self._plan_and_cast(data.indices, timings, shard_timings)
             plan = self._run_sharded_step(data, plan, timings, shard_timings, losses)
             forward_bytes += plan.forward_exchange_bytes
             backward_bytes += plan.backward_exchange_bytes
+        if not losses:
+            raise ValueError(
+                "the batch source was exhausted before the first step"
+            )
         return TrainingReport(
             losses=losses,
             timings=timings,
             mode="casted",
-            steps=steps,
+            steps=len(losses),
             shard_timings=shard_timings,
             exchange_bytes=forward_bytes + backward_bytes,
             forward_exchange_bytes=forward_bytes,

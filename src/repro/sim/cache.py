@@ -14,6 +14,13 @@ no matter how hot the rows are.  Tensor Casting attacks exactly that
 bottleneck, so the two techniques compose rather than compete; the ablation
 bench (``bench_ablation_hot_cache.py``) measures both separately and
 stacked.
+
+The analytic hit rate here assumes ideal placement; its *executed*
+counterpart — :class:`~repro.model.hot_cache.HotRowCache`, a real LRU/LFU
+run over the trainer's gather stream — is cross-checked against this model
+on the same workload by the ``cache`` experiment
+(:mod:`repro.experiments.hotcache`) and the ablation bench, within a
+documented tolerance.
 """
 
 from __future__ import annotations

@@ -1,0 +1,189 @@
+"""PrefetchingSource lifecycle tests: shutdown, exhaustion, error relay.
+
+The prefetcher is the one data-plane component that owns a thread, so its
+lifecycle is pinned explicitly: the worker must die promptly on
+exhaustion, on an inner-source exception (which must reach the *consumer*),
+and on early abort via ``close()`` — no hangs, no leaked threads.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.data.generator import SyntheticCTRStream
+from repro.data.source import (
+    BatchSource,
+    PrefetchingSource,
+    SourceExhausted,
+    TakeSource,
+)
+
+
+def make_stream():
+    return SyntheticCTRStream(
+        num_tables=2,
+        num_rows=50,
+        lookups_per_sample=3,
+        dense_features=4,
+        seed=11,
+    )
+
+
+class CountingSource(BatchSource):
+    """Finite source that records draws and can be told to blow up."""
+
+    def __init__(self, limit=None, fail_at=None, block_forever=False):
+        inner = make_stream()
+        self.num_tables = inner.num_tables
+        self.rows_per_table = list(inner.rows_per_table)
+        self.dense_features = inner.dense_features
+        self._inner = inner
+        self.limit = limit
+        self.fail_at = fail_at
+        self.draws = 0
+        self.closed = False
+
+    def next_batch(self, batch, rng):
+        if self.fail_at is not None and self.draws == self.fail_at:
+            raise RuntimeError("synthetic source failure")
+        if self.limit is not None and self.draws >= self.limit:
+            raise SourceExhausted("counting source drained")
+        self.draws += 1
+        return self._inner.next_batch(batch, rng)
+
+    def close(self):
+        self.closed = True
+
+
+def wait_dead(thread, timeout=5.0):
+    """Join with a hard deadline; the test fails rather than hangs."""
+    assert thread is not None
+    thread.join(timeout=timeout)
+    return not thread.is_alive()
+
+
+class TestOrderAndDepth:
+    def test_preserves_stream_order_exactly(self):
+        direct = make_stream()
+        rng_direct = np.random.default_rng(3)
+        expected = [direct.next_batch(4, rng_direct) for _ in range(5)]
+        rng_prefetched = np.random.default_rng(3)
+        with PrefetchingSource(make_stream(), depth=2) as prefetched:
+            got = [prefetched.next_batch(4, rng_prefetched)
+                   for _ in range(5)]
+        for want, have in zip(expected, got):
+            assert np.array_equal(want.dense, have.dense)
+            assert np.array_equal(want.labels, have.labels)
+            assert all(a == b for a, b in zip(want.indices, have.indices))
+
+    def test_prefetch_depth_bounds_readahead(self, rng):
+        counting = CountingSource()
+        prefetched = PrefetchingSource(counting, depth=2)
+        prefetched.next_batch(4, rng)
+        time.sleep(0.2)  # let the worker fill the queue
+        # Consumed 1, at most depth queued plus one in flight.
+        assert counting.draws <= 1 + 2 + 1
+        prefetched.close()
+
+    def test_rejects_bad_depth(self):
+        with pytest.raises(ValueError, match="depth"):
+            PrefetchingSource(make_stream(), depth=0)
+
+    def test_batch_size_is_pinned(self, rng):
+        prefetched = PrefetchingSource(make_stream(), depth=1)
+        prefetched.next_batch(4, rng)
+        with pytest.raises(ValueError, match="pinned"):
+            prefetched.next_batch(8, rng)
+        prefetched.close()
+
+
+class TestExhaustion:
+    def test_worker_exits_cleanly_on_exhaustion(self, rng):
+        counting = CountingSource(limit=3)
+        prefetched = PrefetchingSource(counting, depth=2)
+        for _ in range(3):
+            prefetched.next_batch(4, rng)
+        with pytest.raises(SourceExhausted):
+            prefetched.next_batch(4, rng)
+        assert wait_dead(prefetched._thread)
+        # Exhaustion is sticky.
+        with pytest.raises(SourceExhausted):
+            prefetched.next_batch(4, rng)
+        prefetched.close()
+        assert counting.closed
+
+    def test_trainer_sees_every_batch_before_exhaustion(self, rng):
+        prefetched = PrefetchingSource(TakeSource(make_stream(), 4), depth=3)
+        delivered = 0
+        while True:
+            try:
+                prefetched.next_batch(2, rng)
+                delivered += 1
+            except SourceExhausted:
+                break
+        assert delivered == 4
+        prefetched.close()
+
+
+class TestErrors:
+    def test_inner_error_reaches_the_consumer(self, rng):
+        counting = CountingSource(fail_at=2)
+        prefetched = PrefetchingSource(counting, depth=2)
+        prefetched.next_batch(4, rng)
+        prefetched.next_batch(4, rng)
+        with pytest.raises(RuntimeError, match="synthetic source failure"):
+            prefetched.next_batch(4, rng)
+        assert wait_dead(prefetched._thread)
+        # The error is sticky too: no silent resumption after a failure.
+        with pytest.raises(RuntimeError, match="synthetic source failure"):
+            prefetched.next_batch(4, rng)
+        prefetched.close()
+
+    def test_immediate_failure_propagates(self, rng):
+        prefetched = PrefetchingSource(CountingSource(fail_at=0), depth=1)
+        with pytest.raises(RuntimeError, match="synthetic source failure"):
+            prefetched.next_batch(4, rng)
+        prefetched.close()
+
+
+class TestEarlyAbort:
+    def test_close_mid_stream_does_not_hang(self, rng):
+        """A trainer aborting early must not leave the worker stuck on a
+        full queue."""
+        counting = CountingSource()
+        prefetched = PrefetchingSource(counting, depth=1)
+        prefetched.next_batch(4, rng)
+        time.sleep(0.1)  # worker is now blocked on the full queue
+        start = time.perf_counter()
+        prefetched.close()
+        assert time.perf_counter() - start < 2.0
+        assert wait_dead(prefetched._thread)
+        assert counting.closed
+
+    def test_close_is_idempotent(self, rng):
+        prefetched = PrefetchingSource(make_stream(), depth=1)
+        prefetched.next_batch(4, rng)
+        prefetched.close()
+        prefetched.close()
+
+    def test_close_before_first_batch(self):
+        prefetched = PrefetchingSource(make_stream(), depth=1)
+        prefetched.close()
+        assert prefetched._thread is None
+
+    def test_next_batch_after_close_raises(self, rng):
+        prefetched = PrefetchingSource(make_stream(), depth=1)
+        prefetched.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            prefetched.next_batch(4, rng)
+
+    def test_no_thread_leak_across_many_lifecycles(self, rng):
+        before = threading.active_count()
+        for _ in range(5):
+            prefetched = PrefetchingSource(TakeSource(make_stream(), 2), depth=1)
+            prefetched.next_batch(2, rng)
+            prefetched.close()
+        time.sleep(0.1)
+        assert threading.active_count() <= before + 1

@@ -198,3 +198,78 @@ class TestBackendFlag:
             assert "Pipelined" in capsys.readouterr().out
         finally:
             set_default_backend(previous)
+
+
+class TestSourceSelection:
+    """--dataset/--trace: the data-plane source flags (mirror --backend)."""
+
+    def test_unknown_dataset_exits_nonzero_listing_candidates(self, capsys):
+        assert main(["fig13", "--dataset", "netflix"]) == 2
+        err = capsys.readouterr().err
+        for name in ("random", "amazon", "movielens", "alibaba", "criteo"):
+            assert name in err
+
+    def test_unknown_dataset_rejected_for_trainer_experiments(self, capsys):
+        assert main(["cache", "--dataset", "netflix"]) == 2
+        assert "unknown dataset" in capsys.readouterr().err
+
+    def test_trace_flag_parses(self):
+        args = build_parser().parse_args(["cache", "--trace", "t.npz"])
+        assert args.trace == "t.npz"
+
+    def test_trace_rejected_for_non_trainer_experiments(self, capsys):
+        assert main(["fig6", "--trace", "whatever.npz"]) == 2
+        err = capsys.readouterr().err
+        assert "cache" in err and "overlap" in err
+
+    def test_missing_trace_file_exits_nonzero(self, capsys):
+        assert main(["cache", "--trace", "/nonexistent/trace.npz"]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_non_trace_npz_exits_nonzero(self, capsys, tmp_path):
+        import numpy as np
+
+        bogus = tmp_path / "bogus.npz"
+        np.savez(bogus, stuff=np.arange(3))
+        assert main(["cache", "--trace", str(bogus)]) == 2
+        assert "not a repro batch trace" in capsys.readouterr().err
+
+    def _record_tiny_trace(self, tmp_path, config, batch=32, steps=2):
+        import numpy as np
+
+        from repro.data import SyntheticCTRStream, record_trace
+
+        stream = SyntheticCTRStream(
+            num_tables=config.num_tables,
+            num_rows=config.rows_per_table,
+            lookups_per_sample=config.gathers_per_table,
+            dense_features=config.dense_features,
+            seed=0,
+        )
+        return record_trace(
+            stream, tmp_path / "tiny.npz", batch, steps,
+            np.random.default_rng(1),
+        )
+
+    def test_cache_experiment_runs(self, capsys):
+        assert main(["cache", "--batches", "64", "--steps", "2",
+                     "--dataset", "movielens"]) == 0
+        out = capsys.readouterr().out
+        assert "Measured" in out and "Analytic" in out
+        assert "lru" in out and "lfu" in out
+
+    def test_cache_replays_a_recorded_trace(self, capsys, tmp_path):
+        from repro.experiments.hotcache import HOTCACHE_CONFIG
+
+        trace = self._record_tiny_trace(tmp_path, HOTCACHE_CONFIG)
+        assert main(["cache", "--trace", str(trace)]) == 0
+        assert "trace:tiny.npz" in capsys.readouterr().out
+
+    def test_overlap_replays_a_recorded_trace(self, capsys, tmp_path):
+        from repro.experiments.overlap import OVERLAP_CONFIG
+
+        trace = self._record_tiny_trace(tmp_path, OVERLAP_CONFIG, batch=16,
+                                        steps=2)
+        assert main(["overlap", "--trace", str(trace), "--steps", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "trace:tiny.npz" in out and "OK" in out
