@@ -100,19 +100,27 @@ from .model import (
     SparseGradient,
     bce_with_logits,
     get_model,
+    make_optimizer,
 )
 from .runtime import (
     CPUGPUSystem,
     CPUOnlySystem,
+    CheckpointCallback,
     FunctionalTrainer,
+    MetricsLogger,
     NMPSystem,
     PipelinedTrainer,
     ShardedNMPSystem,
     SystemHardware,
     Timeline,
+    TrainingCallback,
+    TrainingEngine,
     WorkloadStats,
     compute_workload,
     design_points,
+    latest_checkpoint,
+    restore_trainer,
+    save_checkpoint,
 )
 from .sim import (
     AllToAll,
@@ -154,6 +162,7 @@ __all__ = [
     "IndexArray",
     "KernelBackend",
     "Link",
+    "MetricsLogger",
     "MLP",
     "ModelConfig",
     "Momentum",
@@ -171,6 +180,8 @@ __all__ = [
     "SystemHardware",
     "TABLE_I_POOL",
     "Timeline",
+    "TrainingCallback",
+    "TrainingEngine",
     "TraceReplaySource",
     "Traffic",
     "UniformDistribution",
@@ -181,6 +192,7 @@ __all__ = [
     "casting_reduction_factor",
     "compute_workload",
     "design_points",
+    "latest_checkpoint",
     "expand_coalesce",
     "gather_reduce",
     "generate_index_array",

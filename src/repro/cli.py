@@ -61,6 +61,7 @@ from .experiments import (
     scaling_sweep,
 )
 from .model.configs import ALL_MODELS, get_model
+from .model.optim import optimizer_names
 from .runtime.systems import SystemHardware
 
 __all__ = ["main", "EXPERIMENTS", "BUILTIN_COMMANDS"]
@@ -175,7 +176,10 @@ def _run_overlap(args, hardware) -> str:
     return format_overlap(
         overlap_sweep(batches=batches, shard_counts=shard_counts, steps=steps,
                       dataset=args.dataset, hardware=hardware,
-                      backend=args.backend, trace=args.trace)
+                      backend=args.backend, trace=args.trace,
+                      optimizer=args.optimizer or "sgd",
+                      lr=args.lr if args.lr is not None else 0.1,
+                      checkpoint_dir=args.checkpoint_dir, resume=args.resume)
     )
 
 
@@ -184,7 +188,10 @@ def _run_cache(args, hardware) -> str:
     steps = args.steps if args.steps is not None else 24
     return format_hotcache(
         hotcache_sweep(dataset=args.dataset, batch=batch, steps=steps,
-                       trace=args.trace, backend=args.backend)
+                       trace=args.trace, backend=args.backend,
+                       optimizer=args.optimizer or "sgd",
+                       lr=args.lr if args.lr is not None else 0.1,
+                       checkpoint_dir=args.checkpoint_dir, resume=args.resume)
     )
 
 
@@ -211,9 +218,14 @@ EXPERIMENTS: Dict[str, tuple[Callable, str]] = {
                           "cache hit rates, measured (LRU/LFU) vs analytic"),
 }
 
-#: Experiments that train through the data plane and therefore accept a
-#: recorded batch trace as their source (``--trace``).
-TRACE_EXPERIMENTS = ("cache", "overlap")
+#: Experiments that train a real model through the runtime engine and
+#: therefore accept the training-job flags: a recorded batch trace as their
+#: source (``--trace``), an optimizer selection (``--optimizer``/``--lr``),
+#: and checkpointing (``--checkpoint-dir``/``--resume``).
+TRAINER_EXPERIMENTS = ("cache", "overlap")
+
+#: Backward-compatible alias (the trace flag predates the other job flags).
+TRACE_EXPERIMENTS = TRAINER_EXPERIMENTS
 
 
 def _run_list(args) -> int:
@@ -298,6 +310,29 @@ def build_parser() -> argparse.ArgumentParser:
              f"{', '.join(registered_backends())}; default: the trainers' "
              "'auto' policy)",
     )
+    parser.add_argument(
+        "--optimizer", default=None, metavar="NAME",
+        help="update rule for the trainer-backed experiments "
+             f"({', '.join(TRAINER_EXPERIMENTS)}); registered: "
+             f"{', '.join(optimizer_names())} (default: sgd)",
+    )
+    parser.add_argument(
+        "--lr", type=float, default=None, metavar="LR",
+        help="learning rate for the trainer-backed experiments "
+             "(default: 0.1)",
+    )
+    parser.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="save each trained cell's parameters + optimizer state + step "
+             "into DIR (trainer-backed experiments: "
+             f"{', '.join(TRAINER_EXPERIMENTS)})",
+    )
+    parser.add_argument(
+        "--resume", default=None, metavar="CKPT",
+        help="warm-start every measured trainer from a checkpoint written "
+             "by --checkpoint-dir (or repro.runtime.checkpoint); the "
+             "stream fast-forwards past the checkpointed steps",
+    )
     return parser
 
 
@@ -330,6 +365,41 @@ def main(argv: Sequence[str] | None = None) -> int:
                 file=sys.stderr,
             )
             return 2
+    # The training-job flags follow the --trace convention: they apply to
+    # the trainer-backed experiments only, and bad values exit 2 with the
+    # candidates listed before any experiment runs.
+    for flag, value in (("--optimizer", args.optimizer), ("--lr", args.lr),
+                        ("--checkpoint-dir", args.checkpoint_dir),
+                        ("--resume", args.resume)):
+        if value is not None and args.experiment not in TRAINER_EXPERIMENTS:
+            print(
+                f"error: {flag} does not apply to {args.experiment!r}; "
+                "the trainer-backed experiments are: "
+                f"{', '.join(TRAINER_EXPERIMENTS)}",
+                file=sys.stderr,
+            )
+            return 2
+    if args.optimizer is not None and args.optimizer.lower() not in optimizer_names():
+        print(
+            f"error: unknown optimizer {args.optimizer!r}; registered "
+            f"optimizers: {', '.join(optimizer_names())}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.lr is not None and args.lr <= 0:
+        print(
+            f"error: learning rate must be positive, got {args.lr}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.resume is not None and not Path(args.resume).is_file():
+        print(
+            f"error: checkpoint file {args.resume!r} does not exist "
+            "(write one with --checkpoint-dir or "
+            "repro.runtime.checkpoint.save_checkpoint)",
+            file=sys.stderr,
+        )
+        return 2
     if args.backend is not None:
         try:
             # Validates the name (unknown/unavailable exits nonzero with

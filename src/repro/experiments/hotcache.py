@@ -42,7 +42,8 @@ from ..data.source import SourceExhausted
 from ..data.trace import EmpiricalDistribution, TraceReplaySource
 from ..model.configs import ModelConfig, RM1
 from ..model.dlrm import DLRM
-from ..model.optim import SGD
+from ..model.optim import make_optimizer
+from ..runtime.checkpoint import load_checkpoint, restore_trainer, save_checkpoint
 from ..runtime.trainer import FunctionalTrainer
 from ..sim.cache import CachedCPUModel, HotRowCacheSpec
 from .overlap import scaled_distribution
@@ -165,6 +166,10 @@ def hotcache_sweep(
     trace: str | Path | None = None,
     seed: int = 0,
     backend: Optional[str] = None,
+    optimizer: str = "sgd",
+    lr: float = 0.1,
+    checkpoint_dir: "str | Path | None" = None,
+    resume: "str | Path | None" = None,
 ) -> List[HotCacheRow]:
     """Measure executed LRU/LFU hit rates against the analytic prediction.
 
@@ -173,6 +178,13 @@ def hotcache_sweep(
     batch trace (one fresh :class:`~repro.data.trace.TraceReplaySource` per
     policy — every policy sees the identical stream) and takes the analytic
     prediction from the trace's own histograms.
+
+    ``optimizer``/``lr`` pick the update rule from the registry (default
+    plain SGD at 0.1, the historical behavior).  ``resume`` warm-starts
+    each policy's trainer from a checkpoint (parameters + optimizer state
+    restored, the stream fast-forwarded past the checkpointed steps);
+    ``checkpoint_dir`` saves each policy's final trained state as
+    ``cache-{policy}.npz``.
     """
     if steps <= 0:
         raise ValueError(f"steps must be positive, got {steps}")
@@ -180,12 +192,20 @@ def hotcache_sweep(
         raise ValueError(f"batch must be positive, got {batch}")
     if capacity_rows <= 0:
         raise ValueError(f"capacity_rows must be positive, got {capacity_rows}")
+    checkpoint = load_checkpoint(resume) if resume is not None else None
+    resume_step = checkpoint.step if checkpoint is not None else 0
     if trace is not None:
         with TraceReplaySource(trace) as probe:
             config = _trace_config(probe, config)
             first = probe.next_batch(None)
             batch = first.size
-            steps = min(steps, probe.num_steps)
+            if resume_step >= probe.num_steps:
+                raise ValueError(
+                    f"checkpoint resumes at step {resume_step} but {trace} "
+                    f"holds only {probe.num_steps} steps — nothing left to "
+                    "replay"
+                )
+            steps = min(steps, probe.num_steps - resume_step)
         analytic, _ = trace_analytic_hit_rate(trace, capacity_rows)
         source_label = f"trace:{Path(trace).name}"
 
@@ -208,12 +228,23 @@ def hotcache_sweep(
         trainer = FunctionalTrainer(
             model,
             make_source(),
-            SGD(lr=0.1),
+            make_optimizer(optimizer, lr=lr),
             backend=backend if backend is not None else "auto",
             hot_cache=HotRowCacheSpec(capacity_rows=capacity_rows),
             cache_policy=policy,
         )
-        report = trainer.train(batch, steps, np.random.default_rng(seed + 1))
+        start_step = (
+            restore_trainer(trainer, checkpoint) if checkpoint is not None else 0
+        )
+        report = trainer.train(
+            batch, steps, np.random.default_rng(seed + 1),
+            start_step=start_step,
+        )
+        if checkpoint_dir is not None:
+            save_checkpoint(
+                Path(checkpoint_dir) / f"cache-{policy}.npz", trainer,
+                start_step + report.steps,
+            )
         trainer.stream.close()
         assert report.cache_hit_rate is not None
         rows.append(

@@ -52,7 +52,8 @@ from ..data.generator import SyntheticCTRStream
 from ..data.trace import TraceReplaySource, distribution_from_trace
 from ..model.configs import ModelConfig, RM1
 from ..model.dlrm import DLRM
-from ..model.optim import SGD
+from ..model.optim import make_optimizer
+from ..runtime.checkpoint import load_checkpoint, restore_trainer, save_checkpoint
 from ..runtime.pipeline import PipelinedTrainer
 from ..runtime.systems import (
     NMPSystem,
@@ -182,12 +183,16 @@ def _make_trainer(
     distribution: LookupDistribution | None = None,
     backend: str | None = None,
     source_factory=None,
+    optimizer: str = "sgd",
+    lr: float = 0.1,
 ):
     """Fresh (model, trainer) pair; identical seeds ⇒ identical start state.
 
     ``source_factory`` overrides the synthetic stream with any
     :class:`~repro.data.source.BatchSource` builder (a fresh source per
     trainer, so exhaustible sources replay from the top for every run).
+    ``optimizer``/``lr`` select the update rule from the registry
+    (:func:`repro.model.optim.make_optimizer`).
     """
     model = DLRM(config, rng=np.random.default_rng(seed), dtype=np.float32)
     if source_factory is not None:
@@ -207,7 +212,7 @@ def _make_trainer(
     trainer = trainer_cls(
         model,
         stream,
-        SGD(lr=0.1),
+        make_optimizer(optimizer, lr=lr),
         num_shards=num_shards if num_shards > 0 else None,
         policy="row",
         backend=backend if backend is not None else "auto",
@@ -243,29 +248,43 @@ def _best_of(
     distribution: LookupDistribution | None = None,
     backend: str | None = None,
     source_factory=None,
+    optimizer: str = "sgd",
+    lr: float = 0.1,
+    resume=None,
 ):
     """Train ``repeats`` fresh identically-seeded runs; keep the fastest.
 
     Best-of-k is the standard way to strip scheduler noise from a wall-clock
     comparison; every repeat is numerically identical (fresh model, same
     seeds), so the minimum is a legitimate sample of the same computation.
-    Returns the *whole* report of the fastest run — wall clock and phase
-    timings stay mutually consistent — paired with one run's model for the
-    bit-identity check (all repeats produce identical parameters).
+    With ``resume`` set (a pre-loaded
+    :class:`~repro.runtime.checkpoint.Checkpoint`, decompressed once per
+    sweep rather than once per repeat), every repeat warm-starts from the
+    checkpoint (parameters + optimizer state restored, source
+    fast-forwarded past the checkpointed steps) — still identical across
+    repeats.  Returns the *whole* report of the fastest run — wall clock
+    and phase timings stay mutually consistent — paired with one run's
+    model for the bit-identity check and its trainer (for checkpointing the
+    trained state out).
     """
     best_model = None
+    best_trainer = None
     best_report = None
     for _ in range(repeats):
         model, trainer = _make_trainer(
             trainer_cls, config, num_shards, seed, distribution, backend,
-            source_factory,
+            source_factory, optimizer, lr,
         )
-        report = trainer.train(batch, steps, np.random.default_rng(seed + 1))
+        start_step = restore_trainer(trainer, resume) if resume is not None else 0
+        report = trainer.train(
+            batch, steps, np.random.default_rng(seed + 1),
+            start_step=start_step,
+        )
         trainer.stream.close()
         if best_report is None or report.wall_seconds < best_report.wall_seconds:
-            best_model, best_report = model, report
+            best_model, best_trainer, best_report = model, trainer, report
     assert best_model is not None and best_report is not None
-    return best_model, best_report
+    return best_model, best_trainer, best_report
 
 
 def _overlap_trace_cell(
@@ -275,6 +294,10 @@ def _overlap_trace_cell(
     seed: int,
     repeats: int,
     backend: str | None,
+    optimizer: str = "sgd",
+    lr: float = 0.1,
+    checkpoint_dir: "str | Path | None" = None,
+    resume: "str | Path | None" = None,
 ) -> List[OverlapRow]:
     """The trace-replay variant of the sweep: one unsharded measured cell.
 
@@ -295,25 +318,38 @@ def _overlap_trace_cell(
             bottom_mlp=(probe.dense_features, *OVERLAP_CONFIG.bottom_mlp[1:]),
         )
         distribution = distribution_from_trace(first.indices, table=0)
-    steps = min(steps, available_steps)
+    checkpoint = load_checkpoint(resume) if resume is not None else None
+    resume_step = checkpoint.step if checkpoint is not None else 0
+    if resume_step >= available_steps:
+        raise ValueError(
+            f"checkpoint resumes at step {resume_step} but {trace} holds "
+            f"only {available_steps} steps — nothing left to replay"
+        )
+    steps = min(steps, available_steps - resume_step)
 
     def source_factory():
         return TraceReplaySource(trace)
 
     for warmup_cls in (FunctionalTrainer, PipelinedTrainer):
         _, warmup_trainer = _make_trainer(
-            warmup_cls, config, 0, seed, None, backend, source_factory
+            warmup_cls, config, 0, seed, None, backend, source_factory,
+            optimizer, lr,
         )
         warmup_trainer.train(batch, 1, np.random.default_rng(seed))
         warmup_trainer.stream.close()
-    serial_model, serial = _best_of(
+    serial_model, _, serial = _best_of(
         FunctionalTrainer, config, 0, seed, batch, steps, repeats,
-        None, backend, source_factory,
+        None, backend, source_factory, optimizer, lr, checkpoint,
     )
-    pipelined_model, pipelined = _best_of(
+    pipelined_model, pipelined_trainer, pipelined = _best_of(
         PipelinedTrainer, config, 0, seed, batch, steps, repeats,
-        None, backend, source_factory,
+        None, backend, source_factory, optimizer, lr, checkpoint,
     )
+    if checkpoint_dir is not None:
+        save_checkpoint(
+            Path(checkpoint_dir) / "overlap-trace.npz", pipelined_trainer,
+            resume_step + pipelined.steps,
+        )
     measured = (
         serial.wall_seconds / pipelined.wall_seconds
         if pipelined.wall_seconds > 0
@@ -353,6 +389,10 @@ def overlap_sweep(
     repeats: int = 3,
     backend: str | None = None,
     trace: "str | Path | None" = None,
+    optimizer: str = "sgd",
+    lr: float = 0.1,
+    checkpoint_dir: "str | Path | None" = None,
+    resume: "str | Path | None" = None,
 ) -> List[OverlapRow]:
     """Sweep batch × shard count, measuring serial vs. pipelined training.
 
@@ -375,6 +415,20 @@ def overlap_sweep(
     then certifies the pipeline on real replayed data.  The analytic bound
     uses the trace's own measured table-0 popularity.  ``batches`` and
     ``shard_counts`` are ignored in trace mode.
+
+    ``optimizer``/``lr`` pick the update rule from the registry (default
+    plain SGD at 0.1, the historical behavior).  ``resume`` warm-starts
+    every measured trainer from a checkpoint
+    (:mod:`repro.runtime.checkpoint`): parameters and optimizer state are
+    restored and each fresh source is fast-forwarded past the
+    checkpointed steps, so serial and pipelined runs stay bit-comparable.
+    The checkpoint is applied to *every* cell, so its shard layout must
+    agree with the whole sweep: a stateful checkpoint taken at one shard
+    count fails loudly (clean exit 2 from the CLI) when a cell's layout
+    differs — restrict ``shard_counts`` to the layout the checkpoint was
+    taken with.  ``checkpoint_dir`` saves each cell's final trained state
+    as ``overlap-b{batch}-s{shards}.npz`` (``overlap-trace.npz`` in trace
+    mode).
     """
     if steps <= 0:
         raise ValueError(f"steps must be positive, got {steps}")
@@ -382,7 +436,8 @@ def overlap_sweep(
         raise ValueError(f"repeats must be positive, got {repeats}")
     if trace is not None:
         return _overlap_trace_cell(
-            trace, steps, hardware or SystemHardware(), seed, repeats, backend
+            trace, steps, hardware or SystemHardware(), seed, repeats, backend,
+            optimizer, lr, checkpoint_dir, resume,
         )
     bad_batches = [batch for batch in batches if batch <= 0]
     if bad_batches:
@@ -402,20 +457,30 @@ def overlap_sweep(
     for warmup_shards in sorted(set(shard_counts)):
         for warmup_cls in (FunctionalTrainer, PipelinedTrainer):
             _, warmup_trainer = _make_trainer(
-                warmup_cls, config, warmup_shards, seed, distribution, backend
+                warmup_cls, config, warmup_shards, seed, distribution, backend,
+                optimizer=optimizer, lr=lr,
             )
             warmup_trainer.train(8, 1, np.random.default_rng(seed))
+    checkpoint = load_checkpoint(resume) if resume is not None else None
+    resume_step = checkpoint.step if checkpoint is not None else 0
     rows: List[OverlapRow] = []
     for batch in batches:
         for num_shards in shard_counts:
-            serial_model, serial = _best_of(
+            serial_model, _, serial = _best_of(
                 FunctionalTrainer, config, num_shards, seed, batch, steps,
-                repeats, distribution, backend,
+                repeats, distribution, backend, None, optimizer, lr,
+                checkpoint,
             )
-            pipelined_model, pipelined = _best_of(
+            pipelined_model, pipelined_trainer, pipelined = _best_of(
                 PipelinedTrainer, config, num_shards, seed, batch, steps,
-                repeats, distribution, backend,
+                repeats, distribution, backend, None, optimizer, lr,
+                checkpoint,
             )
+            if checkpoint_dir is not None:
+                save_checkpoint(
+                    Path(checkpoint_dir) / f"overlap-b{batch}-s{num_shards}.npz",
+                    pipelined_trainer, resume_step + pipelined.steps,
+                )
             measured = (
                 serial.wall_seconds / pipelined.wall_seconds
                 if pipelined.wall_seconds > 0

@@ -14,11 +14,22 @@ from .hot_cache import HotRowCache
 from .interaction import CatInteraction, DotInteraction, interaction_output_dim
 from .layers import MLP, Linear, ReLU, Sigmoid
 from .loss import bce_with_logits, sigmoid
-from .optim import SGD, Adagrad, Adam, Momentum, Optimizer, RMSprop
+from .optim import (
+    OPTIMIZERS,
+    SGD,
+    Adagrad,
+    Adam,
+    Momentum,
+    Optimizer,
+    RMSprop,
+    make_optimizer,
+    optimizer_names,
+)
 from .sharded import ShardedEmbeddingSet, ShardedStepPlan
 
 __all__ = [
     "ALL_MODELS",
+    "OPTIMIZERS",
     "Adagrad",
     "Adam",
     "CatInteraction",
@@ -46,5 +57,7 @@ __all__ = [
     "bce_with_logits",
     "get_model",
     "interaction_output_dim",
+    "make_optimizer",
+    "optimizer_names",
     "sigmoid",
 ]

@@ -15,15 +15,38 @@ accumulated into a single value".  These optimizers encode that contract:
 
 RMSprop implements Equation 1 of the paper and Adagrad Equation 2,
 symbol-for-symbol.
+
+Two pieces of plumbing make the optimizers first-class runtime citizens:
+
+* the **registry** (:data:`OPTIMIZERS` / :func:`make_optimizer` /
+  :func:`optimizer_names`) — the single source the CLI's ``--optimizer``
+  choices derive from, mirroring the ``--backend`` / ``--dataset``
+  convention (unknown names raise listing the candidates);
+* **state export/import** (:meth:`Optimizer.export_state` /
+  :meth:`Optimizer.import_state` / :meth:`Optimizer.hyperparameters`) —
+  per-parameter state keyed by *stable names* instead of tensor identity,
+  which is what lets :mod:`repro.runtime.checkpoint` serialize a training
+  job and resume it bit-identically.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from typing import Dict, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["Optimizer", "SGD", "Momentum", "Adagrad", "RMSprop", "Adam"]
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "Momentum",
+    "Adagrad",
+    "RMSprop",
+    "Adam",
+    "OPTIMIZERS",
+    "make_optimizer",
+    "optimizer_names",
+]
 
 
 class Optimizer(ABC):
@@ -82,6 +105,91 @@ class Optimizer(ABC):
         for param, grad in parameters:
             self.apply_dense(param, grad)
 
+    # ------------------------------------------------------------------
+    # Checkpoint plumbing: state keyed by stable names, not tensor identity
+    # ------------------------------------------------------------------
+    def hyperparameters(self) -> Dict[str, float]:
+        """The scalar knobs that define this optimizer's update rule.
+
+        Persisted alongside exported state and verified on import — a
+        resumed run with a different learning rate is a *different* run,
+        and the checkpoint subsystem refuses to conflate the two.
+        """
+        return {"lr": self.lr}
+
+    def export_state(
+        self, named_params: Sequence[Tuple[str, np.ndarray]]
+    ) -> Dict[str, np.ndarray]:
+        """Flatten per-parameter state into ``{"name.key": array}`` entries.
+
+        Only parameters that have accumulated state appear (state is lazy —
+        an embedding row set that never trained has none), so exporting is
+        cheap and an import into a fresh optimizer reconstructs exactly the
+        populated entries.
+        """
+        exported: Dict[str, np.ndarray] = {}
+        for name, param in named_params:
+            if "." in name:
+                raise ValueError(
+                    f"parameter name {name!r} must not contain '.' (it is "
+                    "the state-key separator)"
+                )
+            state = self._state.get(id(param))
+            if not state:
+                continue
+            for key, tensor in state.items():
+                exported[f"{name}.{key}"] = tensor
+        return exported
+
+    def import_state(
+        self,
+        named_params: Sequence[Tuple[str, np.ndarray]],
+        arrays: Dict[str, np.ndarray],
+    ) -> None:
+        """Rebuild per-parameter state from :meth:`export_state` output.
+
+        Every ``"name.key"`` entry is validated against the template
+        :meth:`_init_state` would allocate for that parameter — unknown
+        parameter names, unknown state keys, and shape/dtype mismatches all
+        fail loudly (a checkpoint from a different optimizer or geometry
+        must not half-apply).  The import is all-or-nothing: every entry is
+        validated and copied *before* any state slot is assigned, so a
+        rejected import leaves existing state untouched.  State for
+        parameters absent from ``arrays`` is left untouched.
+        """
+        by_name = dict(named_params)
+        grouped: Dict[str, Dict[str, np.ndarray]] = {}
+        for flat_key, tensor in arrays.items():
+            name, _, key = flat_key.rpartition(".")
+            if not name or name not in by_name:
+                raise ValueError(
+                    f"state entry {flat_key!r} names no known parameter "
+                    f"(known: {', '.join(sorted(by_name)) or 'none'})"
+                )
+            grouped.setdefault(name, {})[key] = tensor
+        pending: Dict[int, Dict[str, np.ndarray]] = {}
+        for name, entries in grouped.items():
+            param = by_name[name]
+            template = self._init_state(param)
+            if set(entries) != set(template):
+                raise ValueError(
+                    f"state for {name!r} has keys {sorted(entries)}, this "
+                    f"{type(self).__name__} expects {sorted(template)}"
+                )
+            rebuilt: Dict[str, np.ndarray] = {}
+            for key, tensor in entries.items():
+                expected = template[key]
+                tensor = np.asarray(tensor)
+                if tensor.shape != expected.shape or tensor.dtype != expected.dtype:
+                    raise ValueError(
+                        f"state {name}.{key} has shape {tensor.shape} dtype "
+                        f"{tensor.dtype}, expected {expected.shape} "
+                        f"{expected.dtype}"
+                    )
+                rebuilt[key] = tensor.copy()
+            pending[id(param)] = rebuilt
+        self._state.update(pending)
+
 
 class SGD(Optimizer):
     """Plain stochastic gradient descent: ``W <- W - lr * G``."""
@@ -107,6 +215,9 @@ class Momentum(Optimizer):
         if not 0.0 <= momentum < 1.0:
             raise ValueError(f"momentum must lie in [0, 1), got {momentum}")
         self.momentum = float(momentum)
+
+    def hyperparameters(self) -> Dict[str, float]:
+        return {"lr": self.lr, "momentum": self.momentum}
 
     def _init_state(self, param: np.ndarray) -> dict[str, np.ndarray]:
         return {"velocity": np.zeros_like(param, dtype=np.float64)}
@@ -138,6 +249,9 @@ class Adagrad(Optimizer):
         if eps <= 0:
             raise ValueError(f"eps must be positive, got {eps}")
         self.eps = float(eps)
+
+    def hyperparameters(self) -> Dict[str, float]:
+        return {"lr": self.lr, "eps": self.eps}
 
     def _init_state(self, param: np.ndarray) -> dict[str, np.ndarray]:
         return {"accumulator": np.zeros_like(param, dtype=np.float64)}
@@ -171,6 +285,9 @@ class RMSprop(Optimizer):
             raise ValueError(f"eps must be positive, got {eps}")
         self.gamma = float(gamma)
         self.eps = float(eps)
+
+    def hyperparameters(self) -> Dict[str, float]:
+        return {"lr": self.lr, "gamma": self.gamma, "eps": self.eps}
 
     def _init_state(self, param: np.ndarray) -> dict[str, np.ndarray]:
         return {"accumulator": np.zeros_like(param, dtype=np.float64)}
@@ -217,6 +334,14 @@ class Adam(Optimizer):
         self.beta2 = float(beta2)
         self.eps = float(eps)
 
+    def hyperparameters(self) -> Dict[str, float]:
+        return {
+            "lr": self.lr,
+            "beta1": self.beta1,
+            "beta2": self.beta2,
+            "eps": self.eps,
+        }
+
     def _init_state(self, param: np.ndarray) -> dict[str, np.ndarray]:
         return {
             "first_moment": np.zeros_like(param, dtype=np.float64),
@@ -250,3 +375,40 @@ class Adam(Optimizer):
         m_hat = m[rows] / (1.0 - self.beta1**steps)[:, None]
         v_hat = v[rows] / (1.0 - self.beta2**steps)[:, None]
         param[rows] -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+# ----------------------------------------------------------------------
+# Registry: the CLI's --optimizer choices derive from here
+# ----------------------------------------------------------------------
+
+#: Name -> class, the single source of truth for optimizer selection (the
+#: ``--optimizer`` flag's candidates, mirroring the ``--backend`` and
+#: ``--dataset`` conventions).
+OPTIMIZERS: Dict[str, type] = {
+    "sgd": SGD,
+    "momentum": Momentum,
+    "adagrad": Adagrad,
+    "rmsprop": RMSprop,
+    "adam": Adam,
+}
+
+
+def optimizer_names() -> tuple[str, ...]:
+    """Registered optimizer names, in registry order."""
+    return tuple(OPTIMIZERS)
+
+
+def make_optimizer(name: str, lr: float = 0.1, **kwargs) -> Optimizer:
+    """Instantiate a registered optimizer by (case-insensitive) name.
+
+    Unknown names raise :class:`ValueError` listing the candidates — the
+    CLI turns that into a clean exit code 2.  Extra ``kwargs`` pass through
+    to the class (e.g. ``make_optimizer("momentum", lr=0.1, momentum=0.95)``).
+    """
+    key = name.lower() if isinstance(name, str) else name
+    if key not in OPTIMIZERS:
+        raise ValueError(
+            f"unknown optimizer {name!r}; registered optimizers: "
+            f"{', '.join(optimizer_names())}"
+        )
+    return OPTIMIZERS[key](lr=lr, **kwargs)

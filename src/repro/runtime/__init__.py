@@ -2,13 +2,36 @@
 
 The co-designed runtime of Section IV-B lives here — the Figure 9 overlap
 of casting with forward propagation (:mod:`~repro.runtime.systems`), the
-timeline machinery behind it (:mod:`~repro.runtime.timeline`), a
-wall-clock-instrumented functional trainer (:mod:`~repro.runtime.trainer`),
-and the pipelined cast-ahead trainer that executes the overlap for real
-(:mod:`~repro.runtime.pipeline`).
+timeline machinery behind it (:mod:`~repro.runtime.timeline`), and the
+**stage-graph training engine** (:mod:`~repro.runtime.engine` +
+:mod:`~repro.runtime.stages`): one step loop over named stages, executed
+serially or with the cast-ahead overlap by interchangeable schedules, with
+checkpoint/resume (:mod:`~repro.runtime.checkpoint`) and a callback
+protocol layered on its hook points.  The wall-clock-instrumented
+:class:`FunctionalTrainer` and the pipelined :class:`PipelinedTrainer` are
+thin facades over that engine.
 """
 
-from .pipeline import CastAheadWorker, PipelinedTrainer
+from .checkpoint import (
+    CheckpointCallback,
+    latest_checkpoint,
+    load_checkpoint,
+    restore_trainer,
+    save_checkpoint,
+)
+from .engine import (
+    CastAheadSchedule,
+    CastAheadWorker,
+    MetricsLogger,
+    RunEvent,
+    Schedule,
+    SerialSchedule,
+    StepEvent,
+    TrainingCallback,
+    TrainingEngine,
+)
+from .pipeline import PipelinedTrainer
+from .stages import Stage, StageTimingCollector, StepContext, build_step_stages
 from .systems import (
     CPUGPUSystem,
     CPUOnlySystem,
@@ -46,9 +69,12 @@ from .trainer import FunctionalTrainer, PhaseTimings, TrainingReport
 __all__ = [
     "CPUGPUSystem",
     "CPUOnlySystem",
+    "CastAheadSchedule",
     "CastAheadWorker",
+    "CheckpointCallback",
     "FunctionalTrainer",
     "IterationResult",
+    "MetricsLogger",
     "NMPSystem",
     "OP_BWD_ACCU",
     "OP_BWD_DNN",
@@ -63,6 +89,13 @@ __all__ = [
     "OP_FWD_GATHER",
     "PhaseTimings",
     "PipelinedTrainer",
+    "RunEvent",
+    "Schedule",
+    "SerialSchedule",
+    "Stage",
+    "StageTimingCollector",
+    "StepContext",
+    "StepEvent",
     "RESOURCE_CPU",
     "RESOURCE_GPU",
     "RESOURCE_LINK",
@@ -72,9 +105,16 @@ __all__ = [
     "Span",
     "SystemHardware",
     "Timeline",
+    "TrainingCallback",
+    "TrainingEngine",
     "TrainingReport",
     "TrainingSystem",
     "WorkloadStats",
+    "build_step_stages",
     "compute_workload",
     "design_points",
+    "latest_checkpoint",
+    "load_checkpoint",
+    "restore_trainer",
+    "save_checkpoint",
 ]

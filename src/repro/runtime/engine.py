@@ -1,0 +1,377 @@
+"""The stage-graph training engine: one step loop, many schedules.
+
+Before PR 5 the runtime hard-coded four divergent copies of the training
+loop (serial/sharded × serial/pipelined); every feature — kernel backends,
+hot caches, batch sources — had to be threaded through each by hand.  This
+module replaces all four with one engine:
+
+* :mod:`repro.runtime.stages` decomposes a step into named stages bound to
+  a shared :class:`~repro.runtime.stages.StepContext`;
+* a **schedule** decides *when* each stage of which batch runs —
+  :class:`SerialSchedule` executes every stage of step ``i`` before drawing
+  step ``i+1``; :class:`CastAheadSchedule` executes the paper's Section
+  IV-B overlap, drawing batch ``i+1`` on the main thread (same RNG order as
+  serial — the bit-identity invariant) and running its ``cast`` stage on a
+  background :class:`CastAheadWorker` while batch ``i`` computes;
+* :class:`TrainingEngine` owns the run: source fast-forward for resumed
+  jobs (``start_step``), the schedule dispatch, the generic timing
+  collector that assembles the
+  :class:`~repro.runtime.stages.TrainingReport`, and the **callback
+  protocol** (:class:`TrainingCallback`: ``on_step_end`` / ``on_run_end``)
+  that funds checkpointing (:mod:`repro.runtime.checkpoint`) and metrics
+  logging (:class:`MetricsLogger`) without touching the loop.
+
+:class:`~repro.runtime.trainer.FunctionalTrainer` and
+:class:`~repro.runtime.pipeline.PipelinedTrainer` are thin facades over
+this engine — their public APIs and numerics are unchanged (pinned by the
+differential suite against the frozen pre-refactor loops in
+``tests/runtime/_legacy_trainer.py``).  A new schedule, stage, or
+long-running-job feature now costs one class here, not four loop rewrites.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Optional, Sequence, TextIO, Tuple
+
+import numpy as np
+
+from .stages import (
+    StageTimingCollector,
+    StepContext,
+    StepStages,
+    TrainingReport,
+    build_step_stages,
+)
+
+__all__ = [
+    "CastAheadWorker",
+    "CastAheadSchedule",
+    "MetricsLogger",
+    "RunEvent",
+    "Schedule",
+    "SerialSchedule",
+    "StepEvent",
+    "TrainingCallback",
+    "TrainingEngine",
+]
+
+
+class CastAheadWorker:
+    """A one-thread worker queue for cast-ahead (prefetch) jobs.
+
+    Thin wrapper over :class:`concurrent.futures.ThreadPoolExecutor` with a
+    single worker thread — the functional stand-in for the accelerator that
+    runs the casting stage in the paper's runtime (the GPU in Figure 9(b)).
+    Jobs are timed on the worker, so callers can split "how long the hidden
+    work took" (the returned seconds) from "how long the critical path
+    waited for it" (their own clock around ``Future.result()``).
+
+    Usable as a context manager; exiting shuts the worker down and waits
+    for in-flight jobs.
+    """
+
+    def __init__(self) -> None:
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="cast-ahead"
+        )
+
+    def submit(
+        self, fn: Callable[..., Any], *args: Any
+    ) -> "Future[Tuple[Any, float]]":
+        """Queue ``fn(*args)``; the future resolves to ``(result, seconds)``."""
+
+        def timed() -> Tuple[Any, float]:
+            start = time.perf_counter()
+            result = fn(*args)
+            return result, time.perf_counter() - start
+
+        return self._executor.submit(timed)
+
+    def shutdown(self) -> None:
+        """Stop accepting work and wait for any in-flight job."""
+        self._executor.shutdown(wait=True)
+
+    def __enter__(self) -> "CastAheadWorker":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> bool:
+        self.shutdown()
+        return False
+
+
+# ----------------------------------------------------------------------
+# Callback protocol
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class StepEvent:
+    """Fired after each completed training step.
+
+    ``step`` is the *global* step count — completed steps of this run plus
+    the ``start_step`` offset of a resumed job — so a checkpointer names
+    files consistently across interruptions.  ``trainer`` is the trainer
+    driving the run (checkpointers reach its model/optimizer through it).
+    """
+
+    step: int
+    loss: float
+    trainer: Any
+
+
+@dataclass(frozen=True)
+class RunEvent:
+    """Fired once when a run ends, with the final report attached."""
+
+    step: int
+    report: TrainingReport
+    trainer: Any
+
+
+class TrainingCallback:
+    """Hook points the engine fires during a run (all optional no-ops).
+
+    Subclass and override; exceptions propagate and abort the run (a
+    checkpointer that cannot write must not fail silently).
+    """
+
+    def on_step_end(self, event: StepEvent) -> None:
+        """Called after every completed step (post-``optimize``)."""
+
+    def on_run_end(self, event: RunEvent) -> None:
+        """Called once after the run's report is assembled."""
+
+
+class MetricsLogger(TrainingCallback):
+    """Collect (step, loss) history; optionally stream progress lines.
+
+    The minimal useful callback — and the protocol's reference
+    implementation.  ``history`` holds every ``(global_step, loss)`` pair;
+    with a ``stream`` (e.g. ``sys.stdout``) a progress line is printed
+    every ``every`` steps plus a final summary.
+    """
+
+    def __init__(self, every: int = 1, stream: Optional[TextIO] = None) -> None:
+        if every <= 0:
+            raise ValueError(f"every must be positive, got {every}")
+        self.every = int(every)
+        self.stream = stream
+        self.history: list[tuple[int, float]] = []
+
+    def on_step_end(self, event: StepEvent) -> None:
+        self.history.append((event.step, event.loss))
+        if self.stream is not None and event.step % self.every == 0:
+            print(f"step {event.step}: loss {event.loss:.6f}", file=self.stream)
+
+    def on_run_end(self, event: RunEvent) -> None:
+        if self.stream is not None:
+            report = event.report
+            print(
+                f"run ended at step {event.step}: {report.steps} steps, "
+                f"final loss {report.final_loss:.6f}",
+                file=self.stream,
+            )
+
+
+# ----------------------------------------------------------------------
+# Schedules
+# ----------------------------------------------------------------------
+
+class Schedule:
+    """Decides *when* each stage of which batch runs (never *what* runs)."""
+
+    name = "schedule"
+
+    def execute(
+        self, engine: "TrainingEngine", stages: StepStages, steps: int
+    ) -> None:
+        raise NotImplementedError
+
+
+class SerialSchedule(Schedule):
+    """Every stage of step ``i`` completes before step ``i+1`` is drawn."""
+
+    name = "serial"
+
+    def execute(
+        self, engine: "TrainingEngine", stages: StepStages, steps: int
+    ) -> None:
+        for _ in range(steps):
+            ctx = stages.new_context()
+            stages.draw.run(ctx)
+            if ctx.data is None:
+                break
+            stages.cast.run(ctx)
+            engine.collector.absorb_cast(ctx)
+            for stage in stages.compute:
+                stage.run(ctx)
+            engine.complete_step(ctx)
+
+
+class CastAheadSchedule(Schedule):
+    """Double-buffered overlap: batch ``i+1`` casts while batch ``i`` computes.
+
+    The Section IV-B schedule, executed.  Two invariants keep the
+    measurement honest:
+
+    * **Bit-identity** — batches are drawn on the main thread in the same
+      RNG order as :class:`SerialSchedule`, and the worker runs the very
+      same ``cast`` stage object, so parameters and losses match the serial
+      schedule exactly for the same seed.
+    * **Thread safety by data disjointness** — the worker touches only the
+      *next* context's index data (pure functions of the lookup ids, timed
+      into context-local accountings), while the main thread mutates
+      parameters of the *current* batch; the two never share mutable state.
+
+    Two schedule-specific phases land in the timings: ``prefetch`` (the
+    main-thread draw of the next batch) and ``cast_wait`` (how long the
+    step loop actually blocked on the cast-ahead future — the exposed
+    remainder of the casting stage; ≈0 under full overlap).
+    """
+
+    name = "cast_ahead"
+
+    def execute(
+        self, engine: "TrainingEngine", stages: StepStages, steps: int
+    ) -> None:
+        with CastAheadWorker() as worker:
+            prefetched = self._prefetch(engine, stages, worker)
+            if prefetched is None:
+                # Nothing to train; the engine raises the canonical
+                # exhausted-before-the-first-step error.
+                return
+            ctx, future = prefetched
+            for step in range(steps):
+                upcoming = None
+                if step + 1 < steps:
+                    # Enqueue the next batch's cast before consuming this
+                    # one, so the worker overlaps with the compute below.
+                    upcoming = self._prefetch(engine, stages, worker)
+                start = time.perf_counter()
+                future.result()
+                engine.collector.timings.add(
+                    "cast_wait", time.perf_counter() - start
+                )
+                engine.collector.absorb_cast(ctx)
+                for stage in stages.compute:
+                    stage.run(ctx)
+                engine.complete_step(ctx)
+                if upcoming is None:
+                    # Either the requested step count is reached or the
+                    # source exhausted — stop after the batch just trained.
+                    break
+                ctx, future = upcoming
+
+    def _prefetch(
+        self,
+        engine: "TrainingEngine",
+        stages: StepStages,
+        worker: CastAheadWorker,
+    ) -> Optional[Tuple[StepContext, "Future[Tuple[Any, float]]"]]:
+        """Draw the next batch (main thread) and queue its ``cast`` stage.
+
+        Returns ``None`` once the source exhausts — the step loop then
+        finishes the batches already in flight and stops.
+        """
+        ctx = stages.new_context()
+        start = time.perf_counter()
+        stages.draw.run(ctx)
+        engine.collector.timings.add("prefetch", time.perf_counter() - start)
+        if ctx.data is None:
+            return None
+        return ctx, worker.submit(stages.cast.run, ctx)
+
+
+# ----------------------------------------------------------------------
+# The engine
+# ----------------------------------------------------------------------
+
+class TrainingEngine:
+    """Drive one training run of a trainer through a schedule.
+
+    Owns the per-run machinery every legacy loop used to duplicate: the
+    stage plan, the timing collector, source fast-forward for resumed jobs,
+    callback dispatch, and report assembly (wall clock + executed-cache
+    fields included).  Constructed per ``train()`` call by the trainer
+    facades; usable directly for custom schedules.
+    """
+
+    def __init__(self, trainer) -> None:
+        self.trainer = trainer
+        self.collector: StageTimingCollector = StageTimingCollector()
+        self.callbacks: Tuple[TrainingCallback, ...] = ()
+        self.start_step = 0
+
+    def run(
+        self,
+        batch: int,
+        steps: int,
+        rng: np.random.Generator,
+        mode: str,
+        schedule: Schedule,
+        callbacks: Sequence[TrainingCallback] = (),
+        start_step: int = 0,
+    ) -> TrainingReport:
+        """Execute ``steps`` iterations of the trainer under ``schedule``.
+
+        ``start_step`` fast-forwards the batch source by drawing and
+        discarding that many batches before training — consuming the source
+        and ``rng`` exactly as the skipped steps would have — so a resumed
+        run (parameters and optimizer state restored from a checkpoint)
+        continues the stream where the interrupted run left off and stays
+        bit-identical to an uninterrupted one.  Callbacks see global step
+        numbers offset by ``start_step``.
+        """
+        trainer = self.trainer
+        self.callbacks = tuple(callbacks)
+        self.start_step = int(start_step)
+        num_shards = (
+            trainer.sharded.num_shards if trainer.sharded is not None else None
+        )
+        self.collector = StageTimingCollector(num_shards)
+        stages = build_step_stages(trainer, self.collector, batch, rng, mode)
+        for _ in range(self.start_step):
+            ctx = stages.new_context()
+            stages.draw.run(ctx)
+            if ctx.data is None:
+                break
+        # The clock starts after the fast-forward: wall_seconds (and so
+        # steps_per_second) measure the steps that actually trained, not
+        # the replay of already-trained ones.
+        wall_start = time.perf_counter()
+        schedule.execute(self, stages, steps)
+        if not self.collector.losses:
+            raise ValueError(
+                "the batch source was exhausted before the first step"
+            )
+        report = self.collector.build_report(
+            mode=mode, backend=trainer.backend.name
+        )
+        report = replace(
+            report,
+            wall_seconds=time.perf_counter() - wall_start,
+            **trainer._cache_fields(),
+        )
+        if self.callbacks:
+            event = RunEvent(
+                step=self.start_step + report.steps,
+                report=report,
+                trainer=trainer,
+            )
+            for callback in self.callbacks:
+                callback.on_run_end(event)
+        return report
+
+    def complete_step(self, ctx: StepContext) -> None:
+        """Harvest a finished step and fire ``on_step_end`` callbacks."""
+        self.collector.finish_step(ctx)
+        if self.callbacks:
+            event = StepEvent(
+                step=self.start_step + len(self.collector.losses),
+                loss=ctx.loss,
+                trainer=self.trainer,
+            )
+            for callback in self.callbacks:
+                callback.on_step_end(event)

@@ -5,19 +5,21 @@ computing the cast for a batch *while the previous batch is still training*
 — the cast needs nothing but the index arrays, which exist the moment the
 batch is drawn.  :mod:`repro.runtime.systems` models that overlap
 analytically; this module **executes** it: :class:`PipelinedTrainer` is a
-double-buffered :class:`~repro.runtime.trainer.FunctionalTrainer` whose
-casting stage (and, in sharded mode, per-shard index splitting) for batch
-``i+1`` runs on a background :class:`CastAheadWorker` concurrently with
-batch ``i``'s forward/backward/update.
+:class:`~repro.runtime.trainer.FunctionalTrainer` whose stage plan runs
+under the :class:`~repro.runtime.engine.CastAheadSchedule` — batch
+``i+1``'s ``cast`` stage (and, in sharded mode, its per-shard index
+splitting) executes on a background :class:`CastAheadWorker` concurrently
+with batch ``i``'s compute stages.
 
-Two guarantees make the measurement honest:
+Since PR 5 the overlap machinery itself lives in
+:mod:`repro.runtime.engine`: the schedule preserves the two guarantees the
+hand-written pipelined loops used to carry —
 
-* **Bit-identity** — the pipeline reorders only *when* phases run, never
+* **Bit-identity** — the schedule reorders only *when* stages run, never
   *what* they compute: batches are drawn on the main thread in the same RNG
-  order as the serial trainer, and every phase executes through the very
-  same hook methods (`_cast_batch` / `_run_step` / `_plan_and_cast` /
-  `_run_sharded_step`), so parameters and losses match the serial trainer
-  exactly for the same seed.
+  order as the serial trainer, and every stage is the very same object the
+  serial schedule executes, so parameters and losses match the serial
+  trainer exactly for the same seed.
 * **Thread safety by data disjointness** — the worker touches only index
   data of the *next* batch (pure functions of the lookup ids), while the
   main thread mutates parameters of the *current* batch; the two never
@@ -33,61 +35,14 @@ serial-vs-pipelined throughput ratio is compared against the analytic
 
 from __future__ import annotations
 
-import time
-from concurrent.futures import Future, ThreadPoolExecutor
-from dataclasses import replace
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Sequence
 
 import numpy as np
 
-from ..data.source import CTRBatch
-from ..model.sharded import ShardedStepPlan
-from .trainer import FunctionalTrainer, PhaseTimings, TrainingReport
+from .engine import CastAheadSchedule, CastAheadWorker, Schedule, TrainingCallback
+from .trainer import FunctionalTrainer, TrainingReport
 
 __all__ = ["CastAheadWorker", "PipelinedTrainer"]
-
-
-class CastAheadWorker:
-    """A one-thread worker queue for cast-ahead (prefetch) jobs.
-
-    Thin wrapper over :class:`concurrent.futures.ThreadPoolExecutor` with a
-    single worker thread — the functional stand-in for the accelerator that
-    runs the casting stage in the paper's runtime (the GPU in Figure 9(b)).
-    Jobs are timed on the worker, so callers can split "how long the hidden
-    work took" (the returned seconds) from "how long the critical path
-    waited for it" (their own clock around ``Future.result()``).
-
-    Usable as a context manager; exiting shuts the worker down and waits
-    for in-flight jobs.
-    """
-
-    def __init__(self) -> None:
-        self._executor = ThreadPoolExecutor(
-            max_workers=1, thread_name_prefix="cast-ahead"
-        )
-
-    def submit(
-        self, fn: Callable[..., Any], *args: Any
-    ) -> "Future[Tuple[Any, float]]":
-        """Queue ``fn(*args)``; the future resolves to ``(result, seconds)``."""
-
-        def timed() -> Tuple[Any, float]:
-            start = time.perf_counter()
-            result = fn(*args)
-            return result, time.perf_counter() - start
-
-        return self._executor.submit(timed)
-
-    def shutdown(self) -> None:
-        """Stop accepting work and wait for any in-flight job."""
-        self._executor.shutdown(wait=True)
-
-    def __enter__(self) -> "CastAheadWorker":
-        return self
-
-    def __exit__(self, *exc_info: Any) -> bool:
-        self.shutdown()
-        return False
 
 
 class PipelinedTrainer(FunctionalTrainer):
@@ -120,6 +75,8 @@ class PipelinedTrainer(FunctionalTrainer):
         steps: int,
         rng: np.random.Generator,
         mode: str = "casted",
+        callbacks: Sequence[TrainingCallback] = (),
+        start_step: int = 0,
     ) -> TrainingReport:
         """Run ``steps`` pipelined iterations (see class docstring)."""
         if mode != "casted":
@@ -127,155 +84,9 @@ class PipelinedTrainer(FunctionalTrainer):
                 "pipelined training supports mode='casted' only (the baseline "
                 f"backward has no casting stage to overlap), got {mode!r}"
             )
-        self._validate_train_args(steps, mode)
-        for bag in self.model.embeddings:
-            bag.backend = self.backend
-        self._attach_caches()
-        self._reset_cache_stats()
-        wall_start = time.perf_counter()
-        if self.sharded is not None:
-            report = self._train_sharded_pipelined(batch, steps, rng)
-        else:
-            report = self._train_unsharded_pipelined(batch, steps, rng)
-        return replace(
-            report,
-            wall_seconds=time.perf_counter() - wall_start,
-            **self._cache_fields(),
+        return super().train(
+            batch, steps, rng, mode, callbacks=callbacks, start_step=start_step
         )
 
-    # ------------------------------------------------------------------
-    # Unsharded pipeline
-    # ------------------------------------------------------------------
-    def _train_unsharded_pipelined(
-        self, batch: int, steps: int, rng: np.random.Generator
-    ) -> TrainingReport:
-        timings = PhaseTimings()
-        losses: List[float] = []
-        with CastAheadWorker() as worker:
-            prefetched = self._prefetch(batch, rng, worker, timings)
-            if prefetched is None:
-                raise ValueError(
-                    "the batch source was exhausted before the first step"
-                )
-            data, future = prefetched
-            for step in range(steps):
-                upcoming = None
-                if step + 1 < steps:
-                    # Enqueue the next batch's cast before consuming this
-                    # one, so the worker overlaps with the step below.
-                    upcoming = self._prefetch(batch, rng, worker, timings)
-                start = time.perf_counter()
-                casts, cast_seconds = future.result()
-                timings.add("cast_wait", time.perf_counter() - start)
-                timings.add("casting", cast_seconds)
-                self._run_step(data, casts, "casted", timings, losses)
-                if upcoming is None:
-                    # Either the requested step count is reached or the
-                    # source exhausted — stop after the batch just trained.
-                    break
-                data, future = upcoming
-        return TrainingReport(
-            losses=losses,
-            timings=timings,
-            mode="casted",
-            steps=len(losses),
-            backend=self.backend.name,
-        )
-
-    def _prefetch(
-        self,
-        batch: int,
-        rng: np.random.Generator,
-        worker: CastAheadWorker,
-        timings: PhaseTimings,
-    ) -> Optional[Tuple[CTRBatch, "Future[Tuple[Any, float]]"]]:
-        """Draw the next batch (main thread) and queue its casting stage.
-
-        Returns ``None`` once the source exhausts — the step loop then
-        finishes the batches already in flight and stops.
-        """
-        start = time.perf_counter()
-        data = self._draw_batch(batch, rng)
-        timings.add("prefetch", time.perf_counter() - start)
-        if data is None:
-            return None
-        return data, worker.submit(self._cast_batch, data.indices)
-
-    # ------------------------------------------------------------------
-    # Sharded pipeline
-    # ------------------------------------------------------------------
-    def _train_sharded_pipelined(
-        self, batch: int, steps: int, rng: np.random.Generator
-    ) -> TrainingReport:
-        sharded = self.sharded
-        assert sharded is not None
-        timings = PhaseTimings()
-        shard_timings = [PhaseTimings() for _ in range(sharded.num_shards)]
-        losses: List[float] = []
-        forward_bytes = 0
-        backward_bytes = 0
-        with CastAheadWorker() as worker:
-            prefetched = self._prefetch_sharded(batch, rng, worker, timings)
-            if prefetched is None:
-                raise ValueError(
-                    "the batch source was exhausted before the first step"
-                )
-            data, future = prefetched
-            for step in range(steps):
-                upcoming = None
-                if step + 1 < steps:
-                    upcoming = self._prefetch_sharded(batch, rng, worker, timings)
-                start = time.perf_counter()
-                (plan, local, local_shards), _ = future.result()
-                timings.add("cast_wait", time.perf_counter() - start)
-                timings.merge(local)
-                for mine, theirs in zip(shard_timings, local_shards):
-                    mine.merge(theirs)
-                plan = self._run_sharded_step(
-                    data, plan, timings, shard_timings, losses
-                )
-                forward_bytes += plan.forward_exchange_bytes
-                backward_bytes += plan.backward_exchange_bytes
-                if upcoming is None:
-                    break
-                data, future = upcoming
-        return TrainingReport(
-            losses=losses,
-            timings=timings,
-            mode="casted",
-            steps=len(losses),
-            shard_timings=shard_timings,
-            exchange_bytes=forward_bytes + backward_bytes,
-            forward_exchange_bytes=forward_bytes,
-            backward_exchange_bytes=backward_bytes,
-            backend=self.backend.name,
-        )
-
-    def _prefetch_sharded(
-        self,
-        batch: int,
-        rng: np.random.Generator,
-        worker: CastAheadWorker,
-        timings: PhaseTimings,
-    ) -> Optional[Tuple[CTRBatch, "Future[Tuple[Any, float]]"]]:
-        """Draw the next batch and queue its split + per-shard casts.
-
-        The worker records its ``partition``/``casting`` phases into local
-        accountings, merged into the step loop's on future completion — so
-        concurrent steps never write to shared timing state.  Returns
-        ``None`` once the source exhausts.
-        """
-        start = time.perf_counter()
-        data = self._draw_batch(batch, rng)
-        timings.add("prefetch", time.perf_counter() - start)
-        if data is None:
-            return None
-
-        def plan_and_cast() -> Tuple[ShardedStepPlan, PhaseTimings, List[PhaseTimings]]:
-            assert self.sharded is not None
-            local = PhaseTimings()
-            local_shards = [PhaseTimings() for _ in range(self.sharded.num_shards)]
-            plan = self._plan_and_cast(data.indices, local, local_shards)
-            return plan, local, local_shards
-
-        return data, worker.submit(plan_and_cast)
+    def _schedule(self) -> Schedule:
+        return CastAheadSchedule()

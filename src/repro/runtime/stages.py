@@ -1,0 +1,596 @@
+"""Stage decomposition of one training step: the engine's vocabulary.
+
+The paper's core claim is that recommendation training decomposes into a
+small set of reusable tensor primitives that one runtime can schedule many
+ways.  This module encodes that claim structurally: one training step is a
+*plan* of named :class:`Stage` objects —
+
+``draw``
+    pull the next mini-batch from the :class:`~repro.data.source.BatchSource`;
+``cast``
+    Tensor Casting (Algorithm 2) over the batch's index arrays — and, in
+    sharded runs, the per-shard index partition first.  Depends only on
+    index data, which is why a scheduler may run it arbitrarily far ahead
+    of the batch's compute (the Section IV-B overlap);
+``gather`` *(sharded only)*
+    per-shard embedding gather-reduce into partial pooled sums;
+``exchange`` *(sharded only)*
+    the forward all-to-all shipping partials to their sample owners;
+``forward``
+    the dense model forward (plus the unsharded embedding gathers) and the
+    loss;
+``backward``
+    dense backpropagation and the per-table coalesced sparse gradients
+    (baseline expand-coalesce or the casted gather-reduce; sharded runs
+    also account the backward all-to-all here);
+``optimize``
+    dense optimizer step plus the sparse row-coalesced scatter-updates.
+
+— all operating on a shared mutable :class:`StepContext`.  The stages
+carry the *numerics*; :mod:`repro.runtime.engine` carries the *schedules*
+(serial vs. cast-ahead) that decide when each stage of which batch runs.
+Every schedule executes the same stage objects, which is what makes the
+serial and pipelined trainers bit-identical by construction.
+
+:class:`StageTimingCollector` is the generic wall-clock accountant: stages
+record phase seconds into it (or, for the ``cast`` stage, into the
+context's local accounting so a background worker never races the step
+loop), and it assembles the :class:`PhaseTimings` / :class:`TrainingReport`
+that every training path used to hand-build separately.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.casting import CastedIndex, precompute_casts
+from ..data.source import CTRBatch, SourceExhausted
+from ..model.loss import bce_with_logits
+from ..model.sharded import ShardedStepPlan
+
+__all__ = [
+    "PhaseTimings",
+    "TrainingReport",
+    "StepContext",
+    "Stage",
+    "DrawStage",
+    "CastStage",
+    "ShardedCastStage",
+    "ForwardStage",
+    "GatherStage",
+    "ExchangeStage",
+    "ShardedForwardStage",
+    "BackwardStage",
+    "ShardedBackwardStage",
+    "OptimizeStage",
+    "ShardedOptimizeStage",
+    "StepStages",
+    "StageTimingCollector",
+    "build_step_stages",
+]
+
+
+@dataclass
+class PhaseTimings:
+    """Accumulated wall-clock seconds per training phase."""
+
+    totals: Dict[str, float] = field(default_factory=dict)
+
+    def add(self, phase: str, seconds: float) -> None:
+        self.totals[phase] = self.totals.get(phase, 0.0) + seconds
+
+    def merge(self, other: "PhaseTimings") -> None:
+        """Fold another accounting into this one (phase-wise addition).
+
+        Used by the collector to absorb the timings a background cast-ahead
+        worker recorded into the step-loop's accounting.
+        """
+        for phase, seconds in other.totals.items():
+            self.add(phase, seconds)
+
+    def total(self) -> float:
+        """All instrumented time across phases."""
+        return sum(self.totals.values())
+
+    def fraction(self, phase: str) -> float:
+        """Share of total time spent in ``phase``."""
+        total = self.total()
+        if total == 0.0:
+            return 0.0
+        return self.totals.get(phase, 0.0) / total
+
+
+@dataclass(frozen=True)
+class TrainingReport:
+    """Outcome of a measured training run.
+
+    ``shard_timings`` and the exchange-byte counters are populated only by
+    sharded runs: one :class:`PhaseTimings` per shard (phases ``casting`` /
+    ``gather`` / ``backward`` / ``update``) and the simulated all-to-all
+    payload across all steps, attributed per pipeline stage —
+    ``forward_exchange_bytes`` (partial pooled sums to the sample owners)
+    plus ``backward_exchange_bytes`` (gradient rows and casted pairs to the
+    table owners), with ``exchange_bytes`` their sum.
+
+    ``wall_seconds`` is the end-to-end wall-clock of the whole
+    :meth:`~repro.runtime.trainer.FunctionalTrainer.train` call — the
+    denominator of :attr:`steps_per_second`, which is how the pipelined and
+    serial trainers' throughput are compared.
+
+    ``backend`` records which kernel engine the run's hot kernels routed
+    through (the trainer's resolved ``backend=`` knob) so a throughput
+    number is never separated from the engine that produced it.
+
+    ``steps`` is the number of iterations that *actually* trained — less
+    than requested when a finite batch source exhausted mid-run.
+
+    The ``cache_*`` fields are populated only when the trainer ran with an
+    executed hot-row cache (``hot_cache=`` knob): aggregate hits/accesses
+    across every table's :class:`~repro.model.hot_cache.HotRowCache`, the
+    measured ``cache_hit_rate`` (hits/accesses), and the replacement
+    ``cache_policy`` that produced it — the executed counterpart of
+    :class:`~repro.sim.cache.CachedCPUModel`'s analytic prediction.
+    """
+
+    losses: List[float]
+    timings: PhaseTimings
+    mode: str
+    steps: int
+    shard_timings: Optional[List[PhaseTimings]] = None
+    exchange_bytes: int = 0
+    forward_exchange_bytes: int = 0
+    backward_exchange_bytes: int = 0
+    wall_seconds: float = 0.0
+    backend: str = "vectorized"
+    cache_hit_rate: Optional[float] = None
+    cache_hits: int = 0
+    cache_accesses: int = 0
+    cache_policy: Optional[str] = None
+
+    @property
+    def final_loss(self) -> float:
+        return self.losses[-1]
+
+    @property
+    def initial_loss(self) -> float:
+        return self.losses[0]
+
+    @property
+    def num_shards(self) -> Optional[int]:
+        """Shard count of a sharded run, ``None`` for unsharded runs."""
+        if self.shard_timings is None:
+            return None
+        return len(self.shard_timings)
+
+    @property
+    def steps_per_second(self) -> float:
+        """Measured training throughput (0.0 when wall time was not recorded)."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.steps / self.wall_seconds
+
+
+@dataclass
+class StepContext:
+    """Mutable working state one batch carries through its stages.
+
+    A fresh context is created per step; stages communicate exclusively
+    through it, so two in-flight contexts (the pipelined schedule keeps
+    two) never share mutable state.  The ``cast_*`` accountings are
+    context-local for the same reason: the ``cast`` stage may run on a
+    background worker, and its timings are merged into the run-level
+    collector only after the future resolves
+    (:meth:`StageTimingCollector.absorb_cast`).
+    """
+
+    mode: str
+    data: Optional[CTRBatch] = None
+    casts: Optional[List[CastedIndex]] = None
+    plan: Optional[ShardedStepPlan] = None
+    loss: Optional[float] = None
+    dlogits: Optional[np.ndarray] = None
+    emb_outs: Optional[List[np.ndarray]] = None
+    grad_tables: Optional[List[np.ndarray]] = None
+    sparse_grads: Optional[list] = None
+    per_shard_coalesced: Optional[List[list]] = None
+    cast_timings: PhaseTimings = field(default_factory=PhaseTimings)
+    cast_shard_timings: Optional[List[PhaseTimings]] = None
+
+
+class Stage:
+    """One named unit of a training step, operating on a :class:`StepContext`.
+
+    Stages are bound to their collaborators (model, optimizer, sharded
+    executor, collector) at plan-build time; :meth:`run` takes only the
+    context, so any scheduler can execute any stage without knowing what it
+    does.
+    """
+
+    #: Stage name in the plan (the vocabulary of the module docstring).
+    name = "stage"
+
+    def run(self, ctx: StepContext) -> None:
+        raise NotImplementedError
+
+
+class DrawStage(Stage):
+    """``draw``: pull the next batch; ``ctx.data`` stays ``None`` on exhaustion."""
+
+    name = "draw"
+
+    def __init__(self, stream, batch: int, rng: np.random.Generator) -> None:
+        self.stream = stream
+        self.batch = batch
+        self.rng = rng
+
+    def run(self, ctx: StepContext) -> None:
+        try:
+            ctx.data = self.stream.next_batch(self.batch, self.rng)
+        except SourceExhausted:
+            ctx.data = None
+
+
+class CastStage(Stage):
+    """``cast`` (unsharded): Algorithm 2 over every table of the batch.
+
+    A no-op in baseline mode — the expand-coalesce backward has no casting
+    stage, and the ``casting`` phase must not appear in its report.
+    """
+
+    name = "cast"
+
+    def __init__(self, backend) -> None:
+        self.backend = backend
+
+    def run(self, ctx: StepContext) -> None:
+        if ctx.mode != "casted":
+            return
+        start = time.perf_counter()
+        ctx.casts = precompute_casts(ctx.data.indices, backend=self.backend)
+        ctx.cast_timings.add("casting", time.perf_counter() - start)
+
+
+class ShardedCastStage(Stage):
+    """``cast`` (sharded): split the batch by shard, then cast every slice.
+
+    Like the unsharded cast, this consumes index data only — no parameters,
+    no gradients — so the cast-ahead schedule runs it for batch ``i+1``
+    concurrently with batch ``i``'s compute.
+    """
+
+    name = "cast"
+
+    def __init__(self, sharded) -> None:
+        self.sharded = sharded
+
+    def run(self, ctx: StepContext) -> None:
+        start = time.perf_counter()
+        ctx.plan = self.sharded.plan_batch(ctx.data.indices)
+        ctx.cast_timings.add("partition", time.perf_counter() - start)
+        assert ctx.cast_shard_timings is not None
+        for shard in range(self.sharded.num_shards):
+            # per-shard Algorithm 2, off the critical path
+            start = time.perf_counter()
+            self.sharded.cast_shard(ctx.plan, shard)
+            elapsed = time.perf_counter() - start
+            ctx.cast_shard_timings[shard].add("casting", elapsed)
+            ctx.cast_timings.add("casting", elapsed)
+
+
+class ForwardStage(Stage):
+    """``forward`` (unsharded): embedding gathers, dense forward, loss."""
+
+    name = "forward"
+
+    def __init__(self, model, collector: "StageTimingCollector") -> None:
+        self.model = model
+        self.collector = collector
+
+    def run(self, ctx: StepContext) -> None:
+        timings = self.collector.timings
+        self.model.zero_grad()
+        start = time.perf_counter()
+        logits = self.model.forward(ctx.data.dense, ctx.data.indices)
+        timings.add("forward", time.perf_counter() - start)
+
+        start = time.perf_counter()
+        ctx.loss, ctx.dlogits = bce_with_logits(logits, ctx.data.labels)
+        timings.add("loss", time.perf_counter() - start)
+
+
+class GatherStage(Stage):
+    """``gather`` (sharded): each shard gather-reduces its local lookups."""
+
+    name = "gather"
+
+    def __init__(self, model, sharded, collector: "StageTimingCollector") -> None:
+        self.model = model
+        self.sharded = sharded
+        self.collector = collector
+
+    def run(self, ctx: StepContext) -> None:
+        self.model.zero_grad()
+        for shard in range(self.sharded.num_shards):
+            start = time.perf_counter()
+            self.sharded.forward_shard(ctx.plan, shard)
+            elapsed = time.perf_counter() - start
+            self.collector.shard_timings[shard].add("gather", elapsed)
+            self.collector.timings.add("forward", elapsed)
+
+
+class ExchangeStage(Stage):
+    """``exchange`` (sharded): the forward all-to-all back to sample owners.
+
+    Byte accounting lands on the plan's ``forward_exchange_bytes`` counter
+    (harvested at step completion); the backward all-to-all is accounted
+    inside the ``backward`` stage where it happens.
+    """
+
+    name = "exchange"
+
+    def __init__(self, sharded, collector: "StageTimingCollector") -> None:
+        self.sharded = sharded
+        self.collector = collector
+
+    def run(self, ctx: StepContext) -> None:
+        start = time.perf_counter()
+        ctx.emb_outs = self.sharded.assemble_pooled(ctx.plan)
+        self.collector.timings.add("exchange", time.perf_counter() - start)
+
+
+class ShardedForwardStage(Stage):
+    """``forward`` (sharded): dense forward over exchanged pooled vectors."""
+
+    name = "forward"
+
+    def __init__(self, model, collector: "StageTimingCollector") -> None:
+        self.model = model
+        self.collector = collector
+
+    def run(self, ctx: StepContext) -> None:
+        timings = self.collector.timings
+        start = time.perf_counter()
+        logits = self.model.forward_from_pooled(ctx.data.dense, ctx.emb_outs)
+        timings.add("forward", time.perf_counter() - start)
+
+        start = time.perf_counter()
+        ctx.loss, ctx.dlogits = bce_with_logits(logits, ctx.data.labels)
+        timings.add("loss", time.perf_counter() - start)
+
+
+class BackwardStage(Stage):
+    """``backward`` (unsharded): dense backprop + coalesced sparse gradients."""
+
+    name = "backward"
+
+    def __init__(self, model, collector: "StageTimingCollector") -> None:
+        self.model = model
+        self.collector = collector
+
+    def run(self, ctx: StepContext) -> None:
+        start = time.perf_counter()
+        ctx.sparse_grads = self.model.backward(
+            ctx.dlogits, mode=ctx.mode, casts=ctx.casts
+        )
+        self.collector.timings.add("backward", time.perf_counter() - start)
+
+
+class ShardedBackwardStage(Stage):
+    """``backward`` (sharded): dense backprop, then per-shard casted backward.
+
+    The per-shard gather-reduce also accounts the backward all-to-all
+    (gradient rows + casted pairs) into the plan's byte counter.
+    """
+
+    name = "backward"
+
+    def __init__(self, model, sharded, collector: "StageTimingCollector") -> None:
+        self.model = model
+        self.sharded = sharded
+        self.collector = collector
+
+    def run(self, ctx: StepContext) -> None:
+        timings = self.collector.timings
+        start = time.perf_counter()
+        ctx.grad_tables = self.model.backward_through_dense(ctx.dlogits)
+        self.sharded.prepare_backward(ctx.plan, ctx.grad_tables)
+        timings.add("backward", time.perf_counter() - start)
+
+        ctx.per_shard_coalesced = []
+        for shard in range(self.sharded.num_shards):
+            start = time.perf_counter()
+            coalesced = self.sharded.backward_shard(
+                ctx.plan, shard, ctx.grad_tables
+            )
+            elapsed = time.perf_counter() - start
+            self.collector.shard_timings[shard].add("backward", elapsed)
+            timings.add("backward", elapsed)
+            ctx.per_shard_coalesced.append(coalesced)
+
+
+class OptimizeStage(Stage):
+    """``optimize`` (unsharded): dense step + sparse scatter-updates."""
+
+    name = "optimize"
+
+    def __init__(self, model, optimizer, collector: "StageTimingCollector") -> None:
+        self.model = model
+        self.optimizer = optimizer
+        self.collector = collector
+
+    def run(self, ctx: StepContext) -> None:
+        start = time.perf_counter()
+        self.optimizer.step(self.model.dense_parameters())
+        for bag, grad in zip(self.model.embeddings, ctx.sparse_grads):
+            bag.apply_gradient(grad, self.optimizer)
+        self.collector.timings.add("update", time.perf_counter() - start)
+
+
+class ShardedOptimizeStage(Stage):
+    """``optimize`` (sharded): dense step + per-shard local scatter-updates."""
+
+    name = "optimize"
+
+    def __init__(self, model, sharded, optimizer,
+                 collector: "StageTimingCollector") -> None:
+        self.model = model
+        self.sharded = sharded
+        self.optimizer = optimizer
+        self.collector = collector
+
+    def run(self, ctx: StepContext) -> None:
+        timings = self.collector.timings
+        start = time.perf_counter()
+        self.optimizer.step(self.model.dense_parameters())
+        timings.add("update", time.perf_counter() - start)
+        for shard in range(self.sharded.num_shards):
+            start = time.perf_counter()
+            self.sharded.update_shard(
+                shard, ctx.per_shard_coalesced[shard], self.optimizer
+            )
+            elapsed = time.perf_counter() - start
+            self.collector.shard_timings[shard].add("update", elapsed)
+            timings.add("update", elapsed)
+
+
+class StageTimingCollector:
+    """Run-level accountant: phase timings, losses, exchange bytes, report.
+
+    One instance per training run.  Compute stages record wall-clock
+    directly into :attr:`timings` / :attr:`shard_timings`; the ``cast``
+    stage records into its context (possibly on a background thread) and
+    the schedule calls :meth:`absorb_cast` once the cast is known complete.
+    :meth:`finish_step` harvests the per-step products (loss, the sharded
+    plan's all-to-all byte counters); :meth:`build_report` assembles the
+    :class:`TrainingReport` every training path used to hand-build.
+    """
+
+    def __init__(self, num_shards: Optional[int] = None) -> None:
+        self.timings = PhaseTimings()
+        self.shard_timings: Optional[List[PhaseTimings]] = (
+            [PhaseTimings() for _ in range(num_shards)]
+            if num_shards is not None
+            else None
+        )
+        self.losses: List[float] = []
+        self.forward_exchange_bytes = 0
+        self.backward_exchange_bytes = 0
+
+    def absorb_cast(self, ctx: StepContext) -> None:
+        """Merge a context's cast-stage accounting into the run totals."""
+        self.timings.merge(ctx.cast_timings)
+        if ctx.cast_shard_timings is not None and self.shard_timings is not None:
+            for mine, theirs in zip(self.shard_timings, ctx.cast_shard_timings):
+                mine.merge(theirs)
+
+    def finish_step(self, ctx: StepContext) -> None:
+        """Record a completed step's loss and exchange-byte attribution."""
+        self.losses.append(ctx.loss)
+        if ctx.plan is not None:
+            self.forward_exchange_bytes += ctx.plan.forward_exchange_bytes
+            self.backward_exchange_bytes += ctx.plan.backward_exchange_bytes
+
+    def build_report(self, mode: str, backend: str) -> TrainingReport:
+        """Assemble the report (wall clock and cache fields added by the engine)."""
+        if self.shard_timings is not None:
+            return TrainingReport(
+                losses=self.losses,
+                timings=self.timings,
+                mode=mode,
+                steps=len(self.losses),
+                shard_timings=self.shard_timings,
+                exchange_bytes=(
+                    self.forward_exchange_bytes + self.backward_exchange_bytes
+                ),
+                forward_exchange_bytes=self.forward_exchange_bytes,
+                backward_exchange_bytes=self.backward_exchange_bytes,
+                backend=backend,
+            )
+        return TrainingReport(
+            losses=self.losses,
+            timings=self.timings,
+            mode=mode,
+            steps=len(self.losses),
+            backend=backend,
+        )
+
+
+@dataclass(frozen=True)
+class StepStages:
+    """The stage plan of one training configuration.
+
+    ``draw`` and ``cast`` are held separately from the ``compute`` tuple
+    because they are the two stages a scheduler is allowed to hoist off the
+    critical path (``draw`` needs only the RNG/source, ``cast`` only the
+    drawn indices); the compute stages always run in order on the step
+    loop's thread against the current parameters.
+    """
+
+    draw: Stage
+    cast: Stage
+    compute: Tuple[Stage, ...]
+    mode: str
+    num_shards: Optional[int] = None
+
+    def new_context(self) -> StepContext:
+        ctx = StepContext(mode=self.mode)
+        if self.num_shards is not None:
+            ctx.cast_shard_timings = [
+                PhaseTimings() for _ in range(self.num_shards)
+            ]
+        return ctx
+
+    def stage_names(self) -> Tuple[str, ...]:
+        """The plan in execution order (draw, cast, then compute)."""
+        return (self.draw.name, self.cast.name) + tuple(
+            stage.name for stage in self.compute
+        )
+
+
+def build_step_stages(
+    trainer,
+    collector: StageTimingCollector,
+    batch: int,
+    rng: np.random.Generator,
+    mode: str,
+) -> StepStages:
+    """Bind the stage plan for one run of ``trainer``.
+
+    Unsharded: ``draw → cast → forward → backward → optimize``.
+    Sharded: ``draw → cast → gather → exchange → forward → backward →
+    optimize``.  Both plans execute the exact kernels the pre-refactor
+    loops ran, in the exact order — pinned by the differential suite in
+    ``tests/runtime/test_engine.py``.
+    """
+    draw = DrawStage(trainer.stream, batch, rng)
+    if trainer.sharded is None:
+        return StepStages(
+            draw=draw,
+            cast=CastStage(trainer.backend),
+            compute=(
+                ForwardStage(trainer.model, collector),
+                BackwardStage(trainer.model, collector),
+                OptimizeStage(trainer.model, trainer.optimizer, collector),
+            ),
+            mode=mode,
+        )
+    sharded = trainer.sharded
+    return StepStages(
+        draw=draw,
+        cast=ShardedCastStage(sharded),
+        compute=(
+            GatherStage(trainer.model, sharded, collector),
+            ExchangeStage(sharded, collector),
+            ShardedForwardStage(trainer.model, collector),
+            ShardedBackwardStage(trainer.model, sharded, collector),
+            ShardedOptimizeStage(
+                trainer.model, sharded, trainer.optimizer, collector
+            ),
+        ),
+        mode=mode,
+        num_shards=sharded.num_shards,
+    )

@@ -20,135 +20,42 @@ whose byte counts land in the report (attributed per pipeline stage —
 forward exchange vs. backward exchange), and the model parameters end up
 bit-identical to the unsharded trainer when ``num_shards=1``.
 
-Every phase of a step is exposed as a hook method (``_cast_batch``,
-``_run_step``, ``_plan_and_cast``, ``_run_sharded_step``) so that
-:class:`~repro.runtime.pipeline.PipelinedTrainer` can re-schedule *when*
-phases run — casting batch ``i+1`` concurrently with batch ``i``'s
-compute — while executing the exact same numerical code path.
+Since PR 5 the trainer is a thin facade over the **stage-graph engine**
+(:mod:`repro.runtime.engine`): each step is a plan of named stages
+(:mod:`repro.runtime.stages`) executed by a schedule —
+:class:`~repro.runtime.engine.SerialSchedule` here,
+:class:`~repro.runtime.engine.CastAheadSchedule` in
+:class:`~repro.runtime.pipeline.PipelinedTrainer` — so both trainers run
+the *same* stage objects and differ only in *when* stages execute.  The
+engine also funds checkpoint/resume (``start_step=`` plus
+:mod:`repro.runtime.checkpoint`) and the callback protocol (``callbacks=``,
+:class:`~repro.runtime.engine.TrainingCallback`).
 
 Used by the examples, the end-to-end tests, and the kernel benchmarks.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
 from ..backends.dispatch import resolve_backend
-from ..core.casting import CastedIndex, precompute_casts
-from ..core.indexing import IndexArray
-from ..data.source import BatchSource, CTRBatch, SourceExhausted, as_batch_source
+from ..data.source import as_batch_source
 from ..model.dlrm import DLRM
 from ..model.hot_cache import HotRowCache
-from ..model.loss import bce_with_logits
 from ..model.optim import Optimizer
-from ..model.sharded import ShardedEmbeddingSet, ShardedStepPlan
+from ..model.sharded import ShardedEmbeddingSet
 from ..sim.cache import HotRowCacheSpec
+from .engine import (
+    Schedule,
+    SerialSchedule,
+    TrainingCallback,
+    TrainingEngine,
+)
+from .stages import PhaseTimings, TrainingReport
 
 __all__ = ["PhaseTimings", "TrainingReport", "FunctionalTrainer"]
-
-
-@dataclass
-class PhaseTimings:
-    """Accumulated wall-clock seconds per training phase."""
-
-    totals: Dict[str, float] = field(default_factory=dict)
-
-    def add(self, phase: str, seconds: float) -> None:
-        self.totals[phase] = self.totals.get(phase, 0.0) + seconds
-
-    def merge(self, other: "PhaseTimings") -> None:
-        """Fold another accounting into this one (phase-wise addition).
-
-        Used by the pipelined trainer to absorb the timings a background
-        cast-ahead worker recorded into the step-loop's accounting.
-        """
-        for phase, seconds in other.totals.items():
-            self.add(phase, seconds)
-
-    def total(self) -> float:
-        """All instrumented time across phases."""
-        return sum(self.totals.values())
-
-    def fraction(self, phase: str) -> float:
-        """Share of total time spent in ``phase``."""
-        total = self.total()
-        if total == 0.0:
-            return 0.0
-        return self.totals.get(phase, 0.0) / total
-
-
-@dataclass(frozen=True)
-class TrainingReport:
-    """Outcome of a measured training run.
-
-    ``shard_timings`` and the exchange-byte counters are populated only by
-    sharded runs: one :class:`PhaseTimings` per shard (phases ``casting`` /
-    ``gather`` / ``backward`` / ``update``) and the simulated all-to-all
-    payload across all steps, attributed per pipeline stage —
-    ``forward_exchange_bytes`` (partial pooled sums to the sample owners)
-    plus ``backward_exchange_bytes`` (gradient rows and casted pairs to the
-    table owners), with ``exchange_bytes`` their sum.
-
-    ``wall_seconds`` is the end-to-end wall-clock of the whole
-    :meth:`FunctionalTrainer.train` call — the denominator of
-    :attr:`steps_per_second`, which is how the pipelined and serial
-    trainers' throughput are compared.
-
-    ``backend`` records which kernel engine the run's hot kernels routed
-    through (the trainer's resolved ``backend=`` knob) so a throughput
-    number is never separated from the engine that produced it.
-
-    ``steps`` is the number of iterations that *actually* trained — less
-    than requested when a finite batch source exhausted mid-run.
-
-    The ``cache_*`` fields are populated only when the trainer ran with an
-    executed hot-row cache (``hot_cache=`` knob): aggregate hits/accesses
-    across every table's :class:`~repro.model.hot_cache.HotRowCache`, the
-    measured ``cache_hit_rate`` (hits/accesses), and the replacement
-    ``cache_policy`` that produced it — the executed counterpart of
-    :class:`~repro.sim.cache.CachedCPUModel`'s analytic prediction.
-    """
-
-    losses: List[float]
-    timings: PhaseTimings
-    mode: str
-    steps: int
-    shard_timings: Optional[List[PhaseTimings]] = None
-    exchange_bytes: int = 0
-    forward_exchange_bytes: int = 0
-    backward_exchange_bytes: int = 0
-    wall_seconds: float = 0.0
-    backend: str = "vectorized"
-    cache_hit_rate: Optional[float] = None
-    cache_hits: int = 0
-    cache_accesses: int = 0
-    cache_policy: Optional[str] = None
-
-    @property
-    def final_loss(self) -> float:
-        return self.losses[-1]
-
-    @property
-    def initial_loss(self) -> float:
-        return self.losses[0]
-
-    @property
-    def num_shards(self) -> Optional[int]:
-        """Shard count of a sharded run, ``None`` for unsharded runs."""
-        if self.shard_timings is None:
-            return None
-        return len(self.shard_timings)
-
-    @property
-    def steps_per_second(self) -> float:
-        """Measured training throughput (0.0 when wall time was not recorded)."""
-        if self.wall_seconds <= 0.0:
-            return 0.0
-        return self.steps / self.wall_seconds
 
 
 class FunctionalTrainer:
@@ -264,6 +171,8 @@ class FunctionalTrainer:
         steps: int,
         rng: np.random.Generator,
         mode: str = "casted",
+        callbacks: Sequence[TrainingCallback] = (),
+        start_step: int = 0,
     ) -> TrainingReport:
         """Run ``steps`` iterations, timing forward/backward/update phases.
 
@@ -273,8 +182,17 @@ class FunctionalTrainer:
         runtime's decoupled casting stage.  Sharded trainers support
         ``"casted"`` only: the per-shard exchange payload *is* the casted
         index representation, so there is no baseline variant to shard.
+
+        ``callbacks`` are :class:`~repro.runtime.engine.TrainingCallback`
+        hooks fired after each step and at run end (metrics loggers,
+        checkpointers).  ``start_step`` resumes an interrupted job: the
+        source is fast-forwarded by drawing and discarding that many
+        batches (consuming the source and ``rng`` exactly as the skipped
+        steps would have), and callbacks see global step numbers offset
+        accordingly — restore parameters and optimizer state first with
+        :func:`repro.runtime.checkpoint.restore_trainer`.
         """
-        self._validate_train_args(steps, mode)
+        self._validate_train_args(batch, steps, mode, start_step)
         # Re-assert kernel routing: another trainer constructed over the
         # same model would have re-pointed the bags' backend; whichever
         # trainer trains, *its* engine runs — keeping the report's
@@ -283,24 +201,79 @@ class FunctionalTrainer:
             bag.backend = self.backend
         self._attach_caches()
         self._reset_cache_stats()
-        wall_start = time.perf_counter()
-        if self.sharded is not None:
-            report = self._train_sharded(batch, steps, rng)
-        else:
-            report = self._train_serial(batch, steps, rng, mode)
-        return replace(
-            report,
-            wall_seconds=time.perf_counter() - wall_start,
-            **self._cache_fields(),
+        return TrainingEngine(self).run(
+            batch,
+            steps,
+            rng,
+            mode,
+            schedule=self._schedule(),
+            callbacks=callbacks,
+            start_step=start_step,
         )
 
-    def _validate_train_args(self, steps: int, mode: str) -> None:
+    def _schedule(self) -> Schedule:
+        """The schedule this trainer executes the stage plan under."""
+        return SerialSchedule()
+
+    def _validate_train_args(
+        self, batch: int, steps: int, mode: str, start_step: int = 0
+    ) -> None:
+        if (
+            isinstance(batch, bool)
+            or not isinstance(batch, (int, np.integer))
+            or batch <= 0
+        ):
+            raise ValueError(
+                f"batch must be a positive integer, got {batch!r}"
+            )
         if steps <= 0:
             raise ValueError(f"steps must be positive, got {steps}")
+        if (
+            isinstance(start_step, bool)
+            or not isinstance(start_step, (int, np.integer))
+            or start_step < 0
+        ):
+            raise ValueError(
+                f"start_step must be a non-negative integer, got {start_step!r}"
+            )
         if self.sharded is not None and mode != "casted":
             raise ValueError(
                 f"sharded training supports mode='casted' only, got {mode!r}"
             )
+
+    # ------------------------------------------------------------------
+    # Parameter naming — the checkpoint subsystem's stable key space
+    # ------------------------------------------------------------------
+    def named_parameters(
+        self, include_shard_views: bool = True
+    ) -> List[Tuple[str, np.ndarray]]:
+        """Stable ``(name, tensor)`` pairs for every trainable parameter.
+
+        Dense MLP parameters (``dense_{i}``, in
+        :meth:`~repro.model.dlrm.DLRM.dense_parameters` order) and the
+        embedding tables (``table_{t}``).  With ``include_shard_views``
+        (default), sharded trainers additionally expose each shard's table
+        view (``table_{t}_shard_{s}``) — the tensors the sharded optimizer
+        keys its per-row state by.  The views alias the base tables, so
+        checkpoints persist *values* for the dense/table entries only
+        (``include_shard_views=False``) while optimizer *state* is keyed by
+        every name here.
+        """
+        named: List[Tuple[str, np.ndarray]] = [
+            (f"dense_{i}", param)
+            for i, (param, _) in enumerate(self.model.dense_parameters())
+        ]
+        named += [
+            (f"table_{t}", bag.table)
+            for t, bag in enumerate(self.model.embeddings)
+        ]
+        if self.sharded is not None and include_shard_views:
+            for t in range(self.sharded.num_tables):
+                for s in range(self.sharded.num_shards):
+                    view = self.sharded.views[t][s]
+                    if view is not None:
+                        named.append((f"table_{t}_shard_{s}", view))
+        return named
 
     # ------------------------------------------------------------------
     # Executed hot-row cache plumbing
@@ -334,213 +307,3 @@ class FunctionalTrainer:
             "cache_hit_rate": hits / accesses if accesses else 0.0,
             "cache_policy": self.hot_caches[0].policy,
         }
-
-    def _draw_batch(
-        self, batch: int, rng: np.random.Generator
-    ) -> Optional[CTRBatch]:
-        """Pull the next batch from the source; ``None`` once it exhausts."""
-        try:
-            return self.stream.next_batch(batch, rng)
-        except SourceExhausted:
-            return None
-
-    # ------------------------------------------------------------------
-    # Phase hooks — the numerical step, shared with the pipelined trainer
-    # ------------------------------------------------------------------
-    def _cast_batch(self, indices: Sequence[IndexArray]) -> List[CastedIndex]:
-        """Casting stage: Algorithm 2 over every table of one batch.
-
-        Depends only on the index arrays, so it may run arbitrarily far
-        ahead of the batch's forward pass (the pipelined trainer runs it on
-        a background worker while the previous batch trains).
-        """
-        return precompute_casts(indices, backend=self.backend)
-
-    def _run_step(
-        self,
-        data: CTRBatch,
-        casts: Optional[Sequence[CastedIndex]],
-        mode: str,
-        timings: PhaseTimings,
-        losses: List[float],
-    ) -> None:
-        """Forward → loss → backward → update on one prepared batch."""
-        self.model.zero_grad()
-        start = time.perf_counter()
-        logits = self.model.forward(data.dense, data.indices)
-        timings.add("forward", time.perf_counter() - start)
-
-        start = time.perf_counter()
-        loss, dlogits = bce_with_logits(logits, data.labels)
-        timings.add("loss", time.perf_counter() - start)
-        losses.append(loss)
-
-        start = time.perf_counter()
-        sparse_grads = self.model.backward(dlogits, mode=mode, casts=casts)
-        timings.add("backward", time.perf_counter() - start)
-
-        start = time.perf_counter()
-        self.optimizer.step(self.model.dense_parameters())
-        for bag, grad in zip(self.model.embeddings, sparse_grads):
-            bag.apply_gradient(grad, self.optimizer)
-        timings.add("update", time.perf_counter() - start)
-
-    def _plan_and_cast(
-        self,
-        indices: Sequence[IndexArray],
-        timings: PhaseTimings,
-        shard_timings: List[PhaseTimings],
-    ) -> ShardedStepPlan:
-        """Split one batch's index arrays by shard and cast every slice.
-
-        Like :meth:`_cast_batch`, this consumes index data only — no
-        parameters, no gradients — so the pipelined trainer runs it for
-        batch ``i+1`` concurrently with batch ``i``'s compute.
-        """
-        sharded = self.sharded
-        assert sharded is not None
-        start = time.perf_counter()
-        plan = sharded.plan_batch(indices)
-        timings.add("partition", time.perf_counter() - start)
-        for shard in range(sharded.num_shards):
-            # per-shard Algorithm 2, off the critical path
-            start = time.perf_counter()
-            sharded.cast_shard(plan, shard)
-            elapsed = time.perf_counter() - start
-            shard_timings[shard].add("casting", elapsed)
-            timings.add("casting", elapsed)
-        return plan
-
-    def _run_sharded_step(
-        self,
-        data: CTRBatch,
-        plan: ShardedStepPlan,
-        timings: PhaseTimings,
-        shard_timings: List[PhaseTimings],
-        losses: List[float],
-    ) -> ShardedStepPlan:
-        """Sharded forward/exchange/backward/update over a prepared plan.
-
-        Returns the plan so callers can harvest its per-stage exchange-byte
-        counters (``forward_exchange_bytes`` / ``backward_exchange_bytes``).
-        """
-        sharded = self.sharded
-        assert sharded is not None
-        shards = range(sharded.num_shards)
-
-        self.model.zero_grad()
-        for shard in shards:
-            start = time.perf_counter()
-            sharded.forward_shard(plan, shard)
-            elapsed = time.perf_counter() - start
-            shard_timings[shard].add("gather", elapsed)
-            timings.add("forward", elapsed)
-
-        start = time.perf_counter()
-        emb_outs = sharded.assemble_pooled(plan)
-        timings.add("exchange", time.perf_counter() - start)
-
-        start = time.perf_counter()
-        logits = self.model.forward_from_pooled(data.dense, emb_outs)
-        timings.add("forward", time.perf_counter() - start)
-
-        start = time.perf_counter()
-        loss, dlogits = bce_with_logits(logits, data.labels)
-        timings.add("loss", time.perf_counter() - start)
-        losses.append(loss)
-
-        start = time.perf_counter()
-        grad_tables = self.model.backward_through_dense(dlogits)
-        sharded.prepare_backward(plan, grad_tables)
-        timings.add("backward", time.perf_counter() - start)
-
-        per_shard_coalesced = []
-        for shard in shards:
-            start = time.perf_counter()
-            coalesced = sharded.backward_shard(plan, shard, grad_tables)
-            elapsed = time.perf_counter() - start
-            shard_timings[shard].add("backward", elapsed)
-            timings.add("backward", elapsed)
-            per_shard_coalesced.append(coalesced)
-
-        start = time.perf_counter()
-        self.optimizer.step(self.model.dense_parameters())
-        timings.add("update", time.perf_counter() - start)
-        for shard in shards:
-            start = time.perf_counter()
-            sharded.update_shard(shard, per_shard_coalesced[shard], self.optimizer)
-            elapsed = time.perf_counter() - start
-            shard_timings[shard].add("update", elapsed)
-            timings.add("update", elapsed)
-        return plan
-
-    # ------------------------------------------------------------------
-    # Serial step loops
-    # ------------------------------------------------------------------
-    def _train_serial(
-        self, batch: int, steps: int, rng: np.random.Generator, mode: str
-    ) -> TrainingReport:
-        timings = PhaseTimings()
-        losses: List[float] = []
-        for _ in range(steps):
-            data = self._draw_batch(batch, rng)
-            if data is None:
-                break
-            casts = None
-            if mode == "casted":
-                start = time.perf_counter()
-                casts = self._cast_batch(data.indices)
-                timings.add("casting", time.perf_counter() - start)
-            self._run_step(data, casts, mode, timings, losses)
-        if not losses:
-            raise ValueError(
-                "the batch source was exhausted before the first step"
-            )
-        return TrainingReport(
-            losses=losses,
-            timings=timings,
-            mode=mode,
-            steps=len(losses),
-            backend=self.backend.name,
-        )
-
-    def _train_sharded(
-        self, batch: int, steps: int, rng: np.random.Generator
-    ) -> TrainingReport:
-        """Sharded training loop: shard-by-shard phases + simulated exchange.
-
-        Each shard's work is timed individually (``shard_timings[s]``) — on
-        real hardware the shards run concurrently, so the *slowest* shard's
-        time per phase is the modeled critical path; the aggregate phases in
-        ``timings`` remain directly comparable to the unsharded trainer.
-        """
-        sharded = self.sharded
-        assert sharded is not None
-        timings = PhaseTimings()
-        shard_timings = [PhaseTimings() for _ in range(sharded.num_shards)]
-        losses: List[float] = []
-        forward_bytes = 0
-        backward_bytes = 0
-        for _ in range(steps):
-            data = self._draw_batch(batch, rng)
-            if data is None:
-                break
-            plan = self._plan_and_cast(data.indices, timings, shard_timings)
-            plan = self._run_sharded_step(data, plan, timings, shard_timings, losses)
-            forward_bytes += plan.forward_exchange_bytes
-            backward_bytes += plan.backward_exchange_bytes
-        if not losses:
-            raise ValueError(
-                "the batch source was exhausted before the first step"
-            )
-        return TrainingReport(
-            losses=losses,
-            timings=timings,
-            mode="casted",
-            steps=len(losses),
-            shard_timings=shard_timings,
-            exchange_bytes=forward_bytes + backward_bytes,
-            forward_exchange_bytes=forward_bytes,
-            backward_exchange_bytes=backward_bytes,
-            backend=self.backend.name,
-        )

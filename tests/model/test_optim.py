@@ -3,7 +3,16 @@
 import numpy as np
 import pytest
 
-from repro.model.optim import SGD, Adagrad, Momentum, RMSprop
+from repro.model.optim import (
+    OPTIMIZERS,
+    SGD,
+    Adagrad,
+    Adam,
+    Momentum,
+    RMSprop,
+    make_optimizer,
+    optimizer_names,
+)
 
 
 class TestSGD:
@@ -165,3 +174,121 @@ class TestStateManagement:
         opt_seq.apply_sparse(sequential, np.array([0]), np.ones((1, 1)))
         opt_coal.apply_sparse(coalesced, np.array([0]), np.full((1, 1), 2.0))
         assert not np.allclose(sequential, coalesced)
+
+
+class TestRegistry:
+    """The --optimizer choices derive from one registry (like --backend)."""
+
+    def test_expected_names_registered(self):
+        assert optimizer_names() == ("sgd", "momentum", "adagrad", "rmsprop",
+                                     "adam")
+
+    def test_make_optimizer_builds_each_class(self):
+        for name, cls in OPTIMIZERS.items():
+            assert isinstance(make_optimizer(name, lr=0.2), cls)
+
+    def test_name_is_case_insensitive(self):
+        assert isinstance(make_optimizer("Adam", lr=0.1), Adam)
+
+    def test_unknown_name_lists_candidates(self):
+        with pytest.raises(ValueError) as excinfo:
+            make_optimizer("warp-drive")
+        for name in optimizer_names():
+            assert name in str(excinfo.value)
+
+    def test_kwargs_pass_through(self):
+        opt = make_optimizer("momentum", lr=0.1, momentum=0.5)
+        assert opt.momentum == 0.5
+
+
+class TestStateExportImport:
+    """Checkpoint plumbing: state keyed by stable names, not tensor identity."""
+
+    def test_roundtrip_restores_exact_state(self):
+        param = np.zeros((4, 2))
+        source = Adam(lr=0.1)
+        source.apply_sparse(param, np.array([1, 3]), np.ones((2, 2)))
+        named = [("table_0", param)]
+        exported = source.export_state(named)
+        assert set(exported) == {
+            "table_0.first_moment", "table_0.second_moment", "table_0.steps",
+        }
+        fresh_param = np.zeros((4, 2))
+        target = Adam(lr=0.1)
+        target.import_state([("table_0", fresh_param)], exported)
+        for key, tensor in target.state_tensors(fresh_param).items():
+            assert np.array_equal(tensor, source.state_tensors(param)[key])
+
+    def test_imported_state_continues_identically(self):
+        grads = np.full((1, 2), 0.5)
+        rows = np.array([0])
+        direct_param = np.zeros((2, 2))
+        direct = Momentum(lr=0.1)
+        for _ in range(3):
+            direct.apply_sparse(direct_param, rows, grads)
+
+        half_param = np.zeros((2, 2))
+        half = Momentum(lr=0.1)
+        half.apply_sparse(half_param, rows, grads)
+        resumed_param = half_param.copy()
+        resumed = Momentum(lr=0.1)
+        resumed.import_state(
+            [("p", resumed_param)], half.export_state([("p", half_param)])
+        )
+        for _ in range(2):
+            resumed.apply_sparse(resumed_param, rows, grads)
+        assert np.array_equal(direct_param, resumed_param)
+
+    def test_untrained_parameters_export_nothing(self):
+        opt = Adagrad(lr=0.1)
+        assert opt.export_state([("p", np.zeros(3))]) == {}
+
+    def test_import_is_a_deep_copy(self):
+        param = np.zeros(3)
+        opt = Adagrad(lr=0.1)
+        arrays = {"p.accumulator": np.ones(3)}
+        opt.import_state([("p", param)], arrays)
+        arrays["p.accumulator"][0] = 99.0
+        assert opt.state_tensors(param)["accumulator"][0] == 1.0
+
+    def test_unknown_parameter_name_rejected(self):
+        with pytest.raises(ValueError, match="no known parameter"):
+            Adagrad(lr=0.1).import_state(
+                [("p", np.zeros(3))], {"q.accumulator": np.zeros(3)}
+            )
+
+    def test_wrong_state_keys_rejected(self):
+        with pytest.raises(ValueError, match="expects"):
+            Adagrad(lr=0.1).import_state(
+                [("p", np.zeros(3))], {"p.velocity": np.zeros(3)}
+            )
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="shape"):
+            Adagrad(lr=0.1).import_state(
+                [("p", np.zeros(3))], {"p.accumulator": np.zeros(5)}
+            )
+
+    def test_dotted_parameter_name_rejected_on_export(self):
+        opt = Adagrad(lr=0.1)
+        param = np.zeros(2)
+        opt.apply_dense(param, np.ones(2))
+        with pytest.raises(ValueError, match="separator"):
+            opt.export_state([("bad.name", param)])
+
+
+class TestHyperparameters:
+    def test_every_optimizer_reports_its_knobs(self):
+        assert SGD(lr=0.3).hyperparameters() == {"lr": 0.3}
+        assert Momentum(lr=0.1, momentum=0.8).hyperparameters() == {
+            "lr": 0.1, "momentum": 0.8,
+        }
+        assert Adagrad(lr=0.1, eps=1e-9).hyperparameters() == {
+            "lr": 0.1, "eps": 1e-9,
+        }
+        assert RMSprop(lr=0.1).hyperparameters() == {
+            "lr": 0.1, "gamma": 0.9, "eps": 1e-8,
+        }
+        assert Adam(lr=0.1).hyperparameters() == {
+            "lr": 0.1, "beta1": 0.9, "beta2": 0.999, "eps": 1e-8,
+        }

@@ -1,0 +1,284 @@
+"""Differential bit-identity suite for the stage-graph engine refactor.
+
+The refactor's acceptance bar: every training path routed through the
+engine must produce *exactly* the parameters and losses the pre-refactor
+loops produced.  The goldens are executable — ``_legacy_trainer.py`` holds
+verbatim numeric transcriptions of the pre-refactor step loops (frozen at
+the refactor boundary, public model/core APIs only) — so the comparison is
+exact on any platform/BLAS instead of depending on committed binaries.
+
+Also covered here: the engine's schedule/stage introspection surface and
+the callback protocol (ordering, global step numbering, run-end events).
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.generator import SyntheticCTRStream
+from repro.model.configs import RM1
+from repro.model.dlrm import DLRM
+from repro.model.optim import SGD, Adagrad, Adam
+from repro.runtime.engine import (
+    CastAheadSchedule,
+    MetricsLogger,
+    SerialSchedule,
+    TrainingCallback,
+    TrainingEngine,
+)
+from repro.runtime.pipeline import PipelinedTrainer
+from repro.runtime.stages import StageTimingCollector, build_step_stages
+from repro.runtime.trainer import FunctionalTrainer
+from repro.sim.cache import HotRowCacheSpec
+
+# Same-directory import: pytest's default import mode puts each test
+# module's directory on sys.path, so the frozen oracle imports flat.
+from _legacy_trainer import legacy_train_serial, legacy_train_sharded
+
+CONFIG = RM1.with_overrides(
+    num_tables=3, gathers_per_table=4, rows_per_table=64,
+    bottom_mlp=(8, 4), top_mlp=(4, 1), embedding_dim=4,
+)
+
+
+def make_stream(seed=0):
+    return SyntheticCTRStream(
+        num_tables=CONFIG.num_tables, num_rows=CONFIG.rows_per_table,
+        lookups_per_sample=CONFIG.gathers_per_table,
+        dense_features=CONFIG.dense_features, seed=seed,
+    )
+
+
+def make_model(seed=0, dtype=np.float64):
+    return DLRM(CONFIG, rng=np.random.default_rng(seed), dtype=dtype)
+
+
+def assert_params_equal(model_a, model_b):
+    for a, b in zip(model_a.all_parameters(), model_b.all_parameters()):
+        assert np.array_equal(a, b)
+
+
+class TestSerialEngineMatchesLegacyGoldens:
+    """Engine serial schedule == the frozen pre-refactor serial loop."""
+
+    @pytest.mark.parametrize("mode", ["casted", "baseline"])
+    @pytest.mark.parametrize("backend", ["vectorized", "reference"])
+    def test_unsharded(self, mode, backend):
+        engine_model = make_model()
+        report = FunctionalTrainer(
+            engine_model, make_stream(), SGD(lr=0.2), backend=backend
+        ).train(8, 4, np.random.default_rng(1), mode=mode)
+        legacy_model = make_model()
+        legacy_losses = legacy_train_serial(
+            legacy_model, make_stream(), SGD(lr=0.2), 8, 4,
+            np.random.default_rng(1), mode=mode, backend=backend,
+        )
+        assert report.losses == legacy_losses
+        assert_params_equal(engine_model, legacy_model)
+
+    @pytest.mark.parametrize("optimizer_cls", [SGD, Adagrad, Adam])
+    def test_stateful_optimizers(self, optimizer_cls):
+        engine_model = make_model()
+        report = FunctionalTrainer(
+            engine_model, make_stream(), optimizer_cls(lr=0.1)
+        ).train(8, 3, np.random.default_rng(1))
+        legacy_model = make_model()
+        legacy_losses = legacy_train_serial(
+            legacy_model, make_stream(), optimizer_cls(lr=0.1), 8, 3,
+            np.random.default_rng(1),
+        )
+        assert report.losses == legacy_losses
+        assert_params_equal(engine_model, legacy_model)
+
+    @pytest.mark.parametrize("policy", ["row", "table"])
+    @pytest.mark.parametrize("num_shards", [1, 2, 3])
+    def test_sharded(self, num_shards, policy):
+        engine_model = make_model()
+        report = FunctionalTrainer(
+            engine_model, make_stream(), SGD(lr=0.2),
+            num_shards=num_shards, policy=policy,
+        ).train(8, 3, np.random.default_rng(1))
+        legacy_model = make_model()
+        legacy_losses, fwd_bytes, bwd_bytes = legacy_train_sharded(
+            legacy_model, make_stream(), SGD(lr=0.2), 8, 3,
+            np.random.default_rng(1), num_shards=num_shards, policy=policy,
+        )
+        assert report.losses == legacy_losses
+        assert report.forward_exchange_bytes == fwd_bytes
+        assert report.backward_exchange_bytes == bwd_bytes
+        assert_params_equal(engine_model, legacy_model)
+
+    def test_hot_cache_does_not_perturb_numerics(self):
+        cached_model = make_model(dtype=np.float32)
+        report = FunctionalTrainer(
+            cached_model, make_stream(), SGD(lr=0.2),
+            hot_cache=HotRowCacheSpec(capacity_rows=16), cache_policy="lfu",
+        ).train(8, 3, np.random.default_rng(1))
+        legacy_model = make_model(dtype=np.float32)
+        legacy_losses = legacy_train_serial(
+            legacy_model, make_stream(), SGD(lr=0.2), 8, 3,
+            np.random.default_rng(1),
+        )
+        assert report.losses == legacy_losses
+        assert_params_equal(cached_model, legacy_model)
+        assert report.cache_hit_rate is not None
+        assert report.cache_policy == "lfu"
+
+
+class TestPipelinedEngineEquivalence:
+    """The cast-ahead schedule == the serial schedule (so == the goldens)."""
+
+    @pytest.mark.parametrize("num_shards", [None, 2])
+    def test_pipelined_matches_legacy_via_serial(self, num_shards):
+        pipelined_model = make_model()
+        pipelined = PipelinedTrainer(
+            pipelined_model, make_stream(), SGD(lr=0.2), num_shards=num_shards
+        ).train(8, 3, np.random.default_rng(1))
+        legacy_model = make_model()
+        if num_shards is None:
+            legacy_losses = legacy_train_serial(
+                legacy_model, make_stream(), SGD(lr=0.2), 8, 3,
+                np.random.default_rng(1),
+            )
+        else:
+            legacy_losses, _, _ = legacy_train_sharded(
+                legacy_model, make_stream(), SGD(lr=0.2), 8, 3,
+                np.random.default_rng(1), num_shards=num_shards,
+            )
+        assert pipelined.losses == legacy_losses
+        assert_params_equal(pipelined_model, legacy_model)
+
+
+class TestStagePlan:
+    """The stage graph is introspectable and uses the documented vocabulary."""
+
+    def test_unsharded_plan(self):
+        trainer = FunctionalTrainer(make_model(), make_stream(), SGD(lr=0.1))
+        stages = build_step_stages(
+            trainer, StageTimingCollector(), 8, np.random.default_rng(0),
+            "casted",
+        )
+        assert stages.stage_names() == (
+            "draw", "cast", "forward", "backward", "optimize",
+        )
+
+    def test_sharded_plan(self):
+        trainer = FunctionalTrainer(
+            make_model(), make_stream(), SGD(lr=0.1), num_shards=2
+        )
+        collector = StageTimingCollector(num_shards=2)
+        stages = build_step_stages(
+            trainer, collector, 8, np.random.default_rng(0), "casted"
+        )
+        assert stages.stage_names() == (
+            "draw", "cast", "gather", "exchange", "forward", "backward",
+            "optimize",
+        )
+
+    def test_sharded_context_carries_per_shard_cast_timings(self):
+        trainer = FunctionalTrainer(
+            make_model(), make_stream(), SGD(lr=0.1), num_shards=3
+        )
+        stages = build_step_stages(
+            trainer, StageTimingCollector(num_shards=3), 8,
+            np.random.default_rng(0), "casted",
+        )
+        ctx = stages.new_context()
+        assert len(ctx.cast_shard_timings) == 3
+
+    def test_schedules_are_named(self):
+        assert SerialSchedule.name == "serial"
+        assert CastAheadSchedule.name == "cast_ahead"
+
+    def test_engine_usable_directly_with_custom_schedule(self):
+        """The facade is a convenience: TrainingEngine.run is the real API."""
+        trainer = FunctionalTrainer(make_model(), make_stream(), SGD(lr=0.1))
+        report = TrainingEngine(trainer).run(
+            8, 2, np.random.default_rng(1), "casted",
+            schedule=SerialSchedule(),
+        )
+        assert report.steps == 2
+
+
+class RecordingCallback(TrainingCallback):
+    def __init__(self):
+        self.steps = []
+        self.run_end = None
+
+    def on_step_end(self, event):
+        self.steps.append((event.step, event.loss))
+
+    def on_run_end(self, event):
+        self.run_end = event
+
+
+class TestCallbacks:
+    def test_on_step_end_fires_per_step_with_losses(self):
+        callback = RecordingCallback()
+        report = FunctionalTrainer(
+            make_model(), make_stream(), SGD(lr=0.1)
+        ).train(8, 3, np.random.default_rng(1), callbacks=[callback])
+        assert [step for step, _ in callback.steps] == [1, 2, 3]
+        assert [loss for _, loss in callback.steps] == report.losses
+
+    def test_on_run_end_carries_final_report(self):
+        callback = RecordingCallback()
+        report = FunctionalTrainer(
+            make_model(), make_stream(), SGD(lr=0.1)
+        ).train(8, 2, np.random.default_rng(1), callbacks=[callback])
+        assert callback.run_end is not None
+        assert callback.run_end.step == 2
+        assert callback.run_end.report is report
+
+    def test_start_step_offsets_global_step_numbers(self):
+        callback = RecordingCallback()
+        FunctionalTrainer(
+            make_model(), make_stream(), SGD(lr=0.1)
+        ).train(
+            8, 2, np.random.default_rng(1), callbacks=[callback], start_step=5
+        )
+        assert [step for step, _ in callback.steps] == [6, 7]
+        assert callback.run_end.step == 7
+
+    def test_pipelined_trainer_fires_callbacks_in_step_order(self):
+        callback = RecordingCallback()
+        PipelinedTrainer(
+            make_model(), make_stream(), SGD(lr=0.1)
+        ).train(8, 4, np.random.default_rng(1), callbacks=[callback])
+        assert [step for step, _ in callback.steps] == [1, 2, 3, 4]
+
+    def test_metrics_logger_collects_history(self):
+        logger = MetricsLogger()
+        report = FunctionalTrainer(
+            make_model(), make_stream(), SGD(lr=0.1)
+        ).train(8, 3, np.random.default_rng(1), callbacks=[logger])
+        assert logger.history == list(zip([1, 2, 3], report.losses))
+
+    def test_metrics_logger_rejects_nonpositive_every(self):
+        with pytest.raises(ValueError, match="every"):
+            MetricsLogger(every=0)
+
+
+class TestStartStep:
+    def test_fast_forward_matches_tail_of_full_run(self):
+        """start_step draws-and-discards, so the tail equals the full run."""
+        full_model = make_model()
+        full = FunctionalTrainer(
+            full_model, make_stream(), SGD(lr=0.1)
+        ).train(8, 5, np.random.default_rng(1))
+        # Same init, same stream/rng seeds, but skip 2 steps of *data* only:
+        # without the checkpointed parameters, losses must differ from the
+        # full run's tail while the *batches* align (pinned indirectly by
+        # the checkpoint tests, which add the restored state and get
+        # bit-identity).
+        skip_model = make_model()
+        skipped = FunctionalTrainer(
+            skip_model, make_stream(), SGD(lr=0.1)
+        ).train(8, 3, np.random.default_rng(1), start_step=2)
+        assert skipped.steps == 3
+        assert skipped.losses != full.losses[2:]
+
+    @pytest.mark.parametrize("bad", [-1, 1.5, True])
+    def test_rejects_invalid_start_step(self, bad):
+        trainer = FunctionalTrainer(make_model(), make_stream(), SGD(lr=0.1))
+        with pytest.raises(ValueError, match="start_step"):
+            trainer.train(8, 2, np.random.default_rng(1), start_step=bad)

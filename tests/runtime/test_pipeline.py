@@ -133,6 +133,13 @@ class TestValidation:
         with pytest.raises(ValueError, match="steps"):
             trainer.train(16, 0, np.random.default_rng(1))
 
+    @pytest.mark.parametrize("batch", [0, -1, 3.5, True])
+    def test_rejects_invalid_batch(self, batch):
+        """Regression: batch used to reach the prefetch loop unvalidated."""
+        _, trainer = make_trainer(PipelinedTrainer)
+        with pytest.raises(ValueError, match="batch must be a positive"):
+            trainer.train(batch, 2, np.random.default_rng(1))
+
     @pytest.mark.parametrize("num_shards", [0, -1, 2.5])
     def test_rejects_invalid_num_shards(self, num_shards):
         with pytest.raises(ValueError, match="num_shards"):

@@ -82,3 +82,15 @@ class TestFunctionalTrainer:
     def test_rejects_nonpositive_steps(self):
         with pytest.raises(ValueError, match="steps"):
             make_trainer().train(8, 0, np.random.default_rng(0))
+
+    @pytest.mark.parametrize("batch", [0, -4, 2.5, True, "16"])
+    def test_rejects_invalid_batch(self, batch):
+        """Regression: batch used to reach the stream unvalidated."""
+        with pytest.raises(ValueError, match="batch must be a positive"):
+            make_trainer().train(batch, 2, np.random.default_rng(0))
+
+    def test_accepts_numpy_integer_batch(self):
+        report = make_trainer().train(
+            np.int64(16), 1, np.random.default_rng(0)
+        )
+        assert report.steps == 1

@@ -273,3 +273,75 @@ class TestSourceSelection:
         assert main(["overlap", "--trace", str(trace), "--steps", "2"]) == 0
         out = capsys.readouterr().out
         assert "trace:tiny.npz" in out and "OK" in out
+
+
+class TestTrainingJobFlags:
+    """--optimizer/--lr/--checkpoint-dir/--resume (mirror the --trace rules)."""
+
+    def test_optimizer_and_lr_parse(self):
+        args = build_parser().parse_args(
+            ["cache", "--optimizer", "adam", "--lr", "0.05"]
+        )
+        assert args.optimizer == "adam"
+        assert args.lr == 0.05
+
+    def test_checkpoint_flags_parse(self):
+        args = build_parser().parse_args(
+            ["overlap", "--checkpoint-dir", "ckpts", "--resume", "c.npz"]
+        )
+        assert args.checkpoint_dir == "ckpts"
+        assert args.resume == "c.npz"
+
+    def test_unknown_optimizer_exits_nonzero_listing_names(self, capsys):
+        from repro.model.optim import optimizer_names
+
+        assert main(["cache", "--optimizer", "warp-drive"]) == 2
+        err = capsys.readouterr().err
+        assert "warp-drive" in err
+        for name in optimizer_names():
+            assert name in err
+
+    @pytest.mark.parametrize(
+        "flags",
+        [
+            ["--optimizer", "sgd"],
+            ["--lr", "0.1"],
+            ["--checkpoint-dir", "somewhere"],
+            ["--resume", "c.npz"],
+        ],
+    )
+    def test_job_flags_rejected_for_non_trainer_experiments(self, flags, capsys):
+        assert main(["fig6", *flags]) == 2
+        err = capsys.readouterr().err
+        assert "cache" in err and "overlap" in err
+
+    def test_nonpositive_lr_exits_nonzero(self, capsys):
+        assert main(["cache", "--lr", "-0.5"]) == 2
+        assert "learning rate must be positive" in capsys.readouterr().err
+
+    def test_missing_resume_checkpoint_exits_nonzero(self, capsys):
+        assert main(["cache", "--resume", "/nonexistent/ck.npz"]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_cache_runs_with_registry_optimizer(self, capsys):
+        assert main(["cache", "--batches", "64", "--steps", "2",
+                     "--dataset", "movielens", "--optimizer", "adagrad",
+                     "--lr", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "lru" in out and "lfu" in out
+
+    def test_checkpoint_dir_saves_then_resume_restores(self, capsys, tmp_path):
+        ckpt_dir = tmp_path / "ckpts"
+        assert main(["cache", "--batches", "64", "--steps", "2",
+                     "--dataset", "movielens",
+                     "--checkpoint-dir", str(ckpt_dir)]) == 0
+        capsys.readouterr()
+        saved = sorted(path.name for path in ckpt_dir.glob("*.npz"))
+        assert saved == ["cache-lfu.npz", "cache-lru.npz"]
+        from repro.runtime.checkpoint import load_checkpoint
+
+        assert load_checkpoint(ckpt_dir / "cache-lru.npz").step == 2
+        assert main(["cache", "--batches", "64", "--steps", "2",
+                     "--dataset", "movielens",
+                     "--resume", str(ckpt_dir / "cache-lru.npz")]) == 0
+        assert "Measured" in capsys.readouterr().out

@@ -99,6 +99,7 @@ class TestExamples:
             "trace_replay.py",
             "sharded_training.py",
             "backend_tuning.py",
+            "resumable_training.py",
         }
         present = {path.name for path in EXAMPLES_DIR.glob("*.py")}
         assert expected <= present
