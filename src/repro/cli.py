@@ -51,6 +51,7 @@ from .experiments import (
     format_overlap,
     format_scaling,
     format_sensitivity,
+    format_serving,
     format_table1,
     format_table2,
     link_bandwidth_sweep,
@@ -59,6 +60,8 @@ from .experiments import (
     overlap_sweep,
     SCALING_SHARDS,
     scaling_sweep,
+    SERVING_POLICIES,
+    serving_sweep,
 )
 from .model.configs import ALL_MODELS, get_model
 from .model.optim import optimizer_names
@@ -195,6 +198,33 @@ def _run_cache(args, hardware) -> str:
     )
 
 
+def _run_serve(args, hardware) -> str:
+    return format_serving(
+        serving_sweep(
+            dataset=args.dataset,
+            rates=tuple(args.rates) if args.rates else (100.0, 500.0),
+            policies=(
+                tuple(args.policies) if args.policies else SERVING_POLICIES
+            ),
+            num_requests=args.requests if args.requests is not None else 64,
+            sla_ms=args.sla_ms if args.sla_ms is not None else 50.0,
+            max_batch=args.max_batch if args.max_batch is not None else 8,
+            max_wait_ms=(
+                args.max_wait_ms if args.max_wait_ms is not None else 2.0
+            ),
+            pattern=args.arrival or "poisson",
+            trace=args.trace,
+            backend=args.backend,
+            optimizer=args.optimizer or "sgd",
+            lr=args.lr if args.lr is not None else 0.1,
+            checkpoint_dir=args.checkpoint_dir,
+            resume=args.resume,
+            hot_cache_rows=args.hot_cache_rows,
+            cache_policy=args.cache_policy or "lru",
+        )
+    )
+
+
 #: Experiment registry: name -> (runner, description).
 EXPERIMENTS: Dict[str, tuple[Callable, str]] = {
     "table1": (_run_table1, "Table I - disaggregated memory configuration"),
@@ -216,13 +246,16 @@ EXPERIMENTS: Dict[str, tuple[Callable, str]] = {
                               "pipeline vs the analytic overlap bound"),
     "cache": (_run_cache, "Section II-D related work executed - hot-row "
                           "cache hit rates, measured (LRU/LFU) vs analytic"),
+    "serve": (_run_serve, "Beyond the paper - Section II-A traffic served: "
+                          "latency-bounded inference, arrival rate x "
+                          "batching policy under a tail SLA"),
 }
 
 #: Experiments that train a real model through the runtime engine and
 #: therefore accept the training-job flags: a recorded batch trace as their
 #: source (``--trace``), an optimizer selection (``--optimizer``/``--lr``),
 #: and checkpointing (``--checkpoint-dir``/``--resume``).
-TRAINER_EXPERIMENTS = ("cache", "overlap")
+TRAINER_EXPERIMENTS = ("cache", "overlap", "serve")
 
 #: Backward-compatible alias (the trace flag predates the other job flags).
 TRACE_EXPERIMENTS = TRAINER_EXPERIMENTS
@@ -328,6 +361,53 @@ def build_parser() -> argparse.ArgumentParser:
              f"{', '.join(TRAINER_EXPERIMENTS)})",
     )
     parser.add_argument(
+        "--rates", nargs="*", type=float, default=None, metavar="R",
+        help="arrival rates (requests/s) for the 'serve' sweep "
+             "(default: 100 500)",
+    )
+    parser.add_argument(
+        "--policies", nargs="*", default=None, metavar="P",
+        choices=SERVING_POLICIES,
+        help="batching policies for the 'serve' sweep "
+             f"({', '.join(SERVING_POLICIES)}; default: all)",
+    )
+    parser.add_argument(
+        "--requests", type=int, default=None, metavar="N",
+        help="requests per 'serve' cell (default: 64)",
+    )
+    parser.add_argument(
+        "--sla-ms", type=float, default=None, metavar="MS",
+        help="tail-latency SLA in milliseconds the 'serve' sweep measures "
+             "p99 and QPS-under-SLA against (default: 50)",
+    )
+    parser.add_argument(
+        "--max-batch", type=int, default=None, metavar="B",
+        help="dynamic batcher's max requests per batch — also the hill "
+             "climb's ceiling ('serve'; default: 8)",
+    )
+    parser.add_argument(
+        "--max-wait-ms", type=float, default=None, metavar="MS",
+        help="dynamic batcher's max queueing delay before a partial batch "
+             "dispatches ('serve'; default: 2)",
+    )
+    parser.add_argument(
+        "--arrival", default=None, metavar="PATTERN",
+        choices=("uniform", "poisson"),
+        help="arrival process shape for the 'serve' sweep "
+             "(uniform, poisson; default: poisson)",
+    )
+    parser.add_argument(
+        "--hot-cache-rows", type=int, default=None, metavar="ROWS",
+        help="attach an executed hot-row cache of this capacity to the "
+             "'serve' inference gathers (default: no cache)",
+    )
+    parser.add_argument(
+        "--cache-policy", default=None, metavar="NAME",
+        choices=("lru", "lfu"),
+        help="replacement policy for --hot-cache-rows (lru, lfu; "
+             "default: lru)",
+    )
+    parser.add_argument(
         "--resume", default=None, metavar="CKPT",
         help="warm-start every measured trainer from a checkpoint written "
              "by --checkpoint-dir (or repro.runtime.checkpoint); the "
@@ -376,6 +456,23 @@ def main(argv: Sequence[str] | None = None) -> int:
                 f"error: {flag} does not apply to {args.experiment!r}; "
                 "the trainer-backed experiments are: "
                 f"{', '.join(TRAINER_EXPERIMENTS)}",
+                file=sys.stderr,
+            )
+            return 2
+    # The serving knobs apply to 'serve' only, same convention again.
+    for flag, value in (("--rates", args.rates),
+                        ("--policies", args.policies),
+                        ("--requests", args.requests),
+                        ("--sla-ms", args.sla_ms),
+                        ("--max-batch", args.max_batch),
+                        ("--max-wait-ms", args.max_wait_ms),
+                        ("--arrival", args.arrival),
+                        ("--hot-cache-rows", args.hot_cache_rows),
+                        ("--cache-policy", args.cache_policy)):
+        if value is not None and args.experiment != "serve":
+            print(
+                f"error: {flag} does not apply to {args.experiment!r}; "
+                "it is a 'serve' knob",
                 file=sys.stderr,
             )
             return 2

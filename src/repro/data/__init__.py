@@ -12,6 +12,7 @@ calibrated synthetic stand-ins for the paper's public datasets and the
 histogram tooling that measures locality live alongside.
 """
 
+from .arrivals import ArrivalProcess
 from .datasets import DATASETS, PAPER_ORDER, DatasetProfile, dataset_names, get_dataset
 from .distributions import LookupDistribution, UniformDistribution, ZipfDistribution
 from .generator import (
@@ -49,6 +50,7 @@ from .histogram import (
 )
 
 __all__ = [
+    "ArrivalProcess",
     "ArrivalShapedSource",
     "BatchSource",
     "BatchTraceWriter",

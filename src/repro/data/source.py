@@ -42,6 +42,7 @@ from typing import IO, Iterator, List, Optional, Sequence
 import numpy as np
 
 from ..core.indexing import IndexArray
+from .arrivals import ArrivalProcess
 
 __all__ = [
     "CTRBatch",
@@ -283,9 +284,15 @@ class ArrivalShapedSource(_WrappedSource):
     tests and for modeling arrival processes faster than real time.
     Scheduled offsets accumulate in :attr:`arrival_offsets` and the total
     time actually slept in :attr:`waited_seconds`.
+
+    Gap generation is delegated to a shared
+    :class:`~repro.data.arrivals.ArrivalProcess`, the same helper the
+    serving plane's request generator uses — so a shaped source and a
+    request stream built from equal ``(rate, pattern, seed)`` follow the
+    identical schedule (pinned by ``tests/data/test_arrivals.py``).
     """
 
-    PATTERNS = ("uniform", "poisson")
+    PATTERNS = ArrivalProcess.PATTERNS
 
     def __init__(
         self,
@@ -296,25 +303,13 @@ class ArrivalShapedSource(_WrappedSource):
         sleep: bool = True,
     ) -> None:
         super().__init__(source)
-        if rate_per_s <= 0:
-            raise ValueError(f"rate_per_s must be positive, got {rate_per_s}")
-        if pattern not in self.PATTERNS:
-            raise ValueError(
-                f"pattern must be one of {self.PATTERNS}, got {pattern!r}"
-            )
-        self.rate_per_s = float(rate_per_s)
-        self.pattern = pattern
+        self.process = ArrivalProcess(rate_per_s, pattern=pattern, seed=seed)
+        self.rate_per_s = self.process.rate_per_s
+        self.pattern = self.process.pattern
         self.sleep = bool(sleep)
-        self._gap_rng = np.random.default_rng(seed)
         self._start: Optional[float] = None
-        self._next_offset = 0.0
         self.arrival_offsets: List[float] = []
         self.waited_seconds = 0.0
-
-    def _gap(self) -> float:
-        if self.pattern == "uniform":
-            return 1.0 / self.rate_per_s
-        return float(self._gap_rng.exponential(1.0 / self.rate_per_s))
 
     def next_batch(self, batch: int, rng: np.random.Generator) -> CTRBatch:
         # Draw first so exhaustion propagates without a pointless wait.
@@ -322,9 +317,8 @@ class ArrivalShapedSource(_WrappedSource):
         now = time.perf_counter()
         if self._start is None:
             self._start = now
-        scheduled = self._next_offset
+        scheduled = self.process.next_offset()
         self.arrival_offsets.append(scheduled)
-        self._next_offset += self._gap()
         if self.sleep:
             remaining = (self._start + scheduled) - now
             if remaining > 0:

@@ -42,6 +42,13 @@ from .overlap import (
 from .plotting import bar_chart, series_chart, stacked_bar_chart
 from .report import format_table, normalize
 from .scaling import SCALING_SHARDS, ScalingRow, format_scaling, scaling_sweep
+from .serving import (
+    SERVING_CONFIG,
+    SERVING_POLICIES,
+    ServingRow,
+    format_serving,
+    serving_sweep,
+)
 from .sensitivity import (
     LinkSweepRow,
     SensitivityRow,
@@ -70,8 +77,11 @@ __all__ = [
     "OverlapRow",
     "ProbabilityPoint",
     "SCALING_SHARDS",
+    "SERVING_CONFIG",
+    "SERVING_POLICIES",
     "ScalingRow",
     "SensitivityRow",
+    "ServingRow",
     "SpeedupRow",
     "TrafficRow",
     "UtilizationRow",
@@ -101,6 +111,7 @@ __all__ = [
     "format_overlap",
     "format_scaling",
     "format_sensitivity",
+    "format_serving",
     "format_table",
     "format_table1",
     "format_table2",
@@ -111,6 +122,7 @@ __all__ = [
     "scaled_distribution",
     "scaling_sweep",
     "series_chart",
+    "serving_sweep",
     "stacked_bar_chart",
     "speedup_summary",
     "table1_rows",

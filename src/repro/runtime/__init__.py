@@ -22,6 +22,7 @@ from .checkpoint import (
 from .engine import (
     CastAheadSchedule,
     CastAheadWorker,
+    InferSchedule,
     MetricsLogger,
     RunEvent,
     Schedule,
@@ -64,7 +65,12 @@ from .timeline import (
     Span,
     Timeline,
 )
-from .trainer import FunctionalTrainer, PhaseTimings, TrainingReport
+from .trainer import (
+    FunctionalTrainer,
+    InferenceReport,
+    PhaseTimings,
+    TrainingReport,
+)
 
 __all__ = [
     "CPUGPUSystem",
@@ -73,6 +79,8 @@ __all__ = [
     "CastAheadWorker",
     "CheckpointCallback",
     "FunctionalTrainer",
+    "InferSchedule",
+    "InferenceReport",
     "IterationResult",
     "MetricsLogger",
     "NMPSystem",

@@ -39,6 +39,7 @@ from typing import Any, Callable, Optional, Sequence, TextIO, Tuple
 import numpy as np
 
 from .stages import (
+    InferenceReport,
     StageTimingCollector,
     StepContext,
     StepStages,
@@ -49,6 +50,7 @@ from .stages import (
 __all__ = [
     "CastAheadWorker",
     "CastAheadSchedule",
+    "InferSchedule",
     "MetricsLogger",
     "RunEvent",
     "Schedule",
@@ -210,6 +212,50 @@ class SerialSchedule(Schedule):
             engine.complete_step(ctx)
 
 
+class InferSchedule(Schedule):
+    """Forward-only execution: score batches without touching parameters.
+
+    Runs the training plan's ``draw → cast → gather → exchange → forward``
+    prefix and *skips* ``backward`` and ``optimize`` entirely — the stage
+    objects are the very same ones the training schedules execute, so the
+    forward outputs are bit-identical to the training path's forward for
+    the same batch and backend (pinned by ``tests/runtime/test_infer.py``),
+    and the frozen-parameter guarantee is structural: no stage that writes
+    a parameter or optimizer slot is ever invoked.
+
+    Each step's raw forward outputs accumulate on :attr:`logits` in step
+    order; :meth:`TrainingEngine.infer` rolls them into an
+    :class:`~repro.runtime.stages.InferenceReport`.
+    """
+
+    name = "infer"
+
+    #: Compute-stage names that run during inference (the forward prefix).
+    INFERENCE_STAGES = ("gather", "exchange", "forward")
+
+    def __init__(self) -> None:
+        self.logits: list[np.ndarray] = []
+
+    def execute(
+        self, engine: "TrainingEngine", stages: StepStages, steps: int
+    ) -> None:
+        compute = tuple(
+            stage for stage in stages.compute
+            if stage.name in self.INFERENCE_STAGES
+        )
+        for _ in range(steps):
+            ctx = stages.new_context()
+            stages.draw.run(ctx)
+            if ctx.data is None:
+                break
+            stages.cast.run(ctx)
+            engine.collector.absorb_cast(ctx)
+            for stage in compute:
+                stage.run(ctx)
+            self.logits.append(ctx.logits)
+            engine.complete_step(ctx)
+
+
 class CastAheadSchedule(Schedule):
     """Double-buffered overlap: batch ``i+1`` casts while batch ``i`` computes.
 
@@ -363,6 +409,45 @@ class TrainingEngine:
             for callback in self.callbacks:
                 callback.on_run_end(event)
         return report
+
+    def infer(
+        self,
+        batch: int,
+        steps: int,
+        rng: np.random.Generator,
+        mode: str = "casted",
+        callbacks: Sequence[TrainingCallback] = (),
+        start_step: int = 0,
+    ) -> InferenceReport:
+        """Forward-only run under :class:`InferSchedule`; parameters frozen.
+
+        Same contract as :meth:`run` (fast-forward via ``start_step``, the
+        canonical exhausted-before-the-first-step error, callbacks with
+        global step numbers) but no ``backward``/``optimize`` stage ever
+        executes, and the result is an
+        :class:`~repro.runtime.stages.InferenceReport` carrying each step's
+        raw forward outputs.
+        """
+        schedule = InferSchedule()
+        report = self.run(
+            batch, steps, rng, mode,
+            schedule=schedule, callbacks=callbacks, start_step=start_step,
+        )
+        return InferenceReport(
+            logits=schedule.logits,
+            losses=report.losses,
+            timings=report.timings,
+            mode=report.mode,
+            steps=report.steps,
+            shard_timings=report.shard_timings,
+            forward_exchange_bytes=report.forward_exchange_bytes,
+            wall_seconds=report.wall_seconds,
+            backend=report.backend,
+            cache_hit_rate=report.cache_hit_rate,
+            cache_hits=report.cache_hits,
+            cache_accesses=report.cache_accesses,
+            cache_policy=report.cache_policy,
+        )
 
     def complete_step(self, ctx: StepContext) -> None:
         """Harvest a finished step and fire ``on_step_end`` callbacks."""

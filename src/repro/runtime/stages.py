@@ -55,6 +55,7 @@ from ..model.sharded import ShardedStepPlan
 __all__ = [
     "PhaseTimings",
     "TrainingReport",
+    "InferenceReport",
     "StepContext",
     "Stage",
     "DrawStage",
@@ -174,6 +175,67 @@ class TrainingReport:
         return self.steps / self.wall_seconds
 
 
+@dataclass(frozen=True)
+class InferenceReport:
+    """Outcome of a measured inference run (the ``infer`` schedule).
+
+    ``logits`` holds every step's raw forward outputs in step order — the
+    engine's actual predictions, bit-identical to what the training path's
+    forward computes for the same batch and backend (pinned by
+    ``tests/runtime/test_infer.py``).  :attr:`predictions` is the sigmoid
+    view (click probabilities).  ``losses`` records the per-batch BCE
+    against the batch's labels — inference batches still carry labels, so
+    the run doubles as an evaluation pass; the loss is *observed*, never
+    backpropagated (no ``backward``/``optimize`` stage runs, parameters and
+    optimizer state are untouched — the frozen-parameter guarantee).
+
+    ``timings`` breaks the run into the serving-relevant phases (``draw``
+    is untimed as in training; ``casting``/``partition``, ``forward``,
+    ``loss``, and for sharded runs ``exchange``); ``samples`` counts every
+    scored sample, and ``forward_exchange_bytes`` accounts the sharded
+    forward all-to-all (there is no backward exchange to account).  The
+    ``cache_*`` fields mirror :class:`TrainingReport`'s executed hot-row
+    cache accounting — the RecNMP-style cache serves the inference gather
+    path unchanged.
+    """
+
+    logits: List[np.ndarray]
+    losses: List[float]
+    timings: PhaseTimings
+    mode: str
+    steps: int
+    shard_timings: Optional[List[PhaseTimings]] = None
+    forward_exchange_bytes: int = 0
+    wall_seconds: float = 0.0
+    backend: str = "vectorized"
+    cache_hit_rate: Optional[float] = None
+    cache_hits: int = 0
+    cache_accesses: int = 0
+    cache_policy: Optional[str] = None
+
+    @property
+    def predictions(self) -> List[np.ndarray]:
+        """Per-step click probabilities (sigmoid of :attr:`logits`)."""
+        return [1.0 / (1.0 + np.exp(-logits)) for logits in self.logits]
+
+    @property
+    def samples(self) -> int:
+        """Total samples scored across every step."""
+        return int(sum(logits.shape[0] for logits in self.logits))
+
+    @property
+    def mean_loss(self) -> float:
+        """Mean per-batch evaluation BCE across the run."""
+        return float(np.mean(self.losses))
+
+    @property
+    def samples_per_second(self) -> float:
+        """Measured scoring throughput (0.0 when wall time was not recorded)."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.samples / self.wall_seconds
+
+
 @dataclass
 class StepContext:
     """Mutable working state one batch carries through its stages.
@@ -192,6 +254,7 @@ class StepContext:
     casts: Optional[List[CastedIndex]] = None
     plan: Optional[ShardedStepPlan] = None
     loss: Optional[float] = None
+    logits: Optional[np.ndarray] = None
     dlogits: Optional[np.ndarray] = None
     emb_outs: Optional[List[np.ndarray]] = None
     grad_tables: Optional[List[np.ndarray]] = None
@@ -296,6 +359,7 @@ class ForwardStage(Stage):
         start = time.perf_counter()
         logits = self.model.forward(ctx.data.dense, ctx.data.indices)
         timings.add("forward", time.perf_counter() - start)
+        ctx.logits = logits
 
         start = time.perf_counter()
         ctx.loss, ctx.dlogits = bce_with_logits(logits, ctx.data.labels)
@@ -356,6 +420,7 @@ class ShardedForwardStage(Stage):
         start = time.perf_counter()
         logits = self.model.forward_from_pooled(ctx.data.dense, ctx.emb_outs)
         timings.add("forward", time.perf_counter() - start)
+        ctx.logits = logits
 
         start = time.perf_counter()
         ctx.loss, ctx.dlogits = bce_with_logits(logits, ctx.data.labels)

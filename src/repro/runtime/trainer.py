@@ -53,9 +53,14 @@ from .engine import (
     TrainingCallback,
     TrainingEngine,
 )
-from .stages import PhaseTimings, TrainingReport
+from .stages import InferenceReport, PhaseTimings, TrainingReport
 
-__all__ = ["PhaseTimings", "TrainingReport", "FunctionalTrainer"]
+__all__ = [
+    "PhaseTimings",
+    "TrainingReport",
+    "InferenceReport",
+    "FunctionalTrainer",
+]
 
 
 class FunctionalTrainer:
@@ -209,6 +214,41 @@ class FunctionalTrainer:
             schedule=self._schedule(),
             callbacks=callbacks,
             start_step=start_step,
+        )
+
+    def infer(
+        self,
+        batch: int,
+        steps: int,
+        rng: np.random.Generator,
+        mode: str = "casted",
+        callbacks: Sequence[TrainingCallback] = (),
+        start_step: int = 0,
+    ) -> InferenceReport:
+        """Score ``steps`` batches forward-only; parameters stay frozen.
+
+        Runs the same stage objects as :meth:`train` under the engine's
+        :class:`~repro.runtime.engine.InferSchedule` — the ``backward`` and
+        ``optimize`` stages are never invoked, so model parameters and
+        optimizer state are untouched (the serving plane's frozen-parameter
+        guarantee) while the forward outputs are bit-identical to the
+        training path's forward for the same batch and backend.  ``mode``
+        keeps its training meaning (``"casted"`` exercises the casting
+        stage exactly as the serving pipeline would; sharded trainers are
+        casted-only); ``start_step`` fast-forwards the source as in
+        :meth:`train`, which is how a restored checkpoint resumes serving
+        the stream where training left off.
+        """
+        self._validate_train_args(batch, steps, mode, start_step)
+        # Same re-assertion as train(): whichever trainer runs, *its*
+        # backend and caches serve, keeping the report fields truthful.
+        for bag in self.model.embeddings:
+            bag.backend = self.backend
+        self._attach_caches()
+        self._reset_cache_stats()
+        return TrainingEngine(self).infer(
+            batch, steps, rng, mode,
+            callbacks=callbacks, start_step=start_step,
         )
 
     def _schedule(self) -> Schedule:

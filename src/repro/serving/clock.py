@@ -1,0 +1,86 @@
+"""Injectable clocks for the serving simulator: virtual or wall time.
+
+The serving harness (:mod:`repro.serving.harness`) is a discrete-event
+simulation over *simulation time*: request arrivals are scheduled offsets
+from an :class:`~repro.data.arrivals.ArrivalProcess`, and batch execution
+contributes its *measured* seconds.  The clock is the simulation's one
+time authority, injected so the same harness runs two ways:
+
+* :class:`VirtualClock` (the default, and what every test and CI job
+  uses) — ``wait_until`` jumps instantly and ``charge`` advances by the
+  measured service seconds, so an hour of simulated traffic costs only
+  the actual engine execution time (or nothing at all with a modeled
+  executor);
+* :class:`RealTimeClock` — ``wait_until`` sleeps, pacing arrivals in real
+  time (a live demo of the load generator), and ``charge`` is a no-op
+  because the charged work already consumed wall clock.
+
+The split between *waiting* (arrival pacing, controlled by the clock) and
+*charging* (service time, measured by the executor) is what keeps
+per-request latency accounting identical across both clocks.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+
+__all__ = ["Clock", "VirtualClock", "RealTimeClock"]
+
+
+class Clock(abc.ABC):
+    """Simulation-time authority for the serving harness."""
+
+    @abc.abstractmethod
+    def now(self) -> float:
+        """Current simulation time in seconds (0.0 at construction)."""
+
+    @abc.abstractmethod
+    def wait_until(self, when: float) -> None:
+        """Block (or jump) until simulation time reaches ``when``.
+
+        Never moves time backwards: a ``when`` in the past is a no-op.
+        """
+
+    @abc.abstractmethod
+    def charge(self, seconds: float) -> None:
+        """Account ``seconds`` of service work against simulation time."""
+
+
+class VirtualClock(Clock):
+    """Manual-advance clock: simulated traffic runs faster than real time."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def wait_until(self, when: float) -> None:
+        if when > self._now:
+            self._now = float(when)
+
+    def charge(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError(f"cannot charge negative time, got {seconds}")
+        self._now += float(seconds)
+
+
+class RealTimeClock(Clock):
+    """Wall-clock pacing: arrivals actually wait, service time just passes."""
+
+    def __init__(self) -> None:
+        self._epoch = time.perf_counter()
+
+    def now(self) -> float:
+        return time.perf_counter() - self._epoch
+
+    def wait_until(self, when: float) -> None:
+        remaining = when - self.now()
+        if remaining > 0:
+            time.sleep(remaining)
+
+    def charge(self, seconds: float) -> None:
+        # The charged work already elapsed on the wall clock.
+        if seconds < 0:
+            raise ValueError(f"cannot charge negative time, got {seconds}")

@@ -1,0 +1,97 @@
+"""The shared arrival-process helper and its source/serving contract.
+
+``ArrivalProcess`` is the single gap generator behind
+``ArrivalShapedSource`` (data plane) and ``generate_requests`` (serving
+plane); these tests pin the reproducibility contract both sides rely on:
+equal ``(rate, pattern, seed)`` → the identical schedule.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.arrivals import ArrivalProcess
+from repro.data.generator import SyntheticCTRStream
+from repro.data.source import ArrivalShapedSource
+
+
+def make_stream(seed=7):
+    return SyntheticCTRStream(
+        num_tables=2, num_rows=[60, 90], lookups_per_sample=4,
+        dense_features=5, seed=seed,
+    )
+
+
+class TestArrivalProcess:
+    def test_uniform_gaps_are_exactly_one_over_rate(self):
+        process = ArrivalProcess(rate_per_s=200.0, pattern="uniform")
+        assert [process.next_gap() for _ in range(4)] == [0.005] * 4
+
+    def test_offsets_start_at_zero_and_accumulate(self):
+        process = ArrivalProcess(rate_per_s=100.0, pattern="uniform")
+        assert process.offsets(4) == pytest.approx([0.0, 0.01, 0.02, 0.03])
+        # The process is stateful: the next window continues the schedule.
+        assert process.offsets(2) == pytest.approx([0.04, 0.05])
+
+    def test_poisson_gaps_have_the_right_mean(self):
+        process = ArrivalProcess(rate_per_s=50.0, pattern="poisson", seed=1)
+        gaps = np.diff(process.offsets(400))
+        assert np.all(gaps >= 0)
+        assert np.mean(gaps) == pytest.approx(1.0 / 50.0, rel=0.2)
+
+    def test_equal_seeds_reproduce_the_schedule(self):
+        first = ArrivalProcess(80.0, pattern="poisson", seed=3).offsets(32)
+        second = ArrivalProcess(80.0, pattern="poisson", seed=3).offsets(32)
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        first = ArrivalProcess(80.0, pattern="poisson", seed=3).offsets(16)
+        second = ArrivalProcess(80.0, pattern="poisson", seed=4).offsets(16)
+        assert first != second
+
+    def test_mean_gap_property(self):
+        assert ArrivalProcess(25.0).mean_gap_s == pytest.approx(0.04)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError, match="rate_per_s"):
+            ArrivalProcess(0.0)
+        with pytest.raises(ValueError, match="pattern"):
+            ArrivalProcess(1.0, pattern="bursty")
+        with pytest.raises(ValueError, match="count"):
+            ArrivalProcess(1.0).offsets(-1)
+
+
+class TestSharedWithArrivalShapedSource:
+    """The source delegates to the same helper — schedules coincide."""
+
+    @pytest.mark.parametrize("pattern", ["uniform", "poisson"])
+    def test_source_schedule_equals_process_offsets(self, pattern):
+        rng = np.random.default_rng(0)
+        shaped = ArrivalShapedSource(
+            make_stream(), rate_per_s=120.0, pattern=pattern, seed=5,
+            sleep=False,
+        )
+        for _ in range(10):
+            shaped.next_batch(4, rng)
+        expected = ArrivalProcess(120.0, pattern=pattern, seed=5).offsets(10)
+        assert shaped.arrival_offsets == expected
+
+    def test_sleepless_schedules_reproducible_for_equal_seeds(self):
+        """Regression: sleep=False schedules depend only on the seed."""
+        schedules = []
+        for _ in range(2):
+            rng = np.random.default_rng(0)
+            shaped = ArrivalShapedSource(
+                make_stream(), rate_per_s=300.0, pattern="poisson", seed=11,
+                sleep=False,
+            )
+            for _ in range(12):
+                shaped.next_batch(2, rng)
+            schedules.append(list(shaped.arrival_offsets))
+        assert schedules[0] == schedules[1]
+
+    def test_source_exposes_the_process(self):
+        shaped = ArrivalShapedSource(
+            make_stream(), rate_per_s=10.0, pattern="uniform", sleep=False
+        )
+        assert isinstance(shaped.process, ArrivalProcess)
+        assert shaped.PATTERNS == ArrivalProcess.PATTERNS

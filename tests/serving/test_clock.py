@@ -1,0 +1,64 @@
+"""The injectable simulation clock: virtual jumps vs real sleeps."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.serving import RealTimeClock, VirtualClock
+
+
+class TestVirtualClock:
+    def test_starts_at_origin(self):
+        assert VirtualClock().now() == 0.0
+        assert VirtualClock(start=5.0).now() == 5.0
+
+    def test_wait_until_jumps_forward(self):
+        clock = VirtualClock()
+        clock.wait_until(1.5)
+        assert clock.now() == 1.5
+
+    def test_wait_until_never_goes_backwards(self):
+        clock = VirtualClock(start=2.0)
+        clock.wait_until(1.0)
+        assert clock.now() == 2.0
+
+    def test_charge_advances(self):
+        clock = VirtualClock()
+        clock.charge(0.25)
+        clock.charge(0.25)
+        assert clock.now() == 0.5
+
+    def test_charge_rejects_negative(self):
+        with pytest.raises(ValueError, match="negative"):
+            VirtualClock().charge(-0.1)
+
+    def test_simulated_time_is_faster_than_real(self):
+        # The whole point: simulating an hour of traffic takes microseconds.
+        clock = VirtualClock()
+        start = time.perf_counter()
+        clock.wait_until(3600.0)
+        assert time.perf_counter() - start < 1.0
+        assert clock.now() == 3600.0
+
+
+class TestRealTimeClock:
+    def test_now_advances_with_wall_clock(self):
+        clock = RealTimeClock()
+        first = clock.now()
+        time.sleep(0.01)
+        assert clock.now() > first
+
+    def test_wait_until_sleeps(self):
+        clock = RealTimeClock()
+        clock.wait_until(clock.now() + 0.02)
+        assert clock.now() >= 0.02
+
+    def test_charge_is_a_noop_but_validates(self):
+        clock = RealTimeClock()
+        before = clock.now()
+        clock.charge(10.0)
+        # Work already elapsed on the wall clock; charging adds nothing.
+        assert clock.now() - before < 1.0
+        with pytest.raises(ValueError, match="negative"):
+            clock.charge(-1.0)

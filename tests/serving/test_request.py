@@ -1,0 +1,145 @@
+"""Requests, the FIFO queue, seeded generation, and batch coalescing."""
+
+import numpy as np
+import pytest
+
+from repro.data.arrivals import ArrivalProcess
+from repro.data.generator import SyntheticCTRStream
+from repro.data.source import TakeSource
+from repro.model.configs import RM1
+from repro.model.dlrm import DLRM
+from repro.serving import RequestQueue, coalesce_requests, generate_requests
+
+CONFIG = RM1.with_overrides(
+    num_tables=2, gathers_per_table=3, rows_per_table=48,
+    bottom_mlp=(6, 4), top_mlp=(4, 1), embedding_dim=4,
+)
+
+
+def make_stream(seed=0):
+    return SyntheticCTRStream(
+        num_tables=CONFIG.num_tables, num_rows=CONFIG.rows_per_table,
+        lookups_per_sample=CONFIG.gathers_per_table,
+        dense_features=CONFIG.dense_features, seed=seed,
+    )
+
+
+def make_requests(count=6, samples=4, rate=100.0, seed=0):
+    return generate_requests(
+        make_stream(), count, samples,
+        ArrivalProcess(rate, pattern="poisson", seed=seed),
+        np.random.default_rng(seed),
+    )
+
+
+class TestGenerateRequests:
+    def test_ids_arrivals_and_payload_shapes(self):
+        requests = make_requests(count=5, samples=3)
+        assert [r.request_id for r in requests] == [0, 1, 2, 3, 4]
+        assert requests[0].arrival_s == 0.0
+        arrivals = [r.arrival_s for r in requests]
+        assert arrivals == sorted(arrivals)
+        assert all(r.num_samples == 3 for r in requests)
+        assert all(r.data.dense.shape == (3, CONFIG.dense_features)
+                   for r in requests)
+
+    def test_equal_seeds_reproduce_the_stream(self):
+        first = make_requests(seed=9)
+        second = make_requests(seed=9)
+        for a, b in zip(first, second):
+            assert a.arrival_s == b.arrival_s
+            assert np.array_equal(a.data.dense, b.data.dense)
+            for ia, ib in zip(a.data.indices, b.data.indices):
+                assert np.array_equal(ia.src, ib.src)
+                assert np.array_equal(ia.dst, ib.dst)
+
+    def test_finite_source_yields_fewer_requests(self):
+        source = TakeSource(make_stream(), 3)
+        requests = generate_requests(
+            source, 10, 4, ArrivalProcess(100.0, seed=0),
+            np.random.default_rng(0),
+        )
+        assert len(requests) == 3
+
+    def test_rejects_bad_counts(self):
+        with pytest.raises(ValueError, match="num_requests"):
+            generate_requests(make_stream(), 0, 4,
+                              ArrivalProcess(100.0), np.random.default_rng(0))
+        with pytest.raises(ValueError, match="samples_per_request"):
+            generate_requests(make_stream(), 4, 0,
+                              ArrivalProcess(100.0), np.random.default_rng(0))
+
+
+class TestRequestQueue:
+    def test_fifo_take(self):
+        requests = make_requests(count=5)
+        queue = RequestQueue()
+        for request in requests:
+            queue.push(request)
+        assert len(queue) == 5
+        assert queue.oldest() is requests[0]
+        taken = queue.take(3)
+        assert [r.request_id for r in taken] == [0, 1, 2]
+        assert len(queue) == 2
+        assert queue.oldest() is requests[3]
+
+    def test_take_returns_fewer_when_short(self):
+        queue = RequestQueue(make_requests(count=2))
+        assert len(queue.take(8)) == 2
+        assert not queue
+        assert queue.oldest() is None
+
+    def test_take_rejects_nonpositive(self):
+        with pytest.raises(ValueError, match="count"):
+            RequestQueue().take(0)
+
+
+class TestCoalesceRequests:
+    def test_single_request_passes_through(self):
+        requests = make_requests(count=1)
+        assert coalesce_requests(requests) is requests[0].data
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            coalesce_requests([])
+
+    def test_sample_major_concatenation(self):
+        requests = make_requests(count=3, samples=4)
+        coalesced = coalesce_requests(requests)
+        assert coalesced.size == 12
+        assert np.array_equal(
+            coalesced.dense,
+            np.concatenate([r.data.dense for r in requests], axis=0),
+        )
+        assert np.array_equal(
+            coalesced.labels,
+            np.concatenate([r.data.labels for r in requests], axis=0),
+        )
+        for table in range(CONFIG.num_tables):
+            index = coalesced.indices[table]
+            assert index.num_outputs == 12
+            assert np.array_equal(
+                index.src,
+                np.concatenate(
+                    [r.data.indices[table].src for r in requests]
+                ),
+            )
+            # Request k's samples land in output rows [4k, 4k+4).
+            offset = 0
+            cursor = 0
+            for request in requests:
+                part = request.data.indices[table]
+                span = slice(cursor, cursor + part.dst.size)
+                assert np.array_equal(index.dst[span], part.dst + offset)
+                offset += request.num_samples
+                cursor += part.dst.size
+
+    def test_coalesced_forward_equals_stacked_per_request_forwards(self):
+        requests = make_requests(count=3, samples=4)
+        model = DLRM(CONFIG, rng=np.random.default_rng(0))
+        coalesced = coalesce_requests(requests)
+        together = model.forward(coalesced.dense, coalesced.indices)
+        separate = np.concatenate([
+            model.forward(r.data.dense, r.data.indices) for r in requests
+        ])
+        assert np.array_equal(together, separate)

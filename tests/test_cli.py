@@ -345,3 +345,86 @@ class TestTrainingJobFlags:
                      "--dataset", "movielens",
                      "--resume", str(ckpt_dir / "cache-lru.npz")]) == 0
         assert "Measured" in capsys.readouterr().out
+
+
+class TestServeCommand:
+    """The serving sweep's CLI surface (mirrors the --trace flag rules)."""
+
+    def test_serve_flags_parse(self):
+        args = build_parser().parse_args(
+            ["serve", "--rates", "100", "500", "--policies", "single",
+             "dynamic", "--requests", "24", "--sla-ms", "80",
+             "--max-batch", "16", "--max-wait-ms", "1.5",
+             "--arrival", "uniform", "--hot-cache-rows", "64",
+             "--cache-policy", "lfu"]
+        )
+        assert args.rates == [100.0, 500.0]
+        assert args.policies == ["single", "dynamic"]
+        assert args.requests == 24
+        assert args.sla_ms == 80.0
+        assert args.max_batch == 16
+        assert args.max_wait_ms == 1.5
+        assert args.arrival == "uniform"
+        assert args.hot_cache_rows == 64
+        assert args.cache_policy == "lfu"
+
+    def test_unknown_policy_rejected_by_the_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--policies", "greedy"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--arrival", "bursty"])
+
+    @pytest.mark.parametrize(
+        "flags",
+        [
+            ["--rates", "100"],
+            ["--policies", "single"],
+            ["--requests", "8"],
+            ["--sla-ms", "50"],
+            ["--max-batch", "4"],
+            ["--max-wait-ms", "2"],
+            ["--arrival", "poisson"],
+            ["--hot-cache-rows", "64"],
+            ["--cache-policy", "lru"],
+        ],
+    )
+    def test_serve_flags_rejected_elsewhere(self, flags, capsys):
+        assert main(["fig6", *flags]) == 2
+        assert "'serve' knob" in capsys.readouterr().err
+
+    def test_serve_reports_the_frontier(self, capsys):
+        assert main(["serve", "--rates", "100", "400", "--requests", "12",
+                     "--sla-ms", "100", "--policies", "single",
+                     "dynamic"]) == 0
+        out = capsys.readouterr().out
+        assert "p99(ms)" in out and "QPS<=SLA" in out
+        assert "single" in out and "dynamic" in out
+        # 2 rates x 2 policies, every cell within the generous SLA.
+        assert out.count("yes") == 4 and "NO" not in out
+
+    def test_serve_accepts_trainer_flags(self, capsys):
+        assert main(["serve", "--rates", "200", "--requests", "8",
+                     "--policies", "single", "--optimizer", "adagrad",
+                     "--lr", "0.05", "--backend", "vectorized",
+                     "--dataset", "movielens"]) == 0
+        assert "Tail SLA" in capsys.readouterr().out
+
+    def test_serve_hot_cache_knobs_report_hit_rate(self, capsys):
+        assert main(["serve", "--rates", "200", "--requests", "8",
+                     "--policies", "dynamic", "--hot-cache-rows", "256",
+                     "--cache-policy", "lfu"]) == 0
+        assert "hot-row cache hit rate" in capsys.readouterr().out
+
+    def test_serve_bad_sla_exits_cleanly(self, capsys):
+        assert main(["serve", "--sla-ms", "0"]) == 2
+        assert "sla_ms must be positive" in capsys.readouterr().err
+
+    def test_serve_resumes_a_cache_checkpoint(self, capsys, tmp_path):
+        assert main(["cache", "--batches", "32", "--steps", "2",
+                     "--dataset", "movielens",
+                     "--checkpoint-dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(["serve", "--rates", "200", "--requests", "8",
+                     "--policies", "single",
+                     "--resume", str(tmp_path / "cache-lru.npz")]) == 0
+        assert "Tail SLA" in capsys.readouterr().out

@@ -35,11 +35,12 @@ class TestPublicAPI:
         import repro.experiments
         import repro.model
         import repro.runtime
+        import repro.serving
         import repro.sim
 
         for module in (repro.backends, repro.core, repro.data,
                        repro.experiments, repro.model, repro.runtime,
-                       repro.sim):
+                       repro.serving, repro.sim):
             for name in module.__all__:
                 assert hasattr(module, name), f"{module.__name__} missing {name}"
 
@@ -100,6 +101,7 @@ class TestExamples:
             "sharded_training.py",
             "backend_tuning.py",
             "resumable_training.py",
+            "serving_sla.py",
         }
         present = {path.name for path in EXAMPLES_DIR.glob("*.py")}
         assert expected <= present
