@@ -148,6 +148,7 @@ __all__ = [
     "CPUOnlySystem",
     "CTRBatch",
     "CastedIndex",
+    "CheckpointCallback",
     "CriteoFileSource",
     "DATASETS",
     "DDR4_2400",
@@ -203,8 +204,11 @@ __all__ = [
     "gradient_scatter",
     "hash_casting",
     "load_trace",
+    "make_optimizer",
     "make_partition",
     "record_trace",
+    "restore_trainer",
+    "save_checkpoint",
     "save_trace",
     "sharded_exchange_bytes",
     "tcasted_grad_gather_reduce",

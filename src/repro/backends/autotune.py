@@ -33,9 +33,10 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+from numpy.typing import DTypeLike
 
 from ..core.casting import CastedIndex
 from ..core.indexing import IndexArray
@@ -82,7 +83,8 @@ class ShapeClass:
 
     @classmethod
     def classify(
-        cls, kernel: str, num_outputs: int, num_lookups: int, dim: int, dtype
+        cls, kernel: str, num_outputs: int, num_lookups: int, dim: int,
+        dtype: "DTypeLike",
     ) -> "ShapeClass":
         if kernel not in KERNEL_NAMES:
             raise ValueError(
@@ -262,7 +264,9 @@ class _ProbeWorkload:
             scatter_values=scatter_values,
         )
 
-    def runner(self, backend: KernelBackend, kernel: str):
+    def runner(
+        self, backend: KernelBackend, kernel: str
+    ) -> Callable[[], object]:
         """A zero-argument closure running ``kernel`` once on this probe."""
         if kernel == "gather_reduce":
             return lambda: backend.gather_reduce(self.table, self.index)
@@ -298,7 +302,8 @@ class AutoBackend(KernelBackend):
         self.tuner = tuner if tuner is not None else Autotuner()
 
     def _delegate(
-        self, kernel: str, num_outputs: int, num_lookups: int, dim: int, dtype
+        self, kernel: str, num_outputs: int, num_lookups: int, dim: int,
+        dtype: "DTypeLike",
     ) -> KernelBackend:
         return self.tuner.backend_for(
             ShapeClass.classify(kernel, num_outputs, num_lookups, dim, dtype)

@@ -44,7 +44,9 @@ HAVE_NUMBA = numba is not None
 # ----------------------------------------------------------------------
 # Kernel bodies: plain Python loop nests, njit-compiled when possible.
 # ----------------------------------------------------------------------
-def _gather_reduce_kernel(table, src, dst, out):
+def _gather_reduce_kernel(
+    table: np.ndarray, src: np.ndarray, dst: np.ndarray, out: np.ndarray
+) -> np.ndarray:
     dim = table.shape[1]
     for i in range(src.shape[0]):
         row = src[i]
@@ -54,7 +56,13 @@ def _gather_reduce_kernel(table, src, dst, out):
     return out
 
 
-def _weighted_gather_reduce_kernel(table, src, dst, weights, out):
+def _weighted_gather_reduce_kernel(
+    table: np.ndarray,
+    src: np.ndarray,
+    dst: np.ndarray,
+    weights: np.ndarray,
+    out: np.ndarray,
+) -> np.ndarray:
     dim = table.shape[1]
     for i in range(src.shape[0]):
         row = src[i]
@@ -65,7 +73,9 @@ def _weighted_gather_reduce_kernel(table, src, dst, weights, out):
     return out
 
 
-def _counting_sort_cast_kernel(src, dst, num_rows):
+def _counting_sort_cast_kernel(
+    src: np.ndarray, dst: np.ndarray, num_rows: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Stable counting-sort Tensor Casting: O(n + num_rows), argsort-free."""
     n = src.shape[0]
     counts = np.zeros(num_rows, dtype=np.int64)
@@ -98,7 +108,9 @@ def _counting_sort_cast_kernel(src, dst, num_rows):
     return casted_src, casted_dst, rows
 
 
-def _expand_coalesce_kernel(src, dst, gradients, num_rows):
+def _expand_coalesce_kernel(
+    src: np.ndarray, dst: np.ndarray, gradients: np.ndarray, num_rows: int
+) -> Tuple[np.ndarray, np.ndarray]:
     """Faithful Algorithm 1: materialize the expanded gradients (Step 1),
     then coalesce along a stable counting-sort order of ``src`` (Step 2) —
     the same order a stable argsort yields, so accumulation matches the
@@ -142,7 +154,9 @@ def _expand_coalesce_kernel(src, dst, gradients, num_rows):
     return rows, coalesced
 
 
-def _scatter_update_kernel(table, rows, gradients, lr):
+def _scatter_update_kernel(
+    table: np.ndarray, rows: np.ndarray, gradients: np.ndarray, lr: float
+) -> np.ndarray:
     dim = table.shape[1]
     for k in range(rows.shape[0]):
         row = rows[k]

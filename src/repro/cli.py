@@ -70,21 +70,21 @@ from .runtime.systems import SystemHardware
 __all__ = ["main", "EXPERIMENTS", "BUILTIN_COMMANDS"]
 
 
-def _models_from(args) -> list:
+def _models_from(args: argparse.Namespace) -> list:
     if not args.models:
         return list(ALL_MODELS)
     return [get_model(name) for name in args.models]
 
 
-def _run_table1(args, hardware) -> str:
+def _run_table1(args: argparse.Namespace, hardware: SystemHardware) -> str:
     return format_table1()
 
 
-def _run_table2(args, hardware) -> str:
+def _run_table2(args: argparse.Namespace, hardware: SystemHardware) -> str:
     return format_table2()
 
 
-def _run_fig4(args, hardware) -> str:
+def _run_fig4(args: argparse.Namespace, hardware: SystemHardware) -> str:
     batches = args.batches or (1024, 2048, 4096)
     return format_fig4(
         fig4_breakdown(models=_models_from(args), batches=batches,
@@ -92,20 +92,20 @@ def _run_fig4(args, hardware) -> str:
     )
 
 
-def _run_fig5a(args, hardware) -> str:
+def _run_fig5a(args: argparse.Namespace, hardware: SystemHardware) -> str:
     return format_fig5a(fig5a_probability_functions())
 
 
-def _run_fig5b(args, hardware) -> str:
+def _run_fig5b(args: argparse.Namespace, hardware: SystemHardware) -> str:
     batches = args.batches or (1024, 2048, 4096)
     return format_fig5b(fig5b_gradient_sizes(batches=batches))
 
 
-def _run_fig6(args, hardware) -> str:
+def _run_fig6(args: argparse.Namespace, hardware: SystemHardware) -> str:
     return format_fig6(fig6_traffic(include_casted=True))
 
 
-def _run_fig12(args, hardware) -> str:
+def _run_fig12(args: argparse.Namespace, hardware: SystemHardware) -> str:
     batches = args.batches or (1024, 2048, 4096, 8192)
     return format_fig12(
         fig12_breakdown(models=_models_from(args), batches=batches,
@@ -113,7 +113,7 @@ def _run_fig12(args, hardware) -> str:
     )
 
 
-def _run_fig13(args, hardware) -> str:
+def _run_fig13(args: argparse.Namespace, hardware: SystemHardware) -> str:
     batches = args.batches or (1024, 2048, 4096, 8192)
     return format_fig13(
         fig13_speedup(models=_models_from(args), batches=batches,
@@ -121,7 +121,7 @@ def _run_fig13(args, hardware) -> str:
     )
 
 
-def _run_fig14(args, hardware) -> str:
+def _run_fig14(args: argparse.Namespace, hardware: SystemHardware) -> str:
     batches = args.batches or (1024, 2048, 4096, 8192)
     return format_fig14(
         fig14_energy(models=_models_from(args), batches=batches,
@@ -129,7 +129,7 @@ def _run_fig14(args, hardware) -> str:
     )
 
 
-def _run_fig15(args, hardware) -> str:
+def _run_fig15(args: argparse.Namespace, hardware: SystemHardware) -> str:
     batches = args.batches or (1024, 2048, 4096, 8192)
     return format_fig15(
         fig15_utilization(models=_models_from(args), batches=batches,
@@ -137,7 +137,7 @@ def _run_fig15(args, hardware) -> str:
     )
 
 
-def _run_fig16(args, hardware) -> str:
+def _run_fig16(args: argparse.Namespace, hardware: SystemHardware) -> str:
     batches = args.batches or (8192, 16384, 32768)
     return format_sensitivity(
         fig16_batch_sensitivity(models=_models_from(args), batches=batches,
@@ -145,21 +145,21 @@ def _run_fig16(args, hardware) -> str:
     )
 
 
-def _run_fig17(args, hardware) -> str:
+def _run_fig17(args: argparse.Namespace, hardware: SystemHardware) -> str:
     return format_sensitivity(
         fig17_dim_sensitivity(models=_models_from(args),
                               dataset=args.dataset, hardware=hardware)
     )
 
 
-def _run_link(args, hardware) -> str:
+def _run_link(args: argparse.Namespace, hardware: SystemHardware) -> str:
     return format_link_sweep(
         link_bandwidth_sweep(models=_models_from(args),
                              dataset=args.dataset, hardware=hardware)
     )
 
 
-def _run_scaling(args, hardware) -> str:
+def _run_scaling(args: argparse.Namespace, hardware: SystemHardware) -> str:
     batches = args.batches or (4096,)
     shard_counts = args.shards or SCALING_SHARDS
     return format_scaling(
@@ -169,7 +169,7 @@ def _run_scaling(args, hardware) -> str:
     )
 
 
-def _run_overlap(args, hardware) -> str:
+def _run_overlap(args: argparse.Namespace, hardware: SystemHardware) -> str:
     batches = args.batches or OVERLAP_BATCHES
     shard_counts = (
         tuple(args.shards) if args.shards is not None else OVERLAP_SHARDS
@@ -186,7 +186,7 @@ def _run_overlap(args, hardware) -> str:
     )
 
 
-def _run_cache(args, hardware) -> str:
+def _run_cache(args: argparse.Namespace, hardware: SystemHardware) -> str:
     batch = (args.batches or (1024,))[0]
     steps = args.steps if args.steps is not None else 24
     return format_hotcache(
@@ -198,7 +198,7 @@ def _run_cache(args, hardware) -> str:
     )
 
 
-def _run_serve(args, hardware) -> str:
+def _run_serve(args: argparse.Namespace, hardware: SystemHardware) -> str:
     return format_serving(
         serving_sweep(
             dataset=args.dataset,
@@ -261,7 +261,7 @@ TRAINER_EXPERIMENTS = ("cache", "overlap", "serve")
 TRACE_EXPERIMENTS = TRAINER_EXPERIMENTS
 
 
-def _run_list(args) -> int:
+def _run_list(args: argparse.Namespace) -> int:
     """Enumerate every runnable command plus the kernel-backend inventory."""
     for name, (_, description) in sorted(
         list(EXPERIMENTS.items()) + list(BUILTIN_COMMANDS.items())
@@ -277,7 +277,7 @@ def _run_list(args) -> int:
     return 0
 
 
-def _run_validate(args) -> int:
+def _run_validate(args: argparse.Namespace) -> int:
     from .validation import validate_all
 
     report = validate_all()

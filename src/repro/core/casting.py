@@ -29,11 +29,14 @@ Every backend produces the identical cast (integer arrays, stable order).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Sequence, Tuple, TYPE_CHECKING
 
 import numpy as np
 
 from .indexing import IndexArray
+
+if TYPE_CHECKING:  # runtime import stays deferred to avoid the cycle
+    from ..backends.dispatch import BackendSpec
 
 __all__ = [
     "CastedIndex",
@@ -115,7 +118,7 @@ class CastedIndex:
         return cached
 
 
-def tensor_casting(index: IndexArray, backend=None) -> CastedIndex:
+def tensor_casting(index: IndexArray, backend: BackendSpec = None) -> CastedIndex:
     """Cast a forward index array for backward gather-reduce (Algorithm 2).
 
     Thin dispatcher into the selected kernel backend's ``cast_indices``
@@ -139,7 +142,7 @@ def tensor_casting(index: IndexArray, backend=None) -> CastedIndex:
 
 
 def precompute_casts(
-    indices: Sequence[IndexArray], backend=None
+    indices: Sequence[IndexArray], backend: BackendSpec = None
 ) -> List[CastedIndex]:
     """Cast every table of a mini-batch ahead of gradient materialization.
 

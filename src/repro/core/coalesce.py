@@ -20,11 +20,14 @@ this two-step structure are modelled in :mod:`repro.core.traffic`.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Tuple, TYPE_CHECKING
 
 import numpy as np
 
 from .indexing import IndexArray
+
+if TYPE_CHECKING:  # runtime import stays deferred to avoid the cycle
+    from ..backends.dispatch import BackendSpec
 
 __all__ = [
     "gradient_expand",
@@ -141,7 +144,7 @@ def gradient_coalesce_reference(
 
 
 def expand_coalesce(
-    index: IndexArray, gradients: np.ndarray, backend=None
+    index: IndexArray, gradients: np.ndarray, backend: BackendSpec = None
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Run the full baseline two-step pipeline on an :class:`IndexArray`.
 

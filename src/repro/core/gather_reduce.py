@@ -18,12 +18,15 @@ where the 2x memory-intensity reduction over expand-coalesce comes from
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Tuple, TYPE_CHECKING
 
 import numpy as np
 
 from .casting import CastedIndex, tensor_casting
 from .indexing import IndexArray
+
+if TYPE_CHECKING:  # runtime import stays deferred to avoid the cycle
+    from ..backends.dispatch import BackendSpec
 
 __all__ = [
     "gather_reduce",
@@ -38,7 +41,7 @@ def gather_reduce(
     index: IndexArray,
     out: np.ndarray | None = None,
     weights: np.ndarray | None = None,
-    backend=None,
+    backend: BackendSpec = None,
 ) -> np.ndarray:
     """Fused embedding gather-reduce (forward pass, Figure 2(a)).
 
@@ -114,7 +117,7 @@ def gather_reduce_reference(
 
 
 def casted_gather_reduce(
-    gradients: np.ndarray, casted: CastedIndex, backend=None
+    gradients: np.ndarray, casted: CastedIndex, backend: BackendSpec = None
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Gradient gather-reduce over a precomputed cast (Algorithm 3, Step B).
 
@@ -168,7 +171,7 @@ def casted_gather_reduce(
 
 
 def tcasted_grad_gather_reduce(
-    index: IndexArray, gradients: np.ndarray, backend=None
+    index: IndexArray, gradients: np.ndarray, backend: BackendSpec = None
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Full Tensor-Casted backward primitive (Algorithm 3).
 

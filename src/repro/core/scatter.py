@@ -11,13 +11,32 @@ NMP core covers both with one microarchitecture (Section IV-C, Figure 11).
 
 from __future__ import annotations
 
+from typing import Protocol, TYPE_CHECKING
+
 import numpy as np
 
+if TYPE_CHECKING:  # runtime import stays deferred to avoid the cycle
+    from ..backends.dispatch import BackendSpec
+
 __all__ = [
+    "SparseOptimizer",
     "gradient_scatter",
     "gradient_scatter_reference",
     "scatter_with_optimizer",
 ]
+
+
+class SparseOptimizer(Protocol):
+    """Anything exposing the sparse-update rule scatter dispatches through.
+
+    The concrete implementations live in :mod:`repro.model.optim`; core
+    only needs the one-method surface, kept as a Protocol so the kernel
+    layer stays import-independent of the model layer.
+    """
+
+    def apply_sparse(
+        self, param: np.ndarray, rows: np.ndarray, gradients: np.ndarray
+    ) -> np.ndarray: ...
 
 
 def _validate_scatter_args(
@@ -50,7 +69,7 @@ def gradient_scatter(
     rows: np.ndarray,
     gradients: np.ndarray,
     lr: float = 1.0,
-    backend=None,
+    backend: BackendSpec = None,
 ) -> np.ndarray:
     """Plain-SGD scatter update: ``table[rows] -= lr * gradients`` in place.
 
@@ -88,7 +107,7 @@ def scatter_with_optimizer(
     table: np.ndarray,
     rows: np.ndarray,
     gradients: np.ndarray,
-    optimizer,
+    optimizer: SparseOptimizer,
 ) -> np.ndarray:
     """Scatter through an optimizer's sparse-update rule.
 

@@ -31,6 +31,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 import numpy as np
+from numpy.typing import DTypeLike
 
 from .indexing import IndexArray
 
@@ -106,7 +107,9 @@ class ShardPartition:
         """Height of ``table_id``'s slice held by ``shard``."""
         raise NotImplementedError
 
-    def shard_view(self, table: np.ndarray, table_id: int, shard: int):
+    def shard_view(
+        self, table: np.ndarray, table_id: int, shard: int
+    ) -> Optional[np.ndarray]:
         """NumPy *view* of the rows of ``table`` that ``shard`` owns.
 
         Views (not copies) are deliberate: the sharded runtime scatters
@@ -175,7 +178,9 @@ class RowWisePartition(ShardPartition):
             return 0
         return (num_rows - shard - 1) // self.num_shards + 1
 
-    def shard_view(self, table: np.ndarray, table_id: int, shard: int):
+    def shard_view(
+        self, table: np.ndarray, table_id: int, shard: int
+    ) -> Optional[np.ndarray]:
         if shard >= table.shape[0]:
             return None
         return table[shard :: self.num_shards]
@@ -207,7 +212,9 @@ class TableWisePartition(ShardPartition):
     def shard_num_rows(self, table_id: int, num_rows: int, shard: int) -> int:
         return num_rows if shard == self.owner_of_table(table_id) else 0
 
-    def shard_view(self, table: np.ndarray, table_id: int, shard: int):
+    def shard_view(
+        self, table: np.ndarray, table_id: int, shard: int
+    ) -> Optional[np.ndarray]:
         if shard != self.owner_of_table(table_id):
             return None
         return table[:]
@@ -244,7 +251,7 @@ def reassemble_pooled(
     partials: Sequence[Optional[np.ndarray]],
     num_outputs: int,
     dim: int,
-    dtype=None,
+    dtype: Optional[DTypeLike] = None,
 ) -> np.ndarray:
     """Sum per-shard partial pooled outputs back into one ``(B, dim)`` tensor.
 

@@ -37,7 +37,7 @@ import threading
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import IO, Iterator, List, Optional, Sequence
+from typing import IO, Iterator, List, Optional, Protocol, Sequence
 
 import numpy as np
 
@@ -54,6 +54,7 @@ __all__ = [
     "ArrivalShapedSource",
     "PrefetchingSource",
     "CriteoFileSource",
+    "LegacyStream",
 ]
 
 
@@ -124,15 +125,30 @@ class BatchSource(abc.ABC):
     def __enter__(self) -> "BatchSource":
         return self
 
-    def __exit__(self, *exc_info) -> bool:
+    def __exit__(self, *exc_info: object) -> bool:
         self.close()
         return False
+
+
+class LegacyStream(Protocol):
+    """The pre-data-plane stream surface :func:`as_batch_source` adapts.
+
+    Anything carrying the batch geometry plus a ``make_batch`` method —
+    the shape of :class:`~repro.data.generator.SyntheticCTRStream` before
+    the BatchSource protocol existed — can still feed the trainers.
+    """
+
+    num_tables: int
+    rows_per_table: Sequence[int]
+    dense_features: int
+
+    def make_batch(self, batch: int, rng: np.random.Generator) -> CTRBatch: ...
 
 
 class _AdaptedSource(BatchSource):
     """Wrap a legacy ``make_batch`` object into the :class:`BatchSource` API."""
 
-    def __init__(self, stream) -> None:
+    def __init__(self, stream: "LegacyStream") -> None:
         for attribute in ("num_tables", "rows_per_table", "dense_features"):
             if not hasattr(stream, attribute):
                 raise TypeError(
@@ -148,7 +164,7 @@ class _AdaptedSource(BatchSource):
         return self.stream.make_batch(batch, rng)
 
 
-def as_batch_source(stream) -> BatchSource:
+def as_batch_source(stream: "BatchSource | LegacyStream") -> BatchSource:
     """Coerce ``stream`` into a :class:`BatchSource`.
 
     A real source passes through unchanged; any object exposing the legacy
@@ -168,7 +184,7 @@ def as_batch_source(stream) -> BatchSource:
 class _WrappedSource(BatchSource):
     """Shared plumbing for wrappers: delegate geometry and close-through."""
 
-    def __init__(self, source) -> None:
+    def __init__(self, source: "BatchSource | LegacyStream") -> None:
         self.source = as_batch_source(source)
         self.num_tables = self.source.num_tables
         self.rows_per_table = list(self.source.rows_per_table)
@@ -185,7 +201,8 @@ class TakeSource(_WrappedSource):
     exhaustion-path testing and for recording fixed-length traces.
     """
 
-    def __init__(self, source, max_batches: int) -> None:
+    def __init__(self, source: "BatchSource | LegacyStream",
+                 max_batches: int) -> None:
         super().__init__(source)
         if max_batches <= 0:
             raise ValueError(f"max_batches must be positive, got {max_batches}")
@@ -226,7 +243,7 @@ class TableRemapSource(_WrappedSource):
 
     def __init__(
         self,
-        source,
+        source: "BatchSource | LegacyStream",
         permutations: Sequence[np.ndarray] | None = None,
         seed: int = 0,
     ) -> None:
@@ -296,7 +313,7 @@ class ArrivalShapedSource(_WrappedSource):
 
     def __init__(
         self,
-        source,
+        source: "BatchSource | LegacyStream",
         rate_per_s: float,
         pattern: str = "poisson",
         seed: int = 0,
@@ -314,7 +331,10 @@ class ArrivalShapedSource(_WrappedSource):
     def next_batch(self, batch: int, rng: np.random.Generator) -> CTRBatch:
         # Draw first so exhaustion propagates without a pointless wait.
         data = self.source.next_batch(batch, rng)
-        now = time.perf_counter()
+        # Real-time pacing is this wrapper's documented, opt-in job: the
+        # schedule itself stays deterministic (seeded ArrivalProcess); only
+        # the blocking is wall-clock.
+        now = time.perf_counter()  # repro-lint: ignore[determinism]
         if self._start is None:
             self._start = now
         scheduled = self.process.next_offset()
@@ -322,7 +342,7 @@ class ArrivalShapedSource(_WrappedSource):
         if self.sleep:
             remaining = (self._start + scheduled) - now
             if remaining > 0:
-                time.sleep(remaining)
+                time.sleep(remaining)  # repro-lint: ignore[determinism]
                 self.waited_seconds += remaining
         return data
 
@@ -356,7 +376,8 @@ class PrefetchingSource(_WrappedSource):
     batches of the pinned size).
     """
 
-    def __init__(self, source, depth: int = 2) -> None:
+    def __init__(self, source: "BatchSource | LegacyStream",
+                 depth: int = 2) -> None:
         super().__init__(source)
         if depth <= 0:
             raise ValueError(f"depth must be positive, got {depth}")
@@ -372,7 +393,7 @@ class PrefetchingSource(_WrappedSource):
     # ------------------------------------------------------------------
     # Worker side
     # ------------------------------------------------------------------
-    def _put(self, item) -> bool:
+    def _put(self, item: "tuple[str, object]") -> bool:
         """Offer ``item`` to the queue, giving up promptly once stopped."""
         while not self._stop.is_set():
             try:

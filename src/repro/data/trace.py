@@ -35,7 +35,13 @@ from ..core.indexing import IndexArray
 from .distributions import LookupDistribution
 from .generator import SyntheticCTRStream
 from .histogram import empirical_probability_function
-from .source import BatchSource, CTRBatch, SourceExhausted, as_batch_source
+from .source import (
+    BatchSource,
+    CTRBatch,
+    LegacyStream,
+    SourceExhausted,
+    as_batch_source,
+)
 
 __all__ = [
     "save_trace",
@@ -168,7 +174,9 @@ _HEADER_KEYS = (
 )
 
 
-def _write_member(archive: zipfile.ZipFile, name: str, array) -> None:
+def _write_member(
+    archive: zipfile.ZipFile, name: str, array: "np.ndarray | Sequence[int]"
+) -> None:
     """Append one ``.npy`` member to the open zip (the ``np.savez`` layout)."""
     with archive.open(name + ".npy", "w", force_zip64=True) as member:
         _npy_format.write_array(
@@ -284,7 +292,7 @@ class BatchTraceWriter:
     def __enter__(self) -> "BatchTraceWriter":
         return self
 
-    def __exit__(self, exc_type, *exc_info) -> bool:
+    def __exit__(self, exc_type: object, *exc_info: object) -> bool:
         # When the body is already raising, don't let the zero-step check
         # mask the original error.
         self.close(_aborting=exc_type is not None)
@@ -292,7 +300,7 @@ class BatchTraceWriter:
 
 
 def record_trace(
-    source,
+    source: BatchSource | LegacyStream,
     path: str | Path,
     batch: int,
     steps: int,

@@ -128,5 +128,4 @@ __all__ = [
     "table1_rows",
     "table2_rows",
     "trace_analytic_hit_rate",
-    "fig6_traffic",
 ]

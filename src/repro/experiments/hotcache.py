@@ -209,7 +209,7 @@ def hotcache_sweep(
         analytic, _ = trace_analytic_hit_rate(trace, capacity_rows)
         source_label = f"trace:{Path(trace).name}"
 
-        def make_source():
+        def make_source() -> TraceReplaySource:
             return TraceReplaySource(trace)
 
     else:
@@ -219,7 +219,7 @@ def hotcache_sweep(
         ).hit_rate
         source_label = dataset
 
-        def make_source():
+        def make_source() -> SyntheticCTRStream:
             return _synthetic_source(config, distribution, seed)
 
     rows: List[HotCacheRow] = []

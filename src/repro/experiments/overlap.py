@@ -38,7 +38,7 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass
 from pathlib import Path
-from typing import List, Sequence
+from typing import Callable, List, Optional, Sequence, Tuple, Type
 
 import numpy as np
 
@@ -53,7 +53,13 @@ from ..data.trace import TraceReplaySource, distribution_from_trace
 from ..model.configs import ModelConfig, RM1
 from ..model.dlrm import DLRM
 from ..model.optim import make_optimizer
-from ..runtime.checkpoint import load_checkpoint, restore_trainer, save_checkpoint
+from ..data.source import BatchSource
+from ..runtime.checkpoint import (
+    Checkpoint,
+    load_checkpoint,
+    restore_trainer,
+    save_checkpoint,
+)
 from ..runtime.pipeline import PipelinedTrainer
 from ..runtime.systems import (
     NMPSystem,
@@ -176,16 +182,16 @@ def analytic_overlap_speedup(
 
 
 def _make_trainer(
-    trainer_cls,
+    trainer_cls: Type[FunctionalTrainer],
     config: ModelConfig,
     num_shards: int,
     seed: int,
     distribution: LookupDistribution | None = None,
     backend: str | None = None,
-    source_factory=None,
+    source_factory: Optional[Callable[[], "BatchSource"]] = None,
     optimizer: str = "sgd",
     lr: float = 0.1,
-):
+) -> Tuple[DLRM, FunctionalTrainer]:
     """Fresh (model, trainer) pair; identical seeds ⇒ identical start state.
 
     ``source_factory`` overrides the synthetic stream with any
@@ -238,7 +244,7 @@ def _runs_bit_identical(
 
 
 def _best_of(
-    trainer_cls,
+    trainer_cls: Type[FunctionalTrainer],
     config: ModelConfig,
     num_shards: int,
     seed: int,
@@ -247,11 +253,11 @@ def _best_of(
     repeats: int,
     distribution: LookupDistribution | None = None,
     backend: str | None = None,
-    source_factory=None,
+    source_factory: Optional[Callable[[], "BatchSource"]] = None,
     optimizer: str = "sgd",
     lr: float = 0.1,
-    resume=None,
-):
+    resume: "Optional[Checkpoint]" = None,
+) -> Tuple[DLRM, FunctionalTrainer, TrainingReport]:
     """Train ``repeats`` fresh identically-seeded runs; keep the fastest.
 
     Best-of-k is the standard way to strip scheduler noise from a wall-clock
@@ -327,7 +333,7 @@ def _overlap_trace_cell(
         )
     steps = min(steps, available_steps - resume_step)
 
-    def source_factory():
+    def source_factory() -> TraceReplaySource:
         return TraceReplaySource(trace)
 
     for warmup_cls in (FunctionalTrainer, PipelinedTrainer):

@@ -192,7 +192,7 @@ def serving_sweep(
         samples_per_request = None
         source_label = f"trace:{Path(trace).name}"
 
-        def make_source():
+        def make_source() -> TraceReplaySource:
             return TraceReplaySource(trace)
 
     else:
@@ -204,7 +204,7 @@ def serving_sweep(
         distribution = scaled_distribution(dataset, config.rows_per_table)
         source_label = dataset
 
-        def make_source():
+        def make_source() -> SyntheticCTRStream:
             return SyntheticCTRStream(
                 num_tables=config.num_tables,
                 num_rows=config.rows_per_table,

@@ -131,7 +131,7 @@ class ModelConfig:
         """Backward FLOPs (weight-gradient + input-gradient GEMMs = 2x forward)."""
         return 2 * self.mlp_forward_flops(batch)
 
-    def with_overrides(self, **kwargs) -> "ModelConfig":
+    def with_overrides(self, **kwargs: object) -> "ModelConfig":
         """Config with fields replaced — used by the sensitivity sweeps.
 
         Changing ``embedding_dim`` transparently rewrites the bottom MLP's

@@ -18,21 +18,26 @@ validates it here, including with property-based index arrays.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
+from numpy.typing import DTypeLike
 
 from ..core.casting import CastedIndex, tensor_casting
 from ..core.coalesce import expand_coalesce
 from ..core.gather_reduce import casted_gather_reduce, gather_reduce
 from ..core.indexing import IndexArray
-from ..core.scatter import scatter_with_optimizer
+from ..core.scatter import SparseOptimizer, scatter_with_optimizer
+
+if TYPE_CHECKING:  # runtime import stays deferred to avoid the cycle
+    from ..backends.dispatch import BackendSpec
 
 __all__ = ["SparseGradient", "EmbeddingBag", "inverse_lookup_counts"]
 
 _BACKWARD_MODES = ("baseline", "casted")
 
 
-def inverse_lookup_counts(index: IndexArray, dtype) -> np.ndarray:
+def inverse_lookup_counts(index: IndexArray, dtype: DTypeLike) -> np.ndarray:
     """Per-output ``1 / lookup_count`` with empty bags mapped to zero.
 
     The mean-pooling scale factor, applied identically in the forward pass
@@ -116,7 +121,7 @@ class EmbeddingBag:
         rng: np.random.Generator | None = None,
         dtype: np.dtype = np.float64,
         pooling: str = "sum",
-        backend=None,
+        backend: "BackendSpec" = None,
     ) -> None:
         if num_rows <= 0 or dim <= 0:
             raise ValueError("num_rows and dim must be positive")
@@ -223,7 +228,8 @@ class EmbeddingBag:
             )
         return SparseGradient(rows=rows, values=values)
 
-    def apply_gradient(self, grad: SparseGradient, optimizer) -> None:
+    def apply_gradient(self, grad: SparseGradient,
+                       optimizer: SparseOptimizer) -> None:
         """Scatter the coalesced gradient into the table via the optimizer."""
         scatter_with_optimizer(self.table, grad.rows, grad.values, optimizer)
 

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import heapq
 from collections import OrderedDict
-from typing import Dict, List, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -132,7 +132,7 @@ class HotRowCache:
     # ------------------------------------------------------------------
     # Public surface
     # ------------------------------------------------------------------
-    def access(self, row_ids) -> int:
+    def access(self, row_ids: "np.ndarray | Sequence[int]") -> int:
         """Run the replacement policy over ``row_ids`` in stream order.
 
         Returns the number of hits among these accesses (also accumulated

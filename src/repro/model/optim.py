@@ -398,7 +398,7 @@ def optimizer_names() -> tuple[str, ...]:
     return tuple(OPTIMIZERS)
 
 
-def make_optimizer(name: str, lr: float = 0.1, **kwargs) -> Optimizer:
+def make_optimizer(name: str, lr: float = 0.1, **kwargs: float) -> Optimizer:
     """Instantiate a registered optimizer by (case-insensitive) name.
 
     Unknown names raise :class:`ValueError` listing the candidates — the

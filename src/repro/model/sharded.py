@@ -35,16 +35,19 @@ pair terms differ by exactly 2x.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, TYPE_CHECKING
 
 import numpy as np
 
 from ..core.casting import CastedIndex, tensor_casting
 from ..core.gather_reduce import casted_gather_reduce, gather_reduce
 from ..core.indexing import IndexArray
-from ..core.scatter import scatter_with_optimizer
+from ..core.scatter import SparseOptimizer, scatter_with_optimizer
 from ..core.sharding import ShardPartition, ShardSlice, make_partition, reassemble_pooled
 from .embedding import EmbeddingBag, inverse_lookup_counts
+
+if TYPE_CHECKING:  # runtime import stays deferred to avoid the cycle
+    from ..backends.dispatch import BackendSpec
 
 __all__ = ["ShardedStepPlan", "ShardedEmbeddingSet"]
 
@@ -107,7 +110,7 @@ class ShardedEmbeddingSet:
         bags: Sequence[EmbeddingBag],
         num_shards: int,
         policy: str = "row",
-        backend=None,
+        backend: "BackendSpec" = None,
     ) -> None:
         if not bags:
             raise ValueError("need at least one embedding bag to shard")
@@ -315,7 +318,7 @@ class ShardedEmbeddingSet:
         self,
         shard: int,
         coalesced: Sequence[tuple[int, np.ndarray, np.ndarray]],
-        optimizer,
+        optimizer: SparseOptimizer,
     ) -> None:
         """Scatter coalesced gradients into ``shard``'s table views.
 

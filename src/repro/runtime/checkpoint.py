@@ -38,11 +38,14 @@ from __future__ import annotations
 import re
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, TYPE_CHECKING
 
 import numpy as np
 
 from .engine import RunEvent, StepEvent, TrainingCallback
+
+if TYPE_CHECKING:  # runtime import would cycle through the trainer facade
+    from .trainer import FunctionalTrainer
 
 __all__ = [
     "Checkpoint",
@@ -81,7 +84,9 @@ class Checkpoint:
     state: Dict[str, np.ndarray]
 
 
-def save_checkpoint(path: str | Path, trainer, step: int) -> Path:
+def save_checkpoint(
+    path: str | Path, trainer: "FunctionalTrainer", step: int
+) -> Path:
     """Serialize ``trainer``'s training state at global ``step`` to ``path``.
 
     Returns the written path (with the ``.npz`` suffix added if missing).
@@ -151,7 +156,9 @@ def load_checkpoint(path: str | Path) -> Checkpoint:
     )
 
 
-def restore_trainer(trainer, source: "str | Path | Checkpoint") -> int:
+def restore_trainer(
+    trainer: "FunctionalTrainer", source: "str | Path | Checkpoint"
+) -> int:
     """Apply a checkpoint to ``trainer``; returns the restored global step.
 
     ``source`` is a path or an already-loaded :class:`Checkpoint` (load
@@ -266,7 +273,7 @@ class CheckpointCallback(TrainingCallback):
         self.last_path: Optional[Path] = None
         self._last_saved_step: Optional[int] = None
 
-    def _save(self, trainer, step: int) -> None:
+    def _save(self, trainer: "FunctionalTrainer", step: int) -> None:
         path = save_checkpoint(
             self.directory / _CHECKPOINT_NAME.format(step=step), trainer, step
         )

@@ -34,7 +34,7 @@ from __future__ import annotations
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, replace
-from typing import Any, Callable, Optional, Sequence, TextIO, Tuple
+from typing import Any, Callable, Optional, Sequence, TextIO, Tuple, TYPE_CHECKING
 
 import numpy as np
 
@@ -46,6 +46,9 @@ from .stages import (
     TrainingReport,
     build_step_stages,
 )
+
+if TYPE_CHECKING:  # runtime import would cycle through the trainer facade
+    from .trainer import FunctionalTrainer
 
 __all__ = [
     "CastAheadWorker",
@@ -344,7 +347,7 @@ class TrainingEngine:
     facades; usable directly for custom schedules.
     """
 
-    def __init__(self, trainer) -> None:
+    def __init__(self, trainer: "FunctionalTrainer") -> None:
         self.trainer = trainer
         self.collector: StageTimingCollector = StageTimingCollector()
         self.callbacks: Tuple[TrainingCallback, ...] = ()

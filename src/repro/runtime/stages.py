@@ -43,14 +43,21 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple, TYPE_CHECKING
 
 import numpy as np
 
 from ..core.casting import CastedIndex, precompute_casts
-from ..data.source import CTRBatch, SourceExhausted
+from ..data.source import BatchSource, CTRBatch, SourceExhausted
 from ..model.loss import bce_with_logits
 from ..model.sharded import ShardedStepPlan
+
+if TYPE_CHECKING:  # runtime imports would cycle through the trainer facade
+    from ..backends.dispatch import BackendSpec
+    from ..model.dlrm import DLRM
+    from ..model.optim import Optimizer
+    from ..model.sharded import ShardedEmbeddingSet
+    from .trainer import FunctionalTrainer
 
 __all__ = [
     "PhaseTimings",
@@ -285,7 +292,8 @@ class DrawStage(Stage):
 
     name = "draw"
 
-    def __init__(self, stream, batch: int, rng: np.random.Generator) -> None:
+    def __init__(self, stream: BatchSource, batch: int,
+                 rng: np.random.Generator) -> None:
         self.stream = stream
         self.batch = batch
         self.rng = rng
@@ -306,7 +314,7 @@ class CastStage(Stage):
 
     name = "cast"
 
-    def __init__(self, backend) -> None:
+    def __init__(self, backend: "BackendSpec") -> None:
         self.backend = backend
 
     def run(self, ctx: StepContext) -> None:
@@ -327,7 +335,7 @@ class ShardedCastStage(Stage):
 
     name = "cast"
 
-    def __init__(self, sharded) -> None:
+    def __init__(self, sharded: "ShardedEmbeddingSet") -> None:
         self.sharded = sharded
 
     def run(self, ctx: StepContext) -> None:
@@ -349,7 +357,8 @@ class ForwardStage(Stage):
 
     name = "forward"
 
-    def __init__(self, model, collector: "StageTimingCollector") -> None:
+    def __init__(self, model: "DLRM",
+                 collector: "StageTimingCollector") -> None:
         self.model = model
         self.collector = collector
 
@@ -371,7 +380,8 @@ class GatherStage(Stage):
 
     name = "gather"
 
-    def __init__(self, model, sharded, collector: "StageTimingCollector") -> None:
+    def __init__(self, model: "DLRM", sharded: "ShardedEmbeddingSet",
+                 collector: "StageTimingCollector") -> None:
         self.model = model
         self.sharded = sharded
         self.collector = collector
@@ -396,7 +406,8 @@ class ExchangeStage(Stage):
 
     name = "exchange"
 
-    def __init__(self, sharded, collector: "StageTimingCollector") -> None:
+    def __init__(self, sharded: "ShardedEmbeddingSet",
+                 collector: "StageTimingCollector") -> None:
         self.sharded = sharded
         self.collector = collector
 
@@ -411,7 +422,8 @@ class ShardedForwardStage(Stage):
 
     name = "forward"
 
-    def __init__(self, model, collector: "StageTimingCollector") -> None:
+    def __init__(self, model: "DLRM",
+                 collector: "StageTimingCollector") -> None:
         self.model = model
         self.collector = collector
 
@@ -432,7 +444,8 @@ class BackwardStage(Stage):
 
     name = "backward"
 
-    def __init__(self, model, collector: "StageTimingCollector") -> None:
+    def __init__(self, model: "DLRM",
+                 collector: "StageTimingCollector") -> None:
         self.model = model
         self.collector = collector
 
@@ -453,7 +466,8 @@ class ShardedBackwardStage(Stage):
 
     name = "backward"
 
-    def __init__(self, model, sharded, collector: "StageTimingCollector") -> None:
+    def __init__(self, model: "DLRM", sharded: "ShardedEmbeddingSet",
+                 collector: "StageTimingCollector") -> None:
         self.model = model
         self.sharded = sharded
         self.collector = collector
@@ -482,7 +496,8 @@ class OptimizeStage(Stage):
 
     name = "optimize"
 
-    def __init__(self, model, optimizer, collector: "StageTimingCollector") -> None:
+    def __init__(self, model: "DLRM", optimizer: "Optimizer",
+                 collector: "StageTimingCollector") -> None:
         self.model = model
         self.optimizer = optimizer
         self.collector = collector
@@ -500,7 +515,8 @@ class ShardedOptimizeStage(Stage):
 
     name = "optimize"
 
-    def __init__(self, model, sharded, optimizer,
+    def __init__(self, model: "DLRM", sharded: "ShardedEmbeddingSet",
+                 optimizer: "Optimizer",
                  collector: "StageTimingCollector") -> None:
         self.model = model
         self.sharded = sharded
@@ -617,7 +633,7 @@ class StepStages:
 
 
 def build_step_stages(
-    trainer,
+    trainer: "FunctionalTrainer",
     collector: StageTimingCollector,
     batch: int,
     rng: np.random.Generator,

@@ -26,7 +26,7 @@ breakdown (Figures 4/12) and the end-to-end makespan (Figure 13).
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict
+from typing import Dict, List
 
 from ..core.sharding import PARTITION_POLICIES
 from ..core.traffic import expected_shard_outputs, sharded_exchange_bytes
@@ -44,6 +44,7 @@ from .timeline import (
     RESOURCE_LINK,
     RESOURCE_NMP,
     RESOURCE_PCIE,
+    Span,
     Timeline,
 )
 
@@ -289,8 +290,13 @@ class TrainingSystem:
             breakdown=timeline.breakdown(),
         )
 
-    def _schedule_iteration(self, stats, timeline, prev_update):
-        """Append one iteration's spans; returns the model-update span."""
+    def _schedule_iteration(
+        self,
+        stats: WorkloadStats,
+        timeline: Timeline,
+        prev_update: "Span | List[Span] | None",
+    ) -> "Span | List[Span]":
+        """Append one iteration's spans; returns the model-update span(s)."""
         raise NotImplementedError
 
     # Shared DNN helpers ------------------------------------------------
@@ -328,7 +334,12 @@ class CPUOnlySystem(TrainingSystem):
         self.casting = casting
         self.name = "CPU-only (T.Casting)" if casting else "CPU-only"
 
-    def _schedule_iteration(self, stats: WorkloadStats, timeline: Timeline, prev_update):
+    def _schedule_iteration(
+        self,
+        stats: WorkloadStats,
+        timeline: Timeline,
+        prev_update: "Span | List[Span] | None",
+    ) -> "Span | List[Span]":
         cpu = self.hardware.cpu
         config = stats.model
         touched = _dnn_activation_bytes(config, stats.batch, stats.itemsize)
@@ -397,7 +408,12 @@ class CPUGPUSystem(TrainingSystem):
         self.casting = casting
         self.name = "Ours(CPU)" if casting else "Baseline(CPU)"
 
-    def _schedule_iteration(self, stats: WorkloadStats, timeline: Timeline, prev_update):
+    def _schedule_iteration(
+        self,
+        stats: WorkloadStats,
+        timeline: Timeline,
+        prev_update: "Span | List[Span] | None",
+    ) -> "Span | List[Span]":
         cpu, gpu = self.hardware.cpu, self.hardware.gpu
         pcie = self.hardware.pcie
         fwd_dnn, bwd_dnn, _ = self._dnn_times(stats)
@@ -491,7 +507,12 @@ class NMPSystem(TrainingSystem):
         self.casting = casting
         self.name = "Ours(NMP)" if casting else "Baseline(NMP)"
 
-    def _schedule_iteration(self, stats: WorkloadStats, timeline: Timeline, prev_update):
+    def _schedule_iteration(
+        self,
+        stats: WorkloadStats,
+        timeline: Timeline,
+        prev_update: "Span | List[Span] | None",
+    ) -> "Span | List[Span]":
         cpu, gpu, nmp = self.hardware.cpu, self.hardware.gpu, self.hardware.nmp
         pcie, link = self.hardware.pcie, self.hardware.nmp_link
         fwd_dnn, bwd_dnn, _ = self._dnn_times(stats)
@@ -685,7 +706,12 @@ class ShardedNMPSystem(TrainingSystem):
             policy=self.policy,
         )
 
-    def _schedule_iteration(self, stats: WorkloadStats, timeline: Timeline, prev_update):
+    def _schedule_iteration(
+        self,
+        stats: WorkloadStats,
+        timeline: Timeline,
+        prev_update: "Span | List[Span] | None",
+    ) -> "Span | List[Span]":
         gpu, nmp = self.hardware.gpu, self.hardware.nmp
         pcie, link = self.hardware.pcie, self.hardware.nmp_link
         fwd_dnn, bwd_dnn, _ = self._dnn_times(stats)

@@ -40,8 +40,8 @@ from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
-from ..backends.dispatch import resolve_backend
-from ..data.source import as_batch_source
+from ..backends.dispatch import BackendSpec, resolve_backend
+from ..data.source import BatchSource, LegacyStream, as_batch_source
 from ..model.dlrm import DLRM
 from ..model.hot_cache import HotRowCache
 from ..model.optim import Optimizer
@@ -116,11 +116,11 @@ class FunctionalTrainer:
     def __init__(
         self,
         model: DLRM,
-        stream,
+        stream: "BatchSource | LegacyStream",
         optimizer: Optimizer,
         num_shards: int | None = None,
         policy: str = "row",
-        backend="auto",
+        backend: BackendSpec = "auto",
         hot_cache: HotRowCacheSpec | None = None,
         cache_policy: str = "lru",
     ) -> None:

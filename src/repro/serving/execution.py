@@ -21,10 +21,11 @@ drives (``execute(data) -> ExecutionResult``):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Protocol
 
 import numpy as np
 
+from ..backends.dispatch import BackendSpec
 from ..data.source import BatchSource, CTRBatch, SourceExhausted
 from ..model.dlrm import DLRM
 from ..model.optim import Optimizer, SGD
@@ -35,6 +36,7 @@ from ..sim.cache import HotRowCacheSpec
 __all__ = [
     "ExecutionResult",
     "EngineExecutor",
+    "Executor",
     "FixedLatencyExecutor",
 ]
 
@@ -67,6 +69,17 @@ class _PlaybackSource(BatchSource):
             raise SourceExhausted("no batch loaded for playback")
         data, self._pending = self._pending, None
         return data
+
+
+class Executor(Protocol):
+    """What the serving loop needs from a model: score one coalesced batch.
+
+    Implementations report the batch's service seconds (and optionally its
+    logits) in an :class:`ExecutionResult`; the simulator charges those
+    seconds on its injected clock.
+    """
+
+    def execute(self, data: CTRBatch) -> ExecutionResult: ...
 
 
 class FixedLatencyExecutor:
@@ -110,7 +123,7 @@ class EngineExecutor:
         model: DLRM,
         optimizer: Optional[Optimizer] = None,
         mode: str = "casted",
-        backend="auto",
+        backend: BackendSpec = "auto",
         num_shards: Optional[int] = None,
         policy: str = "row",
         hot_cache: Optional[HotRowCacheSpec] = None,

@@ -27,6 +27,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from .batcher import BatchingPolicy, DynamicBatcher
+from .execution import Executor
 from .clock import Clock, VirtualClock
 from .request import Request, RequestQueue, coalesce_requests
 
@@ -137,7 +138,7 @@ class ServingSimulator:
 
     def __init__(
         self,
-        executor,
+        executor: Executor,
         policy: BatchingPolicy,
         sla_s: float,
         clock: Optional[Clock] = None,
@@ -210,7 +211,7 @@ class ServingSimulator:
 
 def tune_batch_size(
     requests: Sequence[Request],
-    executor,
+    executor: Executor,
     sla_s: float,
     max_wait_s: float,
     max_batch_requests: int = 64,

@@ -12,9 +12,9 @@ background power.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping
+from typing import Dict, Iterable, Mapping, Protocol
 
-__all__ = ["DevicePower", "EnergyModel", "EnergyReport"]
+__all__ = ["DevicePower", "EnergyModel", "EnergyReport", "TimelineLike"]
 
 
 @dataclass(frozen=True)
@@ -45,6 +45,22 @@ class EnergyReport:
     total: float
 
 
+class TimelineLike(Protocol):
+    """The occupancy surface :meth:`EnergyModel.energy` reads from a timeline.
+
+    Matches :class:`repro.runtime.timeline.Timeline` structurally — sim
+    stays free of runtime imports while the contract stays written down.
+    """
+
+    def makespan(self) -> float: ...
+
+    def resources(self) -> Iterable[str]: ...
+
+    def busy_time(self, resource: str) -> float: ...
+
+    def bytes_moved(self, resource: str) -> float: ...
+
+
 class EnergyModel:
     """Convert a timeline's busy/idle occupancy into joules.
 
@@ -62,7 +78,7 @@ class EnergyModel:
             raise ValueError("need at least one device power entry")
         self.device_powers = dict(device_powers)
 
-    def energy(self, timeline) -> EnergyReport:
+    def energy(self, timeline: "TimelineLike") -> EnergyReport:
         """Energy of every resource over the timeline's makespan.
 
         ``timeline`` is a :class:`repro.runtime.timeline.Timeline`; imported

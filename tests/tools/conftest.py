@@ -1,0 +1,44 @@
+"""Fixtures for the repro-lint test suite.
+
+The linter lives in ``tools/`` (outside the ``src`` layout the rest of
+the suite imports from), so the repo root must be importable; running
+``python -m pytest`` from the root already guarantees that, this pins it
+for every other invocation style.
+"""
+
+from __future__ import annotations
+
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+_REPO_ROOT = Path(__file__).resolve().parents[2]
+if str(_REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(_REPO_ROOT))
+
+
+class FixtureTree:
+    """Scratch project tree the lint tests write fixture files into."""
+
+    def __init__(self, root: Path) -> None:
+        self.root = root
+
+    def write(self, rel: str, text: str) -> Path:
+        path = self.root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(text), encoding="utf-8")
+        return path
+
+    def lint(self, rules=None, paths=("src",)):
+        from tools.repro_lint import lint_paths
+
+        return lint_paths(
+            [self.root / p for p in paths], root=self.root, rules=rules
+        )
+
+
+@pytest.fixture
+def tree(tmp_path: Path) -> FixtureTree:
+    return FixtureTree(tmp_path)

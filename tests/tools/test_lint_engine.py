@@ -1,0 +1,177 @@
+"""Engine-level tests: suppressions, finding shape/ordering, collection."""
+
+from __future__ import annotations
+
+import pytest
+
+from tools.repro_lint import Finding, ImportMap, lint_paths
+
+
+# ---------------------------------------------------------------------------
+# inline suppressions
+# ---------------------------------------------------------------------------
+UNSEEDED = "import numpy as np\n\nrng = np.random.default_rng()"
+
+
+class TestSuppressions:
+    def test_same_line_suppression(self, tree):
+        tree.write("src/repro/foo.py", """\
+            import numpy as np
+
+            rng = np.random.default_rng()  # repro-lint: ignore[determinism]
+        """)
+        assert tree.lint(rules=["determinism"]) == []
+
+    def test_preceding_line_suppression(self, tree):
+        tree.write("src/repro/foo.py", """\
+            import numpy as np
+
+            # repro-lint: ignore[determinism]
+            rng = np.random.default_rng()
+        """)
+        assert tree.lint(rules=["determinism"]) == []
+
+    def test_wrong_rule_id_does_not_suppress(self, tree):
+        tree.write("src/repro/foo.py", """\
+            import numpy as np
+
+            rng = np.random.default_rng()  # repro-lint: ignore[numeric-hazard]
+        """)
+        assert [f.rule for f in tree.lint(rules=["determinism"])] == [
+            "determinism"
+        ]
+
+    def test_bare_ignore_suppresses_every_rule(self, tree):
+        tree.write("src/repro/foo.py", """\
+            import numpy as np
+
+            rng = np.random.default_rng()  # repro-lint: ignore
+        """)
+        assert tree.lint(rules=["determinism"]) == []
+
+    def test_comma_separated_rule_list(self, tree):
+        tree.write("src/repro/core/foo.py", """\
+            import numpy as np
+
+            # repro-lint: ignore[determinism, numeric-hazard]
+            out = np.add.reduceat(np.random.rand(4), [0])
+        """)
+        assert tree.lint(rules=["determinism", "numeric-hazard"]) == []
+
+    def test_marker_inside_string_literal_is_not_a_suppression(self, tree):
+        # Suppressions are found by the tokenizer, so the marker only
+        # counts as a comment — never as string content.
+        tree.write("src/repro/foo.py", """\
+            import numpy as np
+
+            DOC = "# repro-lint: ignore[determinism]"
+            rng = np.random.default_rng()
+        """)
+        assert [f.line for f in tree.lint(rules=["determinism"])] == [4]
+
+    def test_suppression_two_lines_up_does_not_apply(self, tree):
+        tree.write("src/repro/foo.py", """\
+            import numpy as np
+
+            # repro-lint: ignore[determinism]
+
+            rng = np.random.default_rng()
+        """)
+        assert [f.line for f in tree.lint(rules=["determinism"])] == [5]
+
+
+# ---------------------------------------------------------------------------
+# findings: shape, format, ordering
+# ---------------------------------------------------------------------------
+class TestFindings:
+    def test_format_is_path_line_rule_message(self):
+        finding = Finding(
+            path="src/repro/foo.py", line=3, rule="determinism",
+            message="unseeded",
+        )
+        assert finding.format() == "src/repro/foo.py:3: determinism: unseeded"
+
+    def test_findings_sort_by_location_then_rule(self, tree):
+        tree.write("src/repro/core/a.py", """\
+            import numpy as np
+
+
+            def pooled(values, starts):
+                np.random.seed(0)
+                return np.add.reduceat(values, starts)
+        """)
+        tree.write("src/repro/core/b.py", UNSEEDED + "\n")
+        findings = tree.lint(rules=["determinism", "numeric-hazard"])
+        keys = [(f.path, f.line) for f in findings]
+        assert keys == sorted(keys)
+        assert findings[0].path.endswith("a.py")
+        assert findings[-1].path.endswith("b.py")
+
+    def test_paths_are_root_relative_posix(self, tree):
+        tree.write("src/repro/foo.py", UNSEEDED + "\n")
+        (finding,) = tree.lint(rules=["determinism"])
+        assert finding.path == "src/repro/foo.py"
+
+
+# ---------------------------------------------------------------------------
+# collection
+# ---------------------------------------------------------------------------
+class TestCollection:
+    def test_syntax_error_is_a_finding_not_a_crash(self, tree):
+        tree.write("src/repro/broken.py", "def oops(:\n")
+        findings = tree.lint()
+        assert [f.rule for f in findings] == ["syntax-error"]
+        assert "does not parse" in findings[0].message
+
+    def test_cache_directories_are_skipped(self, tree):
+        tree.write("src/repro/__pycache__/foo.py", UNSEEDED + "\n")
+        tree.write("src/.venv/repro/foo.py", UNSEEDED + "\n")
+        assert tree.lint(rules=["determinism"]) == []
+
+    def test_overlapping_paths_deduplicate(self, tree):
+        tree.write("src/repro/foo.py", UNSEEDED + "\n")
+        findings = lint_paths(
+            [tree.root / "src", tree.root / "src" / "repro" / "foo.py"],
+            root=tree.root, rules=["determinism"],
+        )
+        assert len(findings) == 1
+
+    def test_unknown_rule_id_raises(self, tree):
+        tree.write("src/repro/foo.py", "X = 1\n")
+        with pytest.raises(ValueError, match="unknown rule ids: no-such"):
+            tree.lint(rules=["no-such"])
+
+    def test_non_python_files_ignored(self, tree):
+        tree.write("src/repro/notes.txt", "np.random.default_rng()\n")
+        assert tree.lint() == []
+
+
+# ---------------------------------------------------------------------------
+# ImportMap alias resolution (the seam every rule leans on)
+# ---------------------------------------------------------------------------
+class TestImportMap:
+    def _resolve(self, source: str) -> str:
+        import ast
+
+        tree = ast.parse(source)
+        imports = ImportMap(tree)
+        call = next(n for n in ast.walk(tree) if isinstance(n, ast.Call))
+        return imports.resolve(call.func)
+
+    def test_module_alias(self):
+        target = self._resolve("import numpy as np\nnp.random.rand(3)\n")
+        assert target == "numpy.random.rand"
+
+    def test_from_import_alias(self):
+        target = self._resolve(
+            "from numpy.random import default_rng as mk\nmk()\n"
+        )
+        assert target == "numpy.random.default_rng"
+
+    def test_function_local_import(self):
+        target = self._resolve("""\
+def f():
+    import time
+    return time.sleep(1)
+""")
+        assert target == "time.sleep"

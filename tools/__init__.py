@@ -1,0 +1,7 @@
+"""Developer tooling that ships with the repo (not part of the library).
+
+* :mod:`tools.repro_lint` — the AST-based invariant checker (`python -m
+  tools.repro_lint`); see README "Static analysis".
+* ``tools/check.sh`` — the local pre-commit-style gate (lint + typing).
+* ``tools/calibrate.py`` — DRAM-efficiency calibration helper.
+"""

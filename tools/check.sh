@@ -1,0 +1,39 @@
+#!/usr/bin/env sh
+# Local static-analysis + test gate — the same checks the CI
+# static-analysis job runs, minus anything not installed here.
+#
+#   tools/check.sh            # lint + mypy (if installed) + tests
+#   tools/check.sh --no-test  # static analysis only
+#
+# Exits nonzero on the first failing gate.
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+run_tests=1
+for arg in "$@"; do
+    case "$arg" in
+        --no-test) run_tests=0 ;;
+        *) echo "usage: tools/check.sh [--no-test]" >&2; exit 2 ;;
+    esac
+done
+
+echo "== repro-lint =="
+python -m tools.repro_lint src tests benchmarks
+
+echo "== mypy =="
+if python -c "import mypy" 2>/dev/null; then
+    python -m mypy --config-file mypy.ini src/repro
+else
+    # mypy is a CI-only dependency; the api-contract lint rule above is
+    # the locally-enforceable annotation floor.
+    echo "mypy not installed; skipping the typing gate (CI runs it)"
+fi
+
+if [ "$run_tests" -eq 1 ]; then
+    echo "== pytest =="
+    PYTHONPATH=src python -m pytest -x -q
+fi
+
+echo "check.sh: all gates passed"

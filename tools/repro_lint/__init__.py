@@ -1,0 +1,33 @@
+"""repro-lint: the repo's AST-based invariant checker.
+
+Six PRs of growth accumulated invariants the test suite can only *probe*
+(bit-identity needs seeded RNG and sequential scatter-adds, background
+threads need pinned lifecycles, CLI flags must track the registries);
+this package *proves* them at lint time.  Run it as::
+
+    python -m tools.repro_lint src tests benchmarks
+
+Rules live in :mod:`tools.repro_lint.rules` (one module per rule) and
+self-register into :data:`tools.repro_lint.checker.REGISTRY`; the runner
+in :mod:`tools.repro_lint.runner` walks the tree, applies inline
+``# repro-lint: ignore[rule]`` suppressions, and exits nonzero on any
+finding.  See README "Static analysis" for the rule table.
+"""
+
+from .checker import ALL_RULES, Checker, ImportMap, Project, REGISTRY, SourceFile, register
+from .findings import Finding
+from .runner import collect_project, lint_paths, run_checkers
+
+__all__ = [
+    "ALL_RULES",
+    "Checker",
+    "Finding",
+    "ImportMap",
+    "Project",
+    "REGISTRY",
+    "SourceFile",
+    "collect_project",
+    "lint_paths",
+    "register",
+    "run_checkers",
+]

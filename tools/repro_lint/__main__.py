@@ -1,0 +1,83 @@
+"""CLI: ``python -m tools.repro_lint src tests benchmarks``.
+
+Exit codes follow the usual lint convention:
+
+* ``0`` — every checked file is clean,
+* ``1`` — at least one finding (one ``path:line: rule-id: message`` per
+  line, sorted by location so output is diff-stable),
+* ``2`` — usage error (path does not exist, unknown ``--rule``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from .checker import REGISTRY
+from .runner import lint_paths
+
+__all__ = ["main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.repro_lint",
+        description="AST-based invariant checker for the Tensor Casting "
+                    "repo (see README 'Static analysis' for the rules).",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src", "tests", "benchmarks"],
+        metavar="PATH",
+        help="files or directories to lint (default: src tests benchmarks)",
+    )
+    parser.add_argument(
+        "--rule", action="append", default=None, metavar="RULE-ID",
+        help="run only this rule (repeatable; default: every rule)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the registered rule ids + descriptions and exit",
+    )
+    parser.add_argument(
+        "--root", default=None, metavar="DIR",
+        help="directory findings are reported relative to (default: cwd)",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    # Import for side effect: registers the built-in rules for --list-rules.
+    from . import rules as _rules  # noqa: F401
+
+    if args.list_rules:
+        width = max(len(rule) for rule in REGISTRY)
+        for rule, checker in sorted(REGISTRY.items()):
+            print(f"{rule:{width}s}  {checker.description}")
+        return 0
+
+    paths = [Path(p) for p in args.paths]
+    missing = [str(p) for p in paths if not p.exists()]
+    if missing:
+        print(f"error: no such path: {', '.join(missing)}", file=sys.stderr)
+        return 2
+    root = Path(args.root) if args.root is not None else None
+    try:
+        findings = lint_paths(paths, root=root, rules=args.rule)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    for finding in findings:
+        print(finding.format())
+    if findings:
+        count = len(findings)
+        plural = "s" if count != 1 else ""
+        print(f"repro-lint: {count} finding{plural}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,22 @@
+"""The unit of linter output: one violation at one source location."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """A single rule violation, formatted ``path:line: rule-id: message``.
+
+    Sorting order (path, line, rule, message) is the report order, so runs
+    are deterministic regardless of rule registration or filesystem order.
+    """
+
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule}: {self.message}"

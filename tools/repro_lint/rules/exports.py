@@ -1,0 +1,150 @@
+"""Rule ``export-hygiene``: ``__init__.py`` re-exports match ``__all__``.
+
+The package ``__init__`` files are the repo's public-API contract — the
+README module map documents them and ``tests/test_docs.py`` resolves every
+``__all__`` entry at import time.  What the import-time check *cannot* see:
+
+* a re-exported name missing from ``__all__`` (works today, silently
+  disappears under ``from repro.x import *`` and API docs),
+* duplicate ``__all__`` entries (harmless at runtime, a tell that two
+  edits raced and one of them lost),
+* an ``__init__.py`` that re-exports names but declares no ``__all__`` at
+  all, so there is no single source of truth to check against.
+
+``__all__`` entries that do not resolve are also flagged here so the lint
+run catches them without importing (the import-time test stays as the
+backstop for dynamic cases).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..checker import Checker, Project, SourceFile, register
+from ..findings import Finding
+
+
+def _module_level_nodes(tree: ast.Module) -> Iterable[ast.AST]:
+    """Statements bound at module scope, descending into if/try blocks
+    (the optional-dependency import idiom) but not into function or class
+    bodies."""
+    stack: List[ast.AST] = list(tree.body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.If, ast.Try, ast.With)):
+            for child in ast.iter_child_nodes(node):
+                if not isinstance(child, ast.expr):
+                    stack.append(child)
+        elif isinstance(node, (ast.ExceptHandler,)):
+            stack.extend(node.body)
+
+
+def _bindings(tree: ast.Module) -> Tuple[Dict[str, ast.AST], Set[str]]:
+    """(all module-level bindings, the re-export subset).
+
+    Re-exports are the names bound by ``from x import name`` /
+    ``from . import name`` — the idiom ``__init__.py`` files use to build
+    their public surface.
+    """
+    bound: Dict[str, ast.AST] = {}
+    reexports: Set[str] = set()
+    for node in _module_level_nodes(tree):
+        if isinstance(node, ast.ImportFrom):
+            for item in node.names:
+                if item.name == "*":
+                    continue
+                local = item.asname or item.name
+                bound.setdefault(local, node)
+                reexports.add(local)
+        elif isinstance(node, ast.Import):
+            for item in node.names:
+                local = item.asname or item.name.split(".")[0]
+                bound.setdefault(local, node)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                               ast.ClassDef)):
+            bound.setdefault(node.name, node)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                for name_node in ast.walk(target):
+                    if isinstance(name_node, ast.Name):
+                        bound.setdefault(name_node.id, node)
+        elif isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name):
+                bound.setdefault(node.target.id, node)
+    return bound, reexports
+
+
+def _all_entries(
+    tree: ast.Module,
+) -> Optional[List[Tuple[str, ast.expr]]]:
+    """(entry, node) pairs of the ``__all__`` literal, or None if absent.
+
+    Only plain ``__all__ = [...]`` literals are checkable; anything
+    dynamic returns an empty list so the caller can flag it.
+    """
+    for node in _module_level_nodes(tree):
+        if (isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and node.targets[0].id == "__all__"):
+            if isinstance(node.value, (ast.List, ast.Tuple)):
+                return [
+                    (elt.value, elt)
+                    for elt in node.value.elts
+                    if isinstance(elt, ast.Constant)
+                    and isinstance(elt.value, str)
+                ]
+            return []
+    return None
+
+
+@register
+class ExportHygieneChecker(Checker):
+    rule = "export-hygiene"
+    description = ("__init__.py re-exports must match __all__: no missing "
+                   "entries, duplicates, or unresolvable names")
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        for source in project.files:
+            if source.name != "__init__.py":
+                continue
+            yield from self._check_init(source)
+
+    def _check_init(self, source: SourceFile) -> Iterable[Finding]:
+        bound, reexports = _bindings(source.tree)
+        public_reexports = {n for n in reexports if not n.startswith("_")}
+        entries = _all_entries(source.tree)
+        if entries is None:
+            if public_reexports:
+                yield Finding(
+                    path=source.rel, line=1, rule=self.rule,
+                    message=(f"re-exports {len(public_reexports)} public "
+                             "names but declares no __all__; add one so "
+                             "the export surface has a single source of "
+                             "truth"),
+                )
+            return
+        seen: Set[str] = set()
+        for name, node in entries:
+            if name in seen:
+                yield self.finding(
+                    source, node,
+                    f"duplicate __all__ entry {name!r}",
+                )
+            seen.add(name)
+            if name not in bound:
+                yield self.finding(
+                    source, node,
+                    f"__all__ lists {name!r}, which is never imported or "
+                    "defined at module level",
+                )
+        for name in sorted(public_reexports - seen):
+            node = bound[name]
+            yield self.finding(
+                source, node,
+                f"{name!r} is re-exported but missing from __all__; "
+                "add it (or rename with a leading underscore if it is "
+                "not public API)",
+            )

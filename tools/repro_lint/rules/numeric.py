@@ -1,0 +1,49 @@
+"""Rule ``numeric-hazard``: no pairwise-sum accumulation in kernel code.
+
+PR 3 established the accumulation contract for every gradient-coalescing
+kernel: scatter-adds run in *sequential* order (``np.add.at`` /
+``np.bincount`` / explicit loops), because ``np.ufunc.reduceat`` uses
+pairwise partial sums whose float results drift from the sequential
+oracle by ulps — enough to break the repo's bit-identity pins between
+backends, schedules, shard counts, and checkpoint resumes.
+
+This rule flags any ``.reduceat(...)`` call inside the kernel layers
+(``core/`` and ``backends/``).  If a future kernel genuinely wants
+pairwise sums (e.g. for a *documented* non-bit-identical fast path), it
+must carry an inline ``# repro-lint: ignore[numeric-hazard]`` so the
+exception is visible at the call site.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..checker import Checker, Project, register
+from ..findings import Finding
+
+
+@register
+class NumericHazardChecker(Checker):
+    rule = "numeric-hazard"
+    description = ("reduceat/pairwise-sum accumulation in core/ or "
+                   "backends/ kernels where sequential add.at is the "
+                   "bit-identity contract")
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        for source in project.files:
+            if not source.in_library():
+                continue
+            if not source.in_package_dir("core", "backends"):
+                continue
+            for node in ast.walk(source.tree):
+                if (isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Attribute)
+                        and node.func.attr == "reduceat"):
+                    yield self.finding(
+                        source, node,
+                        "reduceat accumulates with pairwise partial sums, "
+                        "which drift by ulps from the sequential add.at "
+                        "order the kernel bit-identity contract pins; use "
+                        "np.add.at / np.bincount / a sequential loop",
+                    )

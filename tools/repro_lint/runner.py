@@ -1,0 +1,118 @@
+"""Tree walker + lint driver behind ``python -m tools.repro_lint``.
+
+Split out of ``__main__`` so the test suite (and ``tools/check.sh``) can
+drive lint runs programmatically: :func:`collect_project` parses a path
+list into a :class:`~tools.repro_lint.checker.Project`,
+:func:`run_checkers` applies the registered rules and the inline
+suppressions, and :func:`lint_paths` composes the two into the one-call
+API the CLI uses.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from .checker import Checker, Project, REGISTRY, SourceFile
+from .findings import Finding
+
+__all__ = ["collect_project", "lint_paths", "run_checkers"]
+
+#: Directories never descended into (caches, VCS metadata, virtualenvs).
+_SKIP_DIRS = frozenset({
+    "__pycache__", ".git", ".mypy_cache", ".pytest_cache", ".venv", "venv",
+    ".eggs", "build", "dist",
+})
+
+
+def _iter_python_files(path: Path) -> Iterable[Path]:
+    if path.is_file():
+        if path.suffix == ".py":
+            yield path
+        return
+    for dirpath, dirnames, filenames in os.walk(path):
+        dirnames[:] = sorted(d for d in dirnames if d not in _SKIP_DIRS)
+        for filename in sorted(filenames):
+            if filename.endswith(".py"):
+                yield Path(dirpath) / filename
+
+
+def _relative(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def collect_project(
+    paths: Sequence[Path], root: Optional[Path] = None,
+) -> Tuple[Project, List[Finding]]:
+    """Parse every ``.py`` file under ``paths``.
+
+    Returns the parsed :class:`Project` plus the parse failures as
+    ``syntax-error`` findings (a file the linter cannot read is itself a
+    finding, not a crash — the run must stay nonzero).
+    """
+    root = root if root is not None else Path.cwd()
+    sources: List[SourceFile] = []
+    errors: List[Finding] = []
+    seen = set()
+    for path in paths:
+        for file_path in _iter_python_files(path):
+            rel = _relative(file_path, root)
+            if rel in seen:
+                continue
+            seen.add(rel)
+            try:
+                sources.append(SourceFile.parse(file_path, rel))
+            except SyntaxError as exc:
+                errors.append(Finding(
+                    path=rel, line=exc.lineno or 1, rule="syntax-error",
+                    message=f"file does not parse: {exc.msg}",
+                ))
+            except (OSError, UnicodeDecodeError) as exc:
+                errors.append(Finding(
+                    path=rel, line=1, rule="syntax-error",
+                    message=f"file is unreadable: {exc}",
+                ))
+    return Project(files=sources), errors
+
+
+def run_checkers(
+    project: Project, checkers: Optional[Iterable[Checker]] = None,
+) -> List[Finding]:
+    """Apply checkers to the project, honoring inline suppressions."""
+    active = list(checkers) if checkers is not None else list(REGISTRY.values())
+    by_rel = {source.rel: source for source in project.files}
+    findings: List[Finding] = []
+    for checker in active:
+        for finding in checker.check(project):
+            source = by_rel.get(finding.path)
+            if source is not None and source.is_suppressed(finding):
+                continue
+            findings.append(finding)
+    return sorted(findings)
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    root: Optional[Path] = None,
+    rules: Optional[Sequence[str]] = None,
+) -> List[Finding]:
+    """Lint ``paths`` with the selected rules (default: all registered)."""
+    # Import for side effect: registers every built-in rule exactly once.
+    from . import rules as _rules  # noqa: F401
+
+    if rules is not None:
+        unknown = sorted(set(rules) - set(REGISTRY))
+        if unknown:
+            raise ValueError(
+                f"unknown rule ids: {', '.join(unknown)} "
+                f"(registered: {', '.join(sorted(REGISTRY))})"
+            )
+        checkers: Optional[List[Checker]] = [REGISTRY[r] for r in rules]
+    else:
+        checkers = None
+    project, errors = collect_project(paths, root=root)
+    return sorted(errors + run_checkers(project, checkers))
