@@ -1,0 +1,49 @@
+"""Shared BENCH_*.json emitter: the machine-readable half of every bench.
+
+Each benchmark module writes its headline numbers to ``BENCH_<name>.json``
+next to where it runs (path overridable via the ``BENCH_<NAME>_JSON``
+environment variable), so CI and downstream tooling can diff performance
+without scraping stdout.  Sections merge — each test owns one section and
+re-running a single test updates only its rows — and ``meta`` keys
+accumulate across tests, so the file stays coherent however the suite is
+sliced.  ``tools/bench_compare.py`` consumes these files and gates on
+per-metric tolerance bands.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Optional
+
+
+def bench_output_path(name: str) -> str:
+    """Where ``BENCH_<name>.json`` goes: ``BENCH_<NAME>_JSON`` env or cwd."""
+    return os.environ.get(f"BENCH_{name.upper()}_JSON", f"BENCH_{name}.json")
+
+
+def emit(
+    name: str,
+    section: str,
+    rows: Any,
+    meta: Optional[Dict[str, Any]] = None,
+) -> str:
+    """Merge one section (and optional meta keys) into ``BENCH_<name>.json``.
+
+    Returns the path written.  ``rows`` is any JSON-serializable value —
+    typically a list of flat dicts whose numeric keys follow the
+    ``tools/bench_compare.py`` naming convention (``*_ms``/``*_s`` lower
+    is better, ``qps``/``*_per_s``/rates higher is better).
+    """
+    path = bench_output_path(name)
+    payload: Dict[str, Any] = {}
+    if os.path.exists(path):
+        with open(path) as handle:
+            payload = json.load(handle)
+    if meta:
+        payload.setdefault("meta", {}).update(meta)
+    payload[section] = rows
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

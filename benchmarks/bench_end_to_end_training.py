@@ -10,12 +10,17 @@ bit-identical at these shapes.
 
 Set ``BENCH_SMOKE=1`` to shrink every shape to a seconds-long smoke run
 (used by the CI benchmarks job to catch bit-rot without paying full size).
+
+Headline throughput and per-phase totals per mode are emitted to
+``BENCH_training.json`` (path overridable via ``BENCH_TRAINING_JSON``)
+for the ``tools/bench_compare.py`` regression gate.
 """
 
 import os
 
 import numpy as np
 import pytest
+from _emit import emit as emit_bench
 
 from repro.data.generator import SyntheticCTRStream
 from repro.model import DLRM, SGD, get_model
@@ -69,6 +74,30 @@ def test_engine_run_wallclock(benchmark):
     report = benchmark(run)
     assert report.steps == 1
     assert report.backend == trainer.backend.name
+
+
+def test_emit_training_timings():
+    """Both backward modes' throughput + phase split into BENCH_training.json."""
+    rows = []
+    for mode in ("baseline", "casted"):
+        trainer = make_trainer()
+        report = trainer.train(BATCH, STEPS, np.random.default_rng(1),
+                               mode=mode)
+        row = {
+            "mode": mode,
+            "steps": report.steps,
+            "steps_per_second": report.steps_per_second,
+            "wall_s": report.wall_seconds,
+        }
+        for phase, seconds in sorted(report.timings.totals.items()):
+            row[f"phase_{phase}_s"] = seconds
+        rows.append(row)
+    emit_bench(
+        "training", "modes", rows,
+        meta=dict(smoke=_SMOKE, batch=BATCH, steps=STEPS,
+                  config=CONFIG.name),
+    )
+    assert all(row["steps_per_second"] > 0 for row in rows)
 
 
 def test_checkpoint_resume_roundtrip_bit_identical(tmp_path):

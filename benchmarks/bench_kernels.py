@@ -12,6 +12,10 @@ sweeps every available backend side by side (the registry's order), which is
 how the reference-oracle, vectorized-NumPy, numba-JIT, and autotuned engines
 are compared on identical workloads.
 
+Headline per-primitive timings are also emitted to ``BENCH_kernels.json``
+(path overridable via ``BENCH_KERNELS_JSON``) for the
+``tools/bench_compare.py`` regression gate.
+
 Set ``BENCH_SMOKE=1`` to shrink the workload to a CI-friendly smoke size.
 """
 
@@ -20,6 +24,7 @@ import time
 
 import numpy as np
 import pytest
+from _emit import emit as emit_bench
 
 from repro.backends import available_backends, get_backend
 from repro.core.casting import hash_casting, tensor_casting
@@ -121,6 +126,40 @@ def _best_of(func, repeats=5):
         func()
         best = min(best, time.perf_counter() - start)
     return best
+
+
+def test_emit_kernel_timings(workload):
+    """Best-of-k per-primitive wall-clock into BENCH_kernels.json."""
+    index, table, gradients = workload
+    cast = tensor_casting(index)
+    repeats = 3 if _SMOKE else 5
+    timings = {
+        "gather_reduce": _best_of(
+            lambda: gather_reduce(table, index, backend="vectorized"), repeats
+        ),
+        "expand_coalesce": _best_of(
+            lambda: expand_coalesce(index, gradients, backend="vectorized"),
+            repeats,
+        ),
+        "casted_gather_reduce": _best_of(
+            lambda: casted_gather_reduce(gradients, cast,
+                                         backend="vectorized"),
+            repeats,
+        ),
+        "tensor_casting": _best_of(
+            lambda: tensor_casting(index, backend="vectorized"), repeats
+        ),
+    }
+    rows = [
+        {"kernel": kernel, "best_ms": seconds * 1e3}
+        for kernel, seconds in sorted(timings.items())
+    ]
+    emit_bench(
+        "kernels", "primitives", rows,
+        meta=dict(smoke=_SMOKE, batch=BATCH, lookups=LOOKUPS, rows=ROWS,
+                  dim=DIM, backend="vectorized", repeats=repeats),
+    )
+    assert all(row["best_ms"] > 0 for row in rows)
 
 
 @pytest.mark.skipif(

@@ -16,10 +16,10 @@ Set ``BENCH_SMOKE=1`` to shrink every shape to a seconds-long smoke run
 with the same structure and assertions.
 """
 
-import json
 import os
 
 import numpy as np
+from _emit import emit as emit_bench
 from conftest import run_once
 
 from repro.data.arrivals import ArrivalProcess
@@ -36,9 +36,6 @@ from repro.serving import (
 )
 
 SMOKE = bool(os.environ.get("BENCH_SMOKE"))
-
-#: Machine-readable frontier; sections merge so the tests stay independent.
-OUTPUT_PATH = os.environ.get("BENCH_SERVING_JSON", "BENCH_serving.json")
 
 NUM_REQUESTS = 48 if SMOKE else 400
 SAMPLES_PER_REQUEST = 4
@@ -93,18 +90,11 @@ def as_row(rate, policy, report):
 
 def emit(section, rows):
     """Merge one section into BENCH_serving.json (tests stay independent)."""
-    payload = {}
-    if os.path.exists(OUTPUT_PATH):
-        with open(OUTPUT_PATH) as handle:
-            payload = json.load(handle)
-    payload.setdefault("meta", {}).update(
-        smoke=SMOKE, sla_ms=SLA_S * 1e3, seed=SEED,
-        samples_per_request=SAMPLES_PER_REQUEST,
+    emit_bench(
+        "serving", section, rows,
+        meta=dict(smoke=SMOKE, sla_ms=SLA_S * 1e3, seed=SEED,
+                  samples_per_request=SAMPLES_PER_REQUEST),
     )
-    payload[section] = rows
-    with open(OUTPUT_PATH, "w") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.write("\n")
 
 
 def print_frontier(title, rows):

@@ -33,7 +33,7 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 import numpy as np
 from numpy.typing import DTypeLike
@@ -42,6 +42,9 @@ from ..core.casting import CastedIndex
 from ..core.indexing import IndexArray
 from .base import KernelBackend
 from .registry import available_backends, get_backend, register_backend
+
+if TYPE_CHECKING:
+    from ..obs.metrics import MetricRegistry
 
 __all__ = ["AutoBackend", "Autotuner", "ShapeClass", "KERNEL_NAMES"]
 
@@ -195,6 +198,35 @@ class Autotuner:
         """
         with self._lock:
             return {shape: dict(times) for shape, times in self._timings.items()}
+
+    def publish_metrics(self, metrics: "MetricRegistry") -> None:
+        """Record every tuning decision (and probe timing) as metric series.
+
+        One ``autotune.decision{...}`` counter per shape class labeled with
+        the winning engine, plus ``autotune.probe_seconds{...,backend=...}``
+        gauges for each measured candidate — single-candidate
+        short-circuits publish a decision but no probe timings, mirroring
+        :meth:`timings`.
+        """
+        timings = self.timings()
+        for shape, winner in sorted(
+            self.decisions().items(), key=lambda item: str(item[0])
+        ):
+            labels = {
+                "kernel": shape.kernel,
+                "batch_bucket": shape.batch_bucket,
+                "pooling_bucket": shape.pooling_bucket,
+                "dim_bucket": shape.dim_bucket,
+                "dtype": shape.dtype,
+            }
+            metrics.counter("autotune.decision", winner=winner,
+                            **labels).inc()
+            for backend_name, seconds in sorted(
+                timings.get(shape, {}).items()
+            ):
+                metrics.gauge(
+                    "autotune.probe_seconds", backend=backend_name, **labels
+                ).set(seconds)
 
     def _decide(self, shape: ShapeClass) -> KernelBackend:
         candidates = self.candidates()

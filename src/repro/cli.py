@@ -65,6 +65,7 @@ from .experiments import (
 )
 from .model.configs import ALL_MODELS, get_model
 from .model.optim import optimizer_names
+from .obs.session import Observability
 from .runtime.systems import SystemHardware
 
 __all__ = ["main", "EXPERIMENTS", "BUILTIN_COMMANDS"]
@@ -169,7 +170,11 @@ def _run_scaling(args: argparse.Namespace, hardware: SystemHardware) -> str:
     )
 
 
-def _run_overlap(args: argparse.Namespace, hardware: SystemHardware) -> str:
+def _run_overlap(
+    args: argparse.Namespace,
+    hardware: SystemHardware,
+    obs: "Observability | None" = None,
+) -> str:
     batches = args.batches or OVERLAP_BATCHES
     shard_counts = (
         tuple(args.shards) if args.shards is not None else OVERLAP_SHARDS
@@ -182,11 +187,16 @@ def _run_overlap(args: argparse.Namespace, hardware: SystemHardware) -> str:
                       backend=args.backend, trace=args.trace,
                       optimizer=args.optimizer or "sgd",
                       lr=args.lr if args.lr is not None else 0.1,
-                      checkpoint_dir=args.checkpoint_dir, resume=args.resume)
+                      checkpoint_dir=args.checkpoint_dir, resume=args.resume,
+                      obs=obs)
     )
 
 
-def _run_cache(args: argparse.Namespace, hardware: SystemHardware) -> str:
+def _run_cache(
+    args: argparse.Namespace,
+    hardware: SystemHardware,
+    obs: "Observability | None" = None,
+) -> str:
     batch = (args.batches or (1024,))[0]
     steps = args.steps if args.steps is not None else 24
     return format_hotcache(
@@ -194,11 +204,16 @@ def _run_cache(args: argparse.Namespace, hardware: SystemHardware) -> str:
                        trace=args.trace, backend=args.backend,
                        optimizer=args.optimizer or "sgd",
                        lr=args.lr if args.lr is not None else 0.1,
-                       checkpoint_dir=args.checkpoint_dir, resume=args.resume)
+                       checkpoint_dir=args.checkpoint_dir, resume=args.resume,
+                       obs=obs)
     )
 
 
-def _run_serve(args: argparse.Namespace, hardware: SystemHardware) -> str:
+def _run_serve(
+    args: argparse.Namespace,
+    hardware: SystemHardware,
+    obs: "Observability | None" = None,
+) -> str:
     return format_serving(
         serving_sweep(
             dataset=args.dataset,
@@ -221,6 +236,7 @@ def _run_serve(args: argparse.Namespace, hardware: SystemHardware) -> str:
             resume=args.resume,
             hot_cache_rows=args.hot_cache_rows,
             cache_policy=args.cache_policy or "lru",
+            obs=obs,
         )
     )
 
@@ -408,6 +424,19 @@ def build_parser() -> argparse.ArgumentParser:
              "default: lru)",
     )
     parser.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write a Perfetto-loadable Chrome trace of the run to PATH, "
+             "plus the step stream (<stem>.steps.jsonl) and run manifest "
+             "(<stem>.manifest.json) next to it (trainer-backed "
+             f"experiments: {', '.join(TRAINER_EXPERIMENTS)})",
+    )
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write the run's metric series (counters/gauges/histograms) "
+             "as JSON to PATH (trainer-backed experiments: "
+             f"{', '.join(TRAINER_EXPERIMENTS)})",
+    )
+    parser.add_argument(
         "--resume", default=None, metavar="CKPT",
         help="warm-start every measured trainer from a checkpoint written "
              "by --checkpoint-dir (or repro.runtime.checkpoint); the "
@@ -450,7 +479,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     # candidates listed before any experiment runs.
     for flag, value in (("--optimizer", args.optimizer), ("--lr", args.lr),
                         ("--checkpoint-dir", args.checkpoint_dir),
-                        ("--resume", args.resume)):
+                        ("--resume", args.resume),
+                        ("--trace-out", args.trace_out),
+                        ("--metrics-out", args.metrics_out)):
         if value is not None and args.experiment not in TRAINER_EXPERIMENTS:
             print(
                 f"error: {flag} does not apply to {args.experiment!r}; "
@@ -509,9 +540,20 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.experiment in BUILTIN_COMMANDS:
         runner, _ = BUILTIN_COMMANDS[args.experiment]
         return runner(args)
+    # Observability is opt-in: either output flag attaches a tracer +
+    # metric registry to the experiment's measured runs, exported after
+    # the run succeeds (a failed run writes nothing).
+    obs = (
+        Observability()
+        if args.trace_out is not None or args.metrics_out is not None
+        else None
+    )
     runner, description = EXPERIMENTS[args.experiment]
     try:
-        output = runner(args, SystemHardware())
+        if args.experiment in TRAINER_EXPERIMENTS:
+            output = runner(args, SystemHardware(), obs=obs)
+        else:
+            output = runner(args, SystemHardware())
     except ValueError as error:
         # Bad numeric arguments (--batches 0, --steps 0, --shards -2, ...)
         # surface as the experiment's own ValueError; report it argparse-style
@@ -520,4 +562,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 2
     print(f"# {description}")
     print(output)
+    if obs is not None:
+        obs.annotate(experiment=args.experiment)
+        if args.trace_out is not None:
+            written = obs.export(args.trace_out, metrics_path=args.metrics_out)
+        else:
+            metrics_path = Path(args.metrics_out)
+            obs.metrics.write_json(metrics_path)
+            written = [metrics_path]
+        for path in written:
+            print(f"wrote {path}", file=sys.stderr)
     return 0

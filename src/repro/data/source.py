@@ -37,12 +37,15 @@ import threading
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import IO, Iterator, List, Optional, Protocol, Sequence
+from typing import IO, Iterator, List, Optional, Protocol, Sequence, TYPE_CHECKING
 
 import numpy as np
 
 from ..core.indexing import IndexArray
 from .arrivals import ArrivalProcess
+
+if TYPE_CHECKING:
+    from ..obs.metrics import Counter, Gauge, MetricRegistry
 
 __all__ = [
     "CTRBatch",
@@ -389,6 +392,21 @@ class PrefetchingSource(_WrappedSource):
         self._exhausted = False
         self._error: Optional[BaseException] = None
         self._closed = False
+        self._depth_gauge: Optional["Gauge"] = None
+        self._draw_counter: Optional["Counter"] = None
+
+    def observe(self, metrics: "MetricRegistry",
+                **labels: object) -> None:
+        """Publish queue depth and draw counts into ``metrics``.
+
+        Attaches a ``prefetch.queue_depth`` gauge — sampled at every
+        consumer draw, *before* the dequeue, so the reading is how many
+        batches the worker had banked when the trainer came asking (depth 0
+        = the consumer is about to block; steady ``depth`` = full overlap)
+        — and a ``prefetch.draws`` counter.
+        """
+        self._depth_gauge = metrics.gauge("prefetch.queue_depth", **labels)
+        self._draw_counter = metrics.counter("prefetch.draws", **labels)
 
     # ------------------------------------------------------------------
     # Worker side
@@ -440,6 +458,10 @@ class PrefetchingSource(_WrappedSource):
                 f"prefetch worker is pinned to batch={self._batch}, "
                 f"got {batch}"
             )
+        if self._depth_gauge is not None:
+            self._depth_gauge.set(float(self._queue.qsize()))
+        if self._draw_counter is not None:
+            self._draw_counter.inc()
         tag, payload = self._queue.get()
         if tag == _ITEM_END:
             self._exhausted = True

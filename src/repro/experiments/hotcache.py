@@ -32,7 +32,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, TYPE_CHECKING
 
 import numpy as np
 
@@ -48,6 +48,9 @@ from ..runtime.trainer import FunctionalTrainer
 from ..sim.cache import CachedCPUModel, HotRowCacheSpec
 from .overlap import scaled_distribution
 from .report import format_table
+
+if TYPE_CHECKING:
+    from ..obs.session import Observability
 
 __all__ = [
     "HIT_RATE_TOLERANCE",
@@ -170,6 +173,7 @@ def hotcache_sweep(
     lr: float = 0.1,
     checkpoint_dir: "str | Path | None" = None,
     resume: "str | Path | None" = None,
+    obs: "Observability | None" = None,
 ) -> List[HotCacheRow]:
     """Measure executed LRU/LFU hit rates against the analytic prediction.
 
@@ -184,7 +188,10 @@ def hotcache_sweep(
     each policy's trainer from a checkpoint (parameters + optimizer state
     restored, the stream fast-forwarded past the checkpointed steps);
     ``checkpoint_dir`` saves each policy's final trained state as
-    ``cache-{policy}.npz``.
+    ``cache-{policy}.npz``.  ``obs`` attaches a
+    :class:`~repro.obs.session.Observability` to every measured training
+    run (spans, kernel counts, per-table cache series — policies run
+    sequentially, so their spans land back-to-back on the shared tracks).
     """
     if steps <= 0:
         raise ValueError(f"steps must be positive, got {steps}")
@@ -222,6 +229,11 @@ def hotcache_sweep(
         def make_source() -> SyntheticCTRStream:
             return _synthetic_source(config, distribution, seed)
 
+    if obs is not None:
+        obs.annotate(
+            experiment="cache", source=source_label, seed=seed,
+            capacity_rows=capacity_rows, policies=list(policies),
+        )
     rows: List[HotCacheRow] = []
     for policy in policies:
         model = DLRM(config, rng=np.random.default_rng(seed), dtype=np.float32)
@@ -238,7 +250,7 @@ def hotcache_sweep(
         )
         report = trainer.train(
             batch, steps, np.random.default_rng(seed + 1),
-            start_step=start_step,
+            start_step=start_step, obs=obs,
         )
         if checkpoint_dir is not None:
             save_checkpoint(

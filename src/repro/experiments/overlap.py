@@ -38,7 +38,7 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, List, Optional, Sequence, Tuple, Type
+from typing import Callable, List, Optional, Sequence, Tuple, Type, TYPE_CHECKING
 
 import numpy as np
 
@@ -70,6 +70,9 @@ from ..runtime.systems import (
 )
 from ..runtime.trainer import FunctionalTrainer, TrainingReport
 from .report import format_table
+
+if TYPE_CHECKING:
+    from ..obs.session import Observability
 
 __all__ = [
     "OVERLAP_BATCHES",
@@ -257,6 +260,7 @@ def _best_of(
     optimizer: str = "sgd",
     lr: float = 0.1,
     resume: "Optional[Checkpoint]" = None,
+    obs: "Observability | None" = None,
 ) -> Tuple[DLRM, FunctionalTrainer, TrainingReport]:
     """Train ``repeats`` fresh identically-seeded runs; keep the fastest.
 
@@ -284,7 +288,7 @@ def _best_of(
         start_step = restore_trainer(trainer, resume) if resume is not None else 0
         report = trainer.train(
             batch, steps, np.random.default_rng(seed + 1),
-            start_step=start_step,
+            start_step=start_step, obs=obs,
         )
         trainer.stream.close()
         if best_report is None or report.wall_seconds < best_report.wall_seconds:
@@ -304,6 +308,7 @@ def _overlap_trace_cell(
     lr: float = 0.1,
     checkpoint_dir: "str | Path | None" = None,
     resume: "str | Path | None" = None,
+    obs: "Observability | None" = None,
 ) -> List[OverlapRow]:
     """The trace-replay variant of the sweep: one unsharded measured cell.
 
@@ -332,6 +337,11 @@ def _overlap_trace_cell(
             f"only {available_steps} steps — nothing left to replay"
         )
     steps = min(steps, available_steps - resume_step)
+    if obs is not None:
+        obs.annotate(
+            experiment="overlap", trace=str(trace), seed=seed,
+            batches=[batch], shard_counts=[0], repeats=repeats,
+        )
 
     def source_factory() -> TraceReplaySource:
         return TraceReplaySource(trace)
@@ -345,11 +355,11 @@ def _overlap_trace_cell(
         warmup_trainer.stream.close()
     serial_model, _, serial = _best_of(
         FunctionalTrainer, config, 0, seed, batch, steps, repeats,
-        None, backend, source_factory, optimizer, lr, checkpoint,
+        None, backend, source_factory, optimizer, lr, checkpoint, obs,
     )
     pipelined_model, pipelined_trainer, pipelined = _best_of(
         PipelinedTrainer, config, 0, seed, batch, steps, repeats,
-        None, backend, source_factory, optimizer, lr, checkpoint,
+        None, backend, source_factory, optimizer, lr, checkpoint, obs,
     )
     if checkpoint_dir is not None:
         save_checkpoint(
@@ -399,6 +409,7 @@ def overlap_sweep(
     lr: float = 0.1,
     checkpoint_dir: "str | Path | None" = None,
     resume: "str | Path | None" = None,
+    obs: "Observability | None" = None,
 ) -> List[OverlapRow]:
     """Sweep batch × shard count, measuring serial vs. pipelined training.
 
@@ -435,6 +446,11 @@ def overlap_sweep(
     taken with.  ``checkpoint_dir`` saves each cell's final trained state
     as ``overlap-b{batch}-s{shards}.npz`` (``overlap-trace.npz`` in trace
     mode).
+
+    ``obs`` traces every *measured* run (warm-up steps stay untraced):
+    each cell's serial repeats, then its pipelined repeats, land
+    back-to-back on the shared ``main``/``cast``/``shard*`` tracks —
+    the trace shows the cast-ahead overlap the table's ratios summarize.
     """
     if steps <= 0:
         raise ValueError(f"steps must be positive, got {steps}")
@@ -443,7 +459,7 @@ def overlap_sweep(
     if trace is not None:
         return _overlap_trace_cell(
             trace, steps, hardware or SystemHardware(), seed, repeats, backend,
-            optimizer, lr, checkpoint_dir, resume,
+            optimizer, lr, checkpoint_dir, resume, obs,
         )
     bad_batches = [batch for batch in batches if batch <= 0]
     if bad_batches:
@@ -469,18 +485,24 @@ def overlap_sweep(
             warmup_trainer.train(8, 1, np.random.default_rng(seed))
     checkpoint = load_checkpoint(resume) if resume is not None else None
     resume_step = checkpoint.step if checkpoint is not None else 0
+    if obs is not None:
+        obs.annotate(
+            experiment="overlap", dataset=dataset, seed=seed,
+            batches=list(batches), shard_counts=list(shard_counts),
+            repeats=repeats,
+        )
     rows: List[OverlapRow] = []
     for batch in batches:
         for num_shards in shard_counts:
             serial_model, _, serial = _best_of(
                 FunctionalTrainer, config, num_shards, seed, batch, steps,
                 repeats, distribution, backend, None, optimizer, lr,
-                checkpoint,
+                checkpoint, obs,
             )
             pipelined_model, pipelined_trainer, pipelined = _best_of(
                 PipelinedTrainer, config, num_shards, seed, batch, steps,
                 repeats, distribution, backend, None, optimizer, lr,
-                checkpoint,
+                checkpoint, obs,
             )
             if checkpoint_dir is not None:
                 save_checkpoint(

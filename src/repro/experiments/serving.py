@@ -34,7 +34,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, TYPE_CHECKING
 
 import numpy as np
 
@@ -57,6 +57,9 @@ from ..sim.cache import HotRowCacheSpec
 from .hotcache import HOTCACHE_CONFIG, _trace_config
 from .overlap import scaled_distribution
 from .report import format_table
+
+if TYPE_CHECKING:
+    from ..obs.session import Observability
 
 __all__ = [
     "SERVING_CONFIG",
@@ -148,6 +151,7 @@ def serving_sweep(
     resume: "str | Path | None" = None,
     hot_cache_rows: Optional[int] = None,
     cache_policy: str = "lru",
+    obs: "Observability | None" = None,
 ) -> List[ServingRow]:
     """Sweep arrival rate × batching policy under one tail SLA.
 
@@ -163,6 +167,12 @@ def serving_sweep(
     never stepped — state as ``serve-{rate}-{policy}.npz`` for round-trip
     testing.  ``hot_cache_rows`` attaches an executed hot-row cache
     (``cache_policy``: lru/lfu) that stays warm across the cell's batches.
+
+    ``obs`` traces every cell's simulation: each (rate, policy) cell's
+    spans land under the track prefix ``r<rate>-<policy>/`` (the hill
+    climb nests its candidates as ``r<rate>-hill/hill<size>/``), so one
+    trace file holds the whole frontier.  All timestamps are virtual-clock
+    simulation time, so repeated sweeps produce byte-identical traces.
     """
     if num_requests <= 0:
         raise ValueError(f"num_requests must be positive, got {num_requests}")
@@ -230,6 +240,12 @@ def serving_sweep(
             restore_trainer(executor.trainer, checkpoint)
         return executor
 
+    if obs is not None:
+        obs.annotate(
+            experiment="serve", source=source_label, seed=seed,
+            sla_ms=sla_ms, rates=[float(r) for r in rates],
+            policies=list(policies),
+        )
     rows: List[ServingRow] = []
     for rate in rates:
         if rate <= 0:
@@ -247,15 +263,18 @@ def serving_sweep(
             source.close()
         for policy_name in policies:
             executor = make_executor()
+            cell_prefix = f"r{rate:g}-{policy_name}/"
             if policy_name == "single":
                 report = ServingSimulator(
-                    executor, BatchingPolicy.no_batching(), sla_s
+                    executor, BatchingPolicy.no_batching(), sla_s,
+                    obs=obs, track_prefix=cell_prefix,
                 ).run(requests)
             elif policy_name == "dynamic":
                 report = ServingSimulator(
                     executor,
                     BatchingPolicy(max_batch, max_wait_s, name="dynamic"),
                     sla_s,
+                    obs=obs, track_prefix=cell_prefix,
                 ).run(requests)
             else:  # hill
                 _, report, _ = tune_batch_size(
@@ -264,6 +283,7 @@ def serving_sweep(
                     sla_s,
                     max_wait_s,
                     max_batch_requests=max_batch,
+                    obs=obs, track_prefix=cell_prefix,
                 )
             if checkpoint_dir is not None:
                 save_checkpoint(

@@ -31,9 +31,12 @@ from __future__ import annotations
 
 import heapq
 from collections import OrderedDict
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple, TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:
+    from ..obs.metrics import MetricRegistry
 
 __all__ = ["HotRowCache"]
 
@@ -160,6 +163,20 @@ class HotRowCache:
     def resident_rows(self) -> int:
         """Rows currently held (≤ ``capacity_rows``)."""
         return len(self._lru) if self.policy == "lru" else len(self._counts)
+
+    def publish_metrics(self, metrics: "MetricRegistry",
+                        **labels: object) -> None:
+        """Publish the accumulated counters as ``cache.hits`` / ``cache.misses``.
+
+        Series are labeled with the replacement ``policy`` plus any caller
+        labels (the engine adds ``table=<index>`` so per-table series stay
+        distinct).  Counters are cumulative: publishing after each run adds
+        the counters accumulated since the last :meth:`reset_stats`.
+        """
+        metrics.counter("cache.hits", policy=self.policy,
+                        **labels).inc(self.hits)
+        metrics.counter("cache.misses", policy=self.policy,
+                        **labels).inc(self.accesses - self.hits)
 
     def reset_stats(self) -> None:
         """Zero the hit/access counters, keeping the resident set warm."""

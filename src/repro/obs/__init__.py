@@ -1,0 +1,59 @@
+"""Structured tracing and metrics for training, serving, and kernels.
+
+The observability plane records *where time goes* — the paper's whole
+argument (Fig. 4 motivates Tensor Casting with a stage breakdown; Fig. 12
+wins on one) is a timeline argument, and aggregate
+:class:`~repro.runtime.stages.PhaseTimings` totals cannot show overlap.
+This package adds the record you can actually look at:
+
+* :class:`Tracer` — nested spans on named tracks (step loop, cast-ahead
+  worker, shards, served requests) with timestamps from an injectable
+  :class:`~repro.serving.clock.Clock`;
+* :class:`MetricRegistry` — labeled counters / gauges / histograms
+  (``cache.hits{policy=lfu}``, ``kernel.calls{backend=numba,...}``);
+* exporters — Chrome trace-event JSON (load it in Perfetto or
+  ``chrome://tracing``), a JSONL step-record stream, and a run manifest
+  (config, backend, git SHA, seed);
+* :class:`Observability` — the bundle of all of the above that threads
+  through every ``obs=`` seam (trainer, engine, serving simulator, CLI
+  ``--trace-out`` / ``--metrics-out``).
+
+Observability is disabled by default: with ``obs=None`` the instrumented
+code paths are bit-identical to their uninstrumented behavior.
+"""
+
+from .clock import default_clock, unix_time, utc_timestamp
+from .export import (
+    chrome_trace_payload,
+    git_revision,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+    write_manifest,
+)
+from .metrics import Counter, Gauge, Histogram, MetricRegistry, format_series
+from .session import Observability
+from .tracer import Span, SpanRecord, Tracer, span_totals, validate_span_nesting
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "Observability",
+    "Span",
+    "SpanRecord",
+    "Tracer",
+    "chrome_trace_payload",
+    "default_clock",
+    "format_series",
+    "git_revision",
+    "span_totals",
+    "unix_time",
+    "utc_timestamp",
+    "validate_chrome_trace",
+    "validate_span_nesting",
+    "write_chrome_trace",
+    "write_jsonl",
+    "write_manifest",
+]

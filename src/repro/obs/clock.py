@@ -1,0 +1,47 @@
+"""Sanctioned wall-clock access for the observability plane.
+
+The repro-lint ``determinism`` rule confines direct wall-clock reads to a
+short list of modules whose *job* is the clock; this is the observability
+plane's one such module.  Everything else in :mod:`repro.obs` reads time
+exclusively through an injected :class:`~repro.serving.clock.Clock` — which
+is what makes a :class:`~repro.obs.tracer.Tracer` over a
+:class:`~repro.serving.clock.VirtualClock` byte-deterministic — and the two
+helpers here exist for the places where real wall time is the *point*:
+
+* :func:`default_clock` — the :class:`~repro.serving.clock.RealTimeClock` a
+  tracer falls back to when no clock is injected (measured training runs);
+* :func:`unix_time` / :func:`utc_timestamp` — the run manifest's
+  written-at stamp, which deliberately records when the run happened.
+
+The :mod:`repro.serving.clock` import is deferred into the function body so
+importing :mod:`repro.obs` never executes the serving package's
+``__init__`` (which imports the trainer facade — the engine imports obs,
+and a module-level import here would close that cycle).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from ..serving.clock import Clock
+
+__all__ = ["default_clock", "unix_time", "utc_timestamp"]
+
+
+def default_clock() -> "Clock":
+    """The wall clock a tracer uses when none is injected."""
+    from ..serving.clock import RealTimeClock
+
+    return RealTimeClock()
+
+
+def unix_time() -> float:
+    """Seconds since the epoch — manifest stamps, never control flow."""
+    return time.time()
+
+
+def utc_timestamp() -> str:
+    """ISO-8601 UTC stamp of :func:`unix_time` for run manifests."""
+    return time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime(unix_time()))

@@ -33,11 +33,24 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
+from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass, replace
-from typing import Any, Callable, Optional, Sequence, TextIO, Tuple, TYPE_CHECKING
+from typing import (
+    Any,
+    Callable,
+    ContextManager,
+    Iterator,
+    Optional,
+    Sequence,
+    TextIO,
+    Tuple,
+    TYPE_CHECKING,
+)
 
 import numpy as np
 
+from ..backends.dispatch import observe_kernels
+from ..obs.metrics import Gauge, MetricRegistry
 from .stages import (
     InferenceReport,
     StageTimingCollector,
@@ -48,6 +61,7 @@ from .stages import (
 )
 
 if TYPE_CHECKING:  # runtime import would cycle through the trainer facade
+    from ..obs.session import Observability
     from .trainer import FunctionalTrainer
 
 __all__ = [
@@ -153,20 +167,31 @@ class MetricsLogger(TrainingCallback):
     """Collect (step, loss) history; optionally stream progress lines.
 
     The minimal useful callback — and the protocol's reference
-    implementation.  ``history`` holds every ``(global_step, loss)`` pair;
-    with a ``stream`` (e.g. ``sys.stdout``) a progress line is printed
-    every ``every`` steps plus a final summary.
+    implementation.  The loss curve is stored as a ``train.loss`` gauge in
+    a :class:`~repro.obs.metrics.MetricRegistry` (pass ``registry=`` to
+    share one — e.g. an :class:`~repro.obs.session.Observability`'s — or
+    let the logger own a private one); :attr:`history` stays the public
+    ``(global_step, loss)`` view it always was.  With a ``stream`` (e.g.
+    ``sys.stdout``) a progress line is printed every ``every`` steps plus a
+    final summary.
     """
 
-    def __init__(self, every: int = 1, stream: Optional[TextIO] = None) -> None:
+    def __init__(self, every: int = 1, stream: Optional[TextIO] = None,
+                 registry: Optional[MetricRegistry] = None) -> None:
         if every <= 0:
             raise ValueError(f"every must be positive, got {every}")
         self.every = int(every)
         self.stream = stream
-        self.history: list[tuple[int, float]] = []
+        self.registry = registry if registry is not None else MetricRegistry()
+        self._series: Gauge = self.registry.gauge("train.loss")
+
+    @property
+    def history(self) -> list[tuple[int, float]]:
+        """Every ``(global_step, loss)`` pair seen so far, in step order."""
+        return [(int(at), value) for at, value in self._series.samples]
 
     def on_step_end(self, event: StepEvent) -> None:
-        self.history.append((event.step, event.loss))
+        self._series.set(event.loss, at=event.step)
         if self.stream is not None and event.step % self.every == 0:
             print(f"step {event.step}: loss {event.loss:.6f}", file=self.stream)
 
@@ -208,11 +233,12 @@ class SerialSchedule(Schedule):
             stages.draw.run(ctx)
             if ctx.data is None:
                 break
-            stages.cast.run(ctx)
-            engine.collector.absorb_cast(ctx)
-            for stage in stages.compute:
-                stage.run(ctx)
-            engine.complete_step(ctx)
+            with engine.step_scope():
+                stages.cast.run(ctx)
+                engine.collector.absorb_cast(ctx)
+                for stage in stages.compute:
+                    stage.run(ctx)
+                engine.complete_step(ctx)
 
 
 class InferSchedule(Schedule):
@@ -251,12 +277,13 @@ class InferSchedule(Schedule):
             stages.draw.run(ctx)
             if ctx.data is None:
                 break
-            stages.cast.run(ctx)
-            engine.collector.absorb_cast(ctx)
-            for stage in compute:
-                stage.run(ctx)
-            self.logits.append(ctx.logits)
-            engine.complete_step(ctx)
+            with engine.step_scope():
+                stages.cast.run(ctx)
+                engine.collector.absorb_cast(ctx)
+                for stage in compute:
+                    stage.run(ctx)
+                self.logits.append(ctx.logits)
+                engine.complete_step(ctx)
 
 
 class CastAheadSchedule(Schedule):
@@ -298,15 +325,13 @@ class CastAheadSchedule(Schedule):
                     # Enqueue the next batch's cast before consuming this
                     # one, so the worker overlaps with the compute below.
                     upcoming = self._prefetch(engine, stages, worker)
-                start = time.perf_counter()
-                future.result()
-                engine.collector.timings.add(
-                    "cast_wait", time.perf_counter() - start
-                )
-                engine.collector.absorb_cast(ctx)
-                for stage in stages.compute:
-                    stage.run(ctx)
-                engine.complete_step(ctx)
+                with engine.step_scope():
+                    with engine.collector.timed("cast_wait"):
+                        future.result()
+                    engine.collector.absorb_cast(ctx)
+                    for stage in stages.compute:
+                        stage.run(ctx)
+                    engine.complete_step(ctx)
                 if upcoming is None:
                     # Either the requested step count is reached or the
                     # source exhausted — stop after the batch just trained.
@@ -325,9 +350,8 @@ class CastAheadSchedule(Schedule):
         finishes the batches already in flight and stops.
         """
         ctx = stages.new_context()
-        start = time.perf_counter()
-        stages.draw.run(ctx)
-        engine.collector.timings.add("prefetch", time.perf_counter() - start)
+        with engine.collector.timed("prefetch"):
+            stages.draw.run(ctx)
         if ctx.data is None:
             return None
         return ctx, worker.submit(stages.cast.run, ctx)
@@ -345,10 +369,21 @@ class TrainingEngine:
     callback dispatch, and report assembly (wall clock + executed-cache
     fields included).  Constructed per ``train()`` call by the trainer
     facades; usable directly for custom schedules.
+
+    ``obs`` (an :class:`~repro.obs.session.Observability`, default
+    ``None``) turns on the observability plane for the run: the collector
+    emits one trace span per stage per step (plus a ``step`` envelope
+    span), every dispatched kernel is counted, each completed step lands in
+    the JSONL step stream, and run-level facts (backend, mode, tuning
+    decisions, cache counters) are published when the report is built.
+    With ``obs=None`` none of those paths execute and the run is
+    bit-identical to the uninstrumented engine.
     """
 
-    def __init__(self, trainer: "FunctionalTrainer") -> None:
+    def __init__(self, trainer: "FunctionalTrainer",
+                 obs: "Observability | None" = None) -> None:
         self.trainer = trainer
+        self.obs = obs
         self.collector: StageTimingCollector = StageTimingCollector()
         self.callbacks: Tuple[TrainingCallback, ...] = ()
         self.start_step = 0
@@ -379,7 +414,10 @@ class TrainingEngine:
         num_shards = (
             trainer.sharded.num_shards if trainer.sharded is not None else None
         )
-        self.collector = StageTimingCollector(num_shards)
+        self.collector = StageTimingCollector(
+            num_shards,
+            tracer=self.obs.tracer if self.obs is not None else None,
+        )
         stages = build_step_stages(trainer, self.collector, batch, rng, mode)
         for _ in range(self.start_step):
             ctx = stages.new_context()
@@ -390,7 +428,13 @@ class TrainingEngine:
         # steps_per_second) measure the steps that actually trained, not
         # the replay of already-trained ones.
         wall_start = time.perf_counter()
-        schedule.execute(self, stages, steps)
+        kernel_scope: ContextManager[Any] = (
+            observe_kernels(self.obs.metrics)
+            if self.obs is not None
+            else nullcontext()
+        )
+        with kernel_scope:
+            schedule.execute(self, stages, steps)
         if not self.collector.losses:
             raise ValueError(
                 "the batch source was exhausted before the first step"
@@ -403,6 +447,8 @@ class TrainingEngine:
             wall_seconds=time.perf_counter() - wall_start,
             **trainer._cache_fields(),
         )
+        if self.obs is not None:
+            self._publish_run(report, mode)
         if self.callbacks:
             event = RunEvent(
                 step=self.start_step + report.steps,
@@ -455,6 +501,10 @@ class TrainingEngine:
     def complete_step(self, ctx: StepContext) -> None:
         """Harvest a finished step and fire ``on_step_end`` callbacks."""
         self.collector.finish_step(ctx)
+        if self.obs is not None:
+            self._observe_step(
+                self.start_step + len(self.collector.losses), ctx
+            )
         if self.callbacks:
             event = StepEvent(
                 step=self.start_step + len(self.collector.losses),
@@ -463,3 +513,53 @@ class TrainingEngine:
             )
             for callback in self.callbacks:
                 callback.on_step_end(event)
+
+    @contextmanager
+    def step_scope(self) -> Iterator[None]:
+        """A ``step`` trace span around one step's critical-path work.
+
+        Schedules wrap everything from cast (or cast-wait) through
+        :meth:`complete_step` in this scope; the step number is the global
+        one the step will get when it completes.  A no-op without ``obs``.
+        """
+        if self.obs is None:
+            yield
+            return
+        step = self.start_step + len(self.collector.losses) + 1
+        with self.obs.tracer.span("step", track="main", args={"step": step}):
+            yield
+
+    def _observe_step(self, step: int, ctx: StepContext) -> None:
+        """Record one completed step into the stream and the metric series."""
+        obs = self.obs
+        assert obs is not None
+        record: dict[str, Any] = {
+            "type": "step", "step": step, "loss": ctx.loss,
+        }
+        caches = getattr(self.trainer, "hot_caches", None)
+        if caches:
+            record["cache_hits"] = sum(cache.hits for cache in caches)
+            record["cache_accesses"] = sum(
+                cache.accesses for cache in caches
+            )
+        obs.record_step(**record)
+        obs.metrics.counter("train.steps").inc()
+        obs.metrics.gauge("train.loss").set(float(ctx.loss), at=step)
+
+    def _publish_run(self, report: TrainingReport, mode: str) -> None:
+        """Manifest + run-level metrics once the report exists."""
+        obs = self.obs
+        assert obs is not None
+        obs.annotate(
+            backend=report.backend,
+            mode=mode,
+            steps=report.steps,
+            num_shards=report.num_shards,
+        )
+        tuner = getattr(self.trainer.backend, "tuner", None)
+        if tuner is not None and hasattr(tuner, "publish_metrics"):
+            tuner.publish_metrics(obs.metrics)
+        caches = getattr(self.trainer, "hot_caches", None)
+        if caches:
+            for table, cache in enumerate(caches):
+                cache.publish_metrics(obs.metrics, table=table)

@@ -35,12 +35,15 @@ serial-vs-pipelined throughput ratio is compared against the analytic
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Sequence, TYPE_CHECKING
 
 import numpy as np
 
 from .engine import CastAheadSchedule, CastAheadWorker, Schedule, TrainingCallback
 from .trainer import FunctionalTrainer, TrainingReport
+
+if TYPE_CHECKING:
+    from ..obs.session import Observability
 
 __all__ = ["CastAheadWorker", "PipelinedTrainer"]
 
@@ -77,6 +80,7 @@ class PipelinedTrainer(FunctionalTrainer):
         mode: str = "casted",
         callbacks: Sequence[TrainingCallback] = (),
         start_step: int = 0,
+        obs: "Observability | None" = None,
     ) -> TrainingReport:
         """Run ``steps`` pipelined iterations (see class docstring)."""
         if mode != "casted":
@@ -85,7 +89,8 @@ class PipelinedTrainer(FunctionalTrainer):
                 f"backward has no casting stage to overlap), got {mode!r}"
             )
         return super().train(
-            batch, steps, rng, mode, callbacks=callbacks, start_step=start_step
+            batch, steps, rng, mode, callbacks=callbacks,
+            start_step=start_step, obs=obs,
         )
 
     def _schedule(self) -> Schedule:

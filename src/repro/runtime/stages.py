@@ -33,17 +33,33 @@ Every schedule executes the same stage objects, which is what makes the
 serial and pipelined trainers bit-identical by construction.
 
 :class:`StageTimingCollector` is the generic wall-clock accountant: stages
-record phase seconds into it (or, for the ``cast`` stage, into the
-context's local accounting so a background worker never races the step
-loop), and it assembles the :class:`PhaseTimings` / :class:`TrainingReport`
-that every training path used to hand-build separately.
+record phase seconds through its :meth:`~StageTimingCollector.timed` scope
+(or, for the ``cast`` stage, through the context-local :func:`_cast_timed`
+so a background worker never races the step loop), and it assembles the
+:class:`PhaseTimings` / :class:`TrainingReport` that every training path
+used to hand-build separately.  When the collector carries a
+:class:`~repro.obs.tracer.Tracer`, the *same* clock reads that feed the
+phase totals also become trace spans — one span per stage per step, shards
+on their own tracks, background cast spans buffered on the context and
+absorbed with its timings — which is why the exported trace reconciles
+with the report exactly rather than approximately.
 """
 
 from __future__ import annotations
 
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple, TYPE_CHECKING
+from typing import (
+    Any,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+    TYPE_CHECKING,
+)
 
 import numpy as np
 
@@ -57,6 +73,7 @@ if TYPE_CHECKING:  # runtime imports would cycle through the trainer facade
     from ..model.dlrm import DLRM
     from ..model.optim import Optimizer
     from ..model.sharded import ShardedEmbeddingSet
+    from ..obs.tracer import SpanRecord, Tracer
     from .trainer import FunctionalTrainer
 
 __all__ = [
@@ -249,10 +266,10 @@ class StepContext:
 
     A fresh context is created per step; stages communicate exclusively
     through it, so two in-flight contexts (the pipelined schedule keeps
-    two) never share mutable state.  The ``cast_*`` accountings are
-    context-local for the same reason: the ``cast`` stage may run on a
-    background worker, and its timings are merged into the run-level
-    collector only after the future resolves
+    two) never share mutable state.  The ``cast_*`` accountings (and, in
+    traced runs, ``cast_spans``) are context-local for the same reason: the
+    ``cast`` stage may run on a background worker, and its timings are
+    merged into the run-level collector only after the future resolves
     (:meth:`StageTimingCollector.absorb_cast`).
     """
 
@@ -269,6 +286,51 @@ class StepContext:
     per_shard_coalesced: Optional[List[list]] = None
     cast_timings: PhaseTimings = field(default_factory=PhaseTimings)
     cast_shard_timings: Optional[List[PhaseTimings]] = None
+    tracer: Optional["Tracer"] = None
+    cast_spans: List["SpanRecord"] = field(default_factory=list)
+
+
+def _record_cast(ctx: StepContext, phase: str, shard: Optional[int],
+                 seconds: float) -> None:
+    if shard is not None:
+        assert ctx.cast_shard_timings is not None
+        ctx.cast_shard_timings[shard].add(phase, seconds)
+    ctx.cast_timings.add(phase, seconds)
+
+
+@contextmanager
+def _cast_timed(ctx: StepContext, phase: str,
+                shard: Optional[int] = None) -> Iterator[None]:
+    """Time a cast-stage region into the *context's* accounting.
+
+    The cast stage may run on the cast-ahead worker, so everything it
+    records — the phase seconds and, in traced runs, the span — stays on
+    the context until :meth:`StageTimingCollector.absorb_cast` folds it
+    into the run totals on the step loop's thread.  Spans land on the
+    ``cast`` track (the cast-ahead worker's Perfetto lane) with the same
+    clock reads that feed the timings.
+    """
+    if ctx.tracer is None:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            _record_cast(ctx, phase, shard, time.perf_counter() - start)
+    else:
+        start = ctx.tracer.now()
+        try:
+            yield
+        finally:
+            end = ctx.tracer.now()
+            ctx.tracer.record_span(
+                phase,
+                track="cast",
+                start_s=start,
+                end_s=end,
+                args={"shard": shard} if shard is not None else None,
+                sink=ctx.cast_spans,
+            )
+            _record_cast(ctx, phase, shard, end - start)
 
 
 class Stage:
@@ -320,9 +382,8 @@ class CastStage(Stage):
     def run(self, ctx: StepContext) -> None:
         if ctx.mode != "casted":
             return
-        start = time.perf_counter()
-        ctx.casts = precompute_casts(ctx.data.indices, backend=self.backend)
-        ctx.cast_timings.add("casting", time.perf_counter() - start)
+        with _cast_timed(ctx, "casting"):
+            ctx.casts = precompute_casts(ctx.data.indices, backend=self.backend)
 
 
 class ShardedCastStage(Stage):
@@ -339,17 +400,13 @@ class ShardedCastStage(Stage):
         self.sharded = sharded
 
     def run(self, ctx: StepContext) -> None:
-        start = time.perf_counter()
-        ctx.plan = self.sharded.plan_batch(ctx.data.indices)
-        ctx.cast_timings.add("partition", time.perf_counter() - start)
+        with _cast_timed(ctx, "partition"):
+            ctx.plan = self.sharded.plan_batch(ctx.data.indices)
         assert ctx.cast_shard_timings is not None
         for shard in range(self.sharded.num_shards):
             # per-shard Algorithm 2, off the critical path
-            start = time.perf_counter()
-            self.sharded.cast_shard(ctx.plan, shard)
-            elapsed = time.perf_counter() - start
-            ctx.cast_shard_timings[shard].add("casting", elapsed)
-            ctx.cast_timings.add("casting", elapsed)
+            with _cast_timed(ctx, "casting", shard=shard):
+                self.sharded.cast_shard(ctx.plan, shard)
 
 
 class ForwardStage(Stage):
@@ -363,16 +420,13 @@ class ForwardStage(Stage):
         self.collector = collector
 
     def run(self, ctx: StepContext) -> None:
-        timings = self.collector.timings
         self.model.zero_grad()
-        start = time.perf_counter()
-        logits = self.model.forward(ctx.data.dense, ctx.data.indices)
-        timings.add("forward", time.perf_counter() - start)
-        ctx.logits = logits
-
-        start = time.perf_counter()
-        ctx.loss, ctx.dlogits = bce_with_logits(logits, ctx.data.labels)
-        timings.add("loss", time.perf_counter() - start)
+        with self.collector.timed("forward"):
+            ctx.logits = self.model.forward(ctx.data.dense, ctx.data.indices)
+        with self.collector.timed("loss"):
+            ctx.loss, ctx.dlogits = bce_with_logits(
+                ctx.logits, ctx.data.labels
+            )
 
 
 class GatherStage(Stage):
@@ -389,11 +443,11 @@ class GatherStage(Stage):
     def run(self, ctx: StepContext) -> None:
         self.model.zero_grad()
         for shard in range(self.sharded.num_shards):
-            start = time.perf_counter()
-            self.sharded.forward_shard(ctx.plan, shard)
-            elapsed = time.perf_counter() - start
-            self.collector.shard_timings[shard].add("gather", elapsed)
-            self.collector.timings.add("forward", elapsed)
+            with self.collector.timed(
+                "forward", shard=shard, shard_phase="gather",
+                span="gather", track=f"shard{shard}",
+            ):
+                self.sharded.forward_shard(ctx.plan, shard)
 
 
 class ExchangeStage(Stage):
@@ -412,9 +466,8 @@ class ExchangeStage(Stage):
         self.collector = collector
 
     def run(self, ctx: StepContext) -> None:
-        start = time.perf_counter()
-        ctx.emb_outs = self.sharded.assemble_pooled(ctx.plan)
-        self.collector.timings.add("exchange", time.perf_counter() - start)
+        with self.collector.timed("exchange"):
+            ctx.emb_outs = self.sharded.assemble_pooled(ctx.plan)
 
 
 class ShardedForwardStage(Stage):
@@ -428,15 +481,14 @@ class ShardedForwardStage(Stage):
         self.collector = collector
 
     def run(self, ctx: StepContext) -> None:
-        timings = self.collector.timings
-        start = time.perf_counter()
-        logits = self.model.forward_from_pooled(ctx.data.dense, ctx.emb_outs)
-        timings.add("forward", time.perf_counter() - start)
-        ctx.logits = logits
-
-        start = time.perf_counter()
-        ctx.loss, ctx.dlogits = bce_with_logits(logits, ctx.data.labels)
-        timings.add("loss", time.perf_counter() - start)
+        with self.collector.timed("forward"):
+            ctx.logits = self.model.forward_from_pooled(
+                ctx.data.dense, ctx.emb_outs
+            )
+        with self.collector.timed("loss"):
+            ctx.loss, ctx.dlogits = bce_with_logits(
+                ctx.logits, ctx.data.labels
+            )
 
 
 class BackwardStage(Stage):
@@ -450,11 +502,10 @@ class BackwardStage(Stage):
         self.collector = collector
 
     def run(self, ctx: StepContext) -> None:
-        start = time.perf_counter()
-        ctx.sparse_grads = self.model.backward(
-            ctx.dlogits, mode=ctx.mode, casts=ctx.casts
-        )
-        self.collector.timings.add("backward", time.perf_counter() - start)
+        with self.collector.timed("backward"):
+            ctx.sparse_grads = self.model.backward(
+                ctx.dlogits, mode=ctx.mode, casts=ctx.casts
+            )
 
 
 class ShardedBackwardStage(Stage):
@@ -473,21 +524,18 @@ class ShardedBackwardStage(Stage):
         self.collector = collector
 
     def run(self, ctx: StepContext) -> None:
-        timings = self.collector.timings
-        start = time.perf_counter()
-        ctx.grad_tables = self.model.backward_through_dense(ctx.dlogits)
-        self.sharded.prepare_backward(ctx.plan, ctx.grad_tables)
-        timings.add("backward", time.perf_counter() - start)
+        with self.collector.timed("backward"):
+            ctx.grad_tables = self.model.backward_through_dense(ctx.dlogits)
+            self.sharded.prepare_backward(ctx.plan, ctx.grad_tables)
 
         ctx.per_shard_coalesced = []
         for shard in range(self.sharded.num_shards):
-            start = time.perf_counter()
-            coalesced = self.sharded.backward_shard(
-                ctx.plan, shard, ctx.grad_tables
-            )
-            elapsed = time.perf_counter() - start
-            self.collector.shard_timings[shard].add("backward", elapsed)
-            timings.add("backward", elapsed)
+            with self.collector.timed(
+                "backward", shard=shard, track=f"shard{shard}",
+            ):
+                coalesced = self.sharded.backward_shard(
+                    ctx.plan, shard, ctx.grad_tables
+                )
             ctx.per_shard_coalesced.append(coalesced)
 
 
@@ -503,11 +551,10 @@ class OptimizeStage(Stage):
         self.collector = collector
 
     def run(self, ctx: StepContext) -> None:
-        start = time.perf_counter()
-        self.optimizer.step(self.model.dense_parameters())
-        for bag, grad in zip(self.model.embeddings, ctx.sparse_grads):
-            bag.apply_gradient(grad, self.optimizer)
-        self.collector.timings.add("update", time.perf_counter() - start)
+        with self.collector.timed("update", span="optimize"):
+            self.optimizer.step(self.model.dense_parameters())
+            for bag, grad in zip(self.model.embeddings, ctx.sparse_grads):
+                bag.apply_gradient(grad, self.optimizer)
 
 
 class ShardedOptimizeStage(Stage):
@@ -524,42 +571,96 @@ class ShardedOptimizeStage(Stage):
         self.collector = collector
 
     def run(self, ctx: StepContext) -> None:
-        timings = self.collector.timings
-        start = time.perf_counter()
-        self.optimizer.step(self.model.dense_parameters())
-        timings.add("update", time.perf_counter() - start)
+        with self.collector.timed("update", span="optimize"):
+            self.optimizer.step(self.model.dense_parameters())
         for shard in range(self.sharded.num_shards):
-            start = time.perf_counter()
-            self.sharded.update_shard(
-                shard, ctx.per_shard_coalesced[shard], self.optimizer
-            )
-            elapsed = time.perf_counter() - start
-            self.collector.shard_timings[shard].add("update", elapsed)
-            timings.add("update", elapsed)
+            with self.collector.timed(
+                "update", shard=shard, span="optimize",
+                track=f"shard{shard}",
+            ):
+                self.sharded.update_shard(
+                    shard, ctx.per_shard_coalesced[shard], self.optimizer
+                )
 
 
 class StageTimingCollector:
     """Run-level accountant: phase timings, losses, exchange bytes, report.
 
     One instance per training run.  Compute stages record wall-clock
-    directly into :attr:`timings` / :attr:`shard_timings`; the ``cast``
-    stage records into its context (possibly on a background thread) and
-    the schedule calls :meth:`absorb_cast` once the cast is known complete.
+    through the :meth:`timed` scope into :attr:`timings` /
+    :attr:`shard_timings`; the ``cast`` stage records into its context
+    (possibly on a background thread) and the schedule calls
+    :meth:`absorb_cast` once the cast is known complete.
     :meth:`finish_step` harvests the per-step products (loss, the sharded
     plan's all-to-all byte counters); :meth:`build_report` assembles the
     :class:`TrainingReport` every training path used to hand-build.
+
+    With a ``tracer``, every :meth:`timed` scope additionally records one
+    trace span from the *same* pair of clock reads that feeds the phase
+    total — trace and report cannot drift apart.  Without one (the
+    default), timing uses :func:`time.perf_counter` exactly as before.
     """
 
-    def __init__(self, num_shards: Optional[int] = None) -> None:
+    def __init__(self, num_shards: Optional[int] = None,
+                 tracer: Optional["Tracer"] = None) -> None:
         self.timings = PhaseTimings()
         self.shard_timings: Optional[List[PhaseTimings]] = (
             [PhaseTimings() for _ in range(num_shards)]
             if num_shards is not None
             else None
         )
+        self.tracer = tracer
         self.losses: List[float] = []
         self.forward_exchange_bytes = 0
         self.backward_exchange_bytes = 0
+
+    def _record(self, phase: str, shard: Optional[int],
+                shard_phase: Optional[str], seconds: float) -> None:
+        if shard is not None:
+            assert self.shard_timings is not None
+            self.shard_timings[shard].add(shard_phase or phase, seconds)
+        self.timings.add(phase, seconds)
+
+    @contextmanager
+    def timed(
+        self,
+        phase: str,
+        shard: Optional[int] = None,
+        shard_phase: Optional[str] = None,
+        span: Optional[str] = None,
+        track: str = "main",
+        args: Optional[Mapping[str, Any]] = None,
+    ) -> Iterator[None]:
+        """Time a region into ``phase`` (and ``shard``'s accounting).
+
+        ``shard_phase`` renames the per-shard entry when it differs from
+        the run-level phase (a shard's ``gather`` seconds land in the
+        run-level ``forward`` total, matching the unsharded breakdown).
+        In traced runs the region also becomes a span named ``span``
+        (default: the phase) on ``track``.
+        """
+        if self.tracer is None:
+            start = time.perf_counter()
+            try:
+                yield
+            finally:
+                self._record(
+                    phase, shard, shard_phase, time.perf_counter() - start
+                )
+        else:
+            start = self.tracer.now()
+            try:
+                yield
+            finally:
+                end = self.tracer.now()
+                self.tracer.record_span(
+                    span or phase,
+                    track=track,
+                    start_s=start,
+                    end_s=end,
+                    args=args,
+                )
+                self._record(phase, shard, shard_phase, end - start)
 
     def absorb_cast(self, ctx: StepContext) -> None:
         """Merge a context's cast-stage accounting into the run totals."""
@@ -567,6 +668,9 @@ class StageTimingCollector:
         if ctx.cast_shard_timings is not None and self.shard_timings is not None:
             for mine, theirs in zip(self.shard_timings, ctx.cast_shard_timings):
                 mine.merge(theirs)
+        if self.tracer is not None and ctx.cast_spans:
+            self.tracer.absorb(ctx.cast_spans)
+            ctx.cast_spans = []
 
     def finish_step(self, ctx: StepContext) -> None:
         """Record a completed step's loss and exchange-byte attribution."""
@@ -616,9 +720,10 @@ class StepStages:
     compute: Tuple[Stage, ...]
     mode: str
     num_shards: Optional[int] = None
+    tracer: Optional["Tracer"] = None
 
     def new_context(self) -> StepContext:
-        ctx = StepContext(mode=self.mode)
+        ctx = StepContext(mode=self.mode, tracer=self.tracer)
         if self.num_shards is not None:
             ctx.cast_shard_timings = [
                 PhaseTimings() for _ in range(self.num_shards)
@@ -658,6 +763,7 @@ def build_step_stages(
                 OptimizeStage(trainer.model, trainer.optimizer, collector),
             ),
             mode=mode,
+            tracer=collector.tracer,
         )
     sharded = trainer.sharded
     return StepStages(
@@ -674,4 +780,5 @@ def build_step_stages(
         ),
         mode=mode,
         num_shards=sharded.num_shards,
+        tracer=collector.tracer,
     )

@@ -36,7 +36,7 @@ Used by the examples, the end-to-end tests, and the kernel benchmarks.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple, TYPE_CHECKING
 
 import numpy as np
 
@@ -54,6 +54,9 @@ from .engine import (
     TrainingEngine,
 )
 from .stages import InferenceReport, PhaseTimings, TrainingReport
+
+if TYPE_CHECKING:
+    from ..obs.session import Observability
 
 __all__ = [
     "PhaseTimings",
@@ -178,6 +181,7 @@ class FunctionalTrainer:
         mode: str = "casted",
         callbacks: Sequence[TrainingCallback] = (),
         start_step: int = 0,
+        obs: "Observability | None" = None,
     ) -> TrainingReport:
         """Run ``steps`` iterations, timing forward/backward/update phases.
 
@@ -196,6 +200,10 @@ class FunctionalTrainer:
         steps would have), and callbacks see global step numbers offset
         accordingly — restore parameters and optimizer state first with
         :func:`repro.runtime.checkpoint.restore_trainer`.
+
+        ``obs`` (an :class:`~repro.obs.session.Observability`) records the
+        run — per-stage trace spans, kernel counts, the JSONL step stream —
+        without changing its numerics; ``None`` (default) records nothing.
         """
         self._validate_train_args(batch, steps, mode, start_step)
         # Re-assert kernel routing: another trainer constructed over the
@@ -206,7 +214,7 @@ class FunctionalTrainer:
             bag.backend = self.backend
         self._attach_caches()
         self._reset_cache_stats()
-        return TrainingEngine(self).run(
+        return TrainingEngine(self, obs=obs).run(
             batch,
             steps,
             rng,
@@ -224,6 +232,7 @@ class FunctionalTrainer:
         mode: str = "casted",
         callbacks: Sequence[TrainingCallback] = (),
         start_step: int = 0,
+        obs: "Observability | None" = None,
     ) -> InferenceReport:
         """Score ``steps`` batches forward-only; parameters stay frozen.
 
@@ -246,7 +255,7 @@ class FunctionalTrainer:
             bag.backend = self.backend
         self._attach_caches()
         self._reset_cache_stats()
-        return TrainingEngine(self).infer(
+        return TrainingEngine(self, obs=obs).infer(
             batch, steps, rng, mode,
             callbacks=callbacks, start_step=start_step,
         )

@@ -22,7 +22,7 @@ DeepRecSys figure of merit.  :func:`tune_batch_size` hill-climbs the batch
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 import numpy as np
 
@@ -30,6 +30,9 @@ from .batcher import BatchingPolicy, DynamicBatcher
 from .execution import Executor
 from .clock import Clock, VirtualClock
 from .request import Request, RequestQueue, coalesce_requests
+
+if TYPE_CHECKING:
+    from ..obs.session import Observability
 
 __all__ = [
     "CompletedRequest",
@@ -134,7 +137,20 @@ def _build_report(
 
 
 class ServingSimulator:
-    """Single-server serving loop: one executor, one batcher, one clock."""
+    """Single-server serving loop: one executor, one batcher, one clock.
+
+    With ``obs`` set, every dispatched batch and every request lifecycle is
+    recorded as trace spans with *simulation* timestamps (the spans are
+    explicit-timestamp records, so a :class:`~repro.serving.clock.
+    VirtualClock` run produces a byte-identical trace on every repeat):
+    each batch is a ``batch`` span on the ``server`` track, and each
+    request gets its own ``req<id>`` track holding a ``request`` envelope
+    with ``queue_wait`` and ``execute`` children.  ``track_prefix``
+    namespaces the tracks so several simulator runs (a sweep's cells, the
+    hill climb's candidates) can share one trace.  The same records feed
+    ``serving.*`` metric series and ``type="request"`` step records — the
+    :class:`ServingReport` is derivable from either view.
+    """
 
     def __init__(
         self,
@@ -142,6 +158,8 @@ class ServingSimulator:
         policy: BatchingPolicy,
         sla_s: float,
         clock: Optional[Clock] = None,
+        obs: "Observability | None" = None,
+        track_prefix: str = "",
     ) -> None:
         if sla_s <= 0:
             raise ValueError(f"sla_s must be positive, got {sla_s}")
@@ -149,6 +167,59 @@ class ServingSimulator:
         self.batcher = DynamicBatcher(policy)
         self.sla_s = float(sla_s)
         self.clock = clock if clock is not None else VirtualClock()
+        self.obs = obs
+        self.track_prefix = track_prefix
+
+    def _observe_batch(
+        self,
+        batch_requests: Sequence[Request],
+        dispatch_s: float,
+        completion_s: float,
+    ) -> None:
+        """Record one dispatched batch (and its riders) into ``obs``."""
+        obs = self.obs
+        assert obs is not None
+        prefix = self.track_prefix
+        policy_name = self.batcher.policy.name
+        samples = sum(request.num_samples for request in batch_requests)
+        obs.tracer.record_span(
+            "batch",
+            track=f"{prefix}server",
+            start_s=dispatch_s,
+            end_s=completion_s,
+            args={"requests": len(batch_requests), "samples": samples},
+        )
+        obs.metrics.counter("serving.batches", policy=policy_name).inc()
+        latency_ms = obs.metrics.histogram(
+            "serving.latency_ms", policy=policy_name
+        )
+        for request in batch_requests:
+            track = f"{prefix}req{request.request_id}"
+            obs.tracer.record_span(
+                "request",
+                track=track,
+                start_s=request.arrival_s,
+                end_s=completion_s,
+                args={"samples": request.num_samples},
+            )
+            obs.tracer.record_span(
+                "queue_wait", track=track,
+                start_s=request.arrival_s, end_s=dispatch_s,
+            )
+            obs.tracer.record_span(
+                "execute", track=track,
+                start_s=dispatch_s, end_s=completion_s,
+            )
+            obs.metrics.counter("serving.requests", policy=policy_name).inc()
+            latency_ms.observe((completion_s - request.arrival_s) * 1e3)
+            obs.record_step(
+                type="request",
+                request=request.request_id,
+                arrival_s=request.arrival_s,
+                dispatch_s=dispatch_s,
+                completion_s=completion_s,
+                batch_requests=len(batch_requests),
+            )
 
     def run(self, requests: Sequence[Request]) -> ServingReport:
         """Serve ``requests`` to completion and report the latency roll-up.
@@ -197,6 +268,8 @@ class ServingSimulator:
             clock.charge(result.seconds)
             completion_s = clock.now()
             batches += 1
+            if self.obs is not None:
+                self._observe_batch(batch_requests, dispatch_s, completion_s)
             for request in batch_requests:
                 outcomes.append(
                     CompletedRequest(
@@ -216,6 +289,8 @@ def tune_batch_size(
     max_wait_s: float,
     max_batch_requests: int = 64,
     clock_factory: Callable[[], Clock] = VirtualClock,
+    obs: "Observability | None" = None,
+    track_prefix: str = "",
 ) -> Tuple[BatchingPolicy, ServingReport, List[ServingReport]]:
     """Hill-climb the batch-size knob against the SLA for one arrival profile.
 
@@ -225,6 +300,10 @@ def tune_batch_size(
     tie-break.  Stops at the first downhill step (or at
     ``max_batch_requests``) and returns the winning policy, its report,
     and the full climb trace (one report per candidate evaluated).
+
+    With ``obs``, each candidate's simulation is traced under the track
+    prefix ``<track_prefix>hill<size>/`` and the decision lands in an
+    ``autotune.batch_size`` gauge — the climb becomes inspectable.
     """
     if max_batch_requests < 1:
         raise ValueError(
@@ -240,7 +319,8 @@ def tune_batch_size(
             name=f"hill[{size}]",
         )
         report = ServingSimulator(
-            executor, policy, sla_s, clock=clock_factory()
+            executor, policy, sla_s, clock=clock_factory(),
+            obs=obs, track_prefix=f"{track_prefix}hill{size}/",
         ).run(requests)
         trace.append(report)
         if best is None or _improves(report, best):
@@ -249,6 +329,10 @@ def tune_batch_size(
             break  # first downhill step: the climb is over
         size *= 2
     assert best is not None
+    if obs is not None:
+        obs.metrics.gauge(
+            "autotune.batch_size", scope=track_prefix or "run"
+        ).set(float(best.policy.max_batch_requests))
     return best.policy, best, trace
 
 

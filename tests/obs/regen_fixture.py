@@ -1,0 +1,29 @@
+"""Regenerate ``fixtures/minimal_chrome_trace.json``.
+
+Run ``PYTHONPATH=src python tests/obs/regen_fixture.py`` after an
+*intentional* exporter format change, then review the fixture diff — it is
+the contract ``test_export.py`` holds the exporter to, byte for byte.
+"""
+
+import json
+from pathlib import Path
+
+
+def main() -> None:
+    from test_export import fixture_records  # noqa: F401  (sibling module)
+
+    from repro.obs import chrome_trace_payload
+
+    payload = chrome_trace_payload(fixture_records(),
+                                   metadata={"experiment": "fixture"})
+    out = Path(__file__).parent / "fixtures" / "minimal_chrome_trace.json"
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.path.insert(0, str(Path(__file__).parent))
+    main()

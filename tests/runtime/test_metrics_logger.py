@@ -1,0 +1,87 @@
+"""MetricsLogger: the loss curve as a metric series, plus progress lines."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.data.generator import SyntheticCTRStream
+from repro.model.configs import RM1
+from repro.model.dlrm import DLRM
+from repro.model.optim import SGD
+from repro.obs import MetricRegistry, Observability
+from repro.runtime.engine import MetricsLogger
+from repro.runtime.trainer import FunctionalTrainer
+
+CONFIG = RM1.with_overrides(
+    num_tables=2, gathers_per_table=3, rows_per_table=48,
+    bottom_mlp=(6, 4), top_mlp=(4, 1), embedding_dim=4,
+)
+
+
+def make_trainer(seed=0):
+    stream = SyntheticCTRStream(
+        num_tables=CONFIG.num_tables, num_rows=CONFIG.rows_per_table,
+        lookups_per_sample=CONFIG.gathers_per_table,
+        dense_features=CONFIG.dense_features, seed=seed,
+    )
+    model = DLRM(CONFIG, rng=np.random.default_rng(seed))
+    return FunctionalTrainer(model, stream, SGD(lr=0.2))
+
+
+class TestConstruction:
+    def test_rejects_nonpositive_cadence(self):
+        with pytest.raises(ValueError, match="every must be positive"):
+            MetricsLogger(every=0)
+
+    def test_owns_a_private_registry_by_default(self):
+        assert MetricsLogger().registry is not MetricsLogger().registry
+
+
+class TestHistory:
+    def test_history_is_the_gauge_in_step_order(self):
+        logger = MetricsLogger()
+        report = make_trainer().train(
+            8, 4, np.random.default_rng(1), callbacks=[logger])
+        assert logger.history == list(enumerate(report.losses, start=1))
+        gauge = logger.registry.gauge("train.loss")
+        assert [value for _, value in gauge.samples] == report.losses
+
+    def test_shared_registry_lands_the_series_in_it(self):
+        registry = MetricRegistry()
+        logger = MetricsLogger(registry=registry)
+        make_trainer().train(8, 2, np.random.default_rng(1),
+                             callbacks=[logger])
+        assert len(registry.gauge("train.loss").samples) == 2
+
+    def test_observability_registry_can_be_shared(self):
+        obs = Observability()
+        logger = MetricsLogger(registry=obs.metrics)
+        make_trainer().train(8, 2, np.random.default_rng(1),
+                             callbacks=[logger])
+        assert logger.registry is obs.metrics
+        assert len(obs.metrics.gauge("train.loss").samples) == 2
+
+
+class TestStreaming:
+    def test_cadence_filters_progress_lines(self):
+        stream = io.StringIO()
+        logger = MetricsLogger(every=2, stream=stream)
+        report = make_trainer().train(
+            8, 4, np.random.default_rng(1), callbacks=[logger])
+        lines = stream.getvalue().splitlines()
+        assert lines[:2] == [
+            f"step 2: loss {report.losses[1]:.6f}",
+            f"step 4: loss {report.losses[3]:.6f}",
+        ]
+        assert lines[2] == (
+            f"run ended at step 4: 4 steps, "
+            f"final loss {report.final_loss:.6f}"
+        )
+        assert len(lines) == 3
+
+    def test_silent_without_a_stream(self):
+        logger = MetricsLogger(every=1)
+        make_trainer().train(8, 2, np.random.default_rng(1),
+                             callbacks=[logger])
+        assert len(logger.history) == 2

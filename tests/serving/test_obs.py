@@ -1,0 +1,141 @@
+"""Serving-plane observability on the virtual clock.
+
+Serving spans carry *simulation* timestamps (``record_span`` with explicit
+endpoints), not the tracer's own clock — so a traced virtual-clock run is
+fully deterministic and two identical runs must serialize to the identical
+trace payload, byte for byte.  That determinism is the property Fig. 12-
+style latency analyses lean on, and it is pinned here.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.data.arrivals import ArrivalProcess
+from repro.data.generator import SyntheticCTRStream
+from repro.model.configs import RM1
+from repro.obs import (
+    Observability,
+    chrome_trace_payload,
+    validate_span_nesting,
+)
+from repro.serving import (
+    BatchingPolicy,
+    FixedLatencyExecutor,
+    ServingSimulator,
+    generate_requests,
+    tune_batch_size,
+)
+
+CONFIG = RM1.with_overrides(
+    num_tables=2, gathers_per_table=3, rows_per_table=48,
+    bottom_mlp=(6, 4), top_mlp=(4, 1), embedding_dim=4,
+)
+
+POLICY = BatchingPolicy(max_batch_requests=4, max_wait_s=0.002)
+SLA_S = 0.05
+
+
+def make_requests(count=40, samples=2, rate=400.0, seed=0):
+    stream = SyntheticCTRStream(
+        num_tables=CONFIG.num_tables, num_rows=CONFIG.rows_per_table,
+        lookups_per_sample=CONFIG.gathers_per_table,
+        dense_features=CONFIG.dense_features, seed=seed,
+    )
+    return generate_requests(
+        stream, count, samples,
+        ArrivalProcess(rate, pattern="poisson", seed=seed),
+        np.random.default_rng(seed),
+    )
+
+
+def traced_run(requests, obs, track_prefix=""):
+    simulator = ServingSimulator(
+        FixedLatencyExecutor(0.002, 0.0005), POLICY, SLA_S,
+        obs=obs, track_prefix=track_prefix,
+    )
+    return simulator.run(requests)
+
+
+class TestTracedServingIsDeterministic:
+    def test_obs_does_not_perturb_the_report(self):
+        requests = make_requests()
+        plain = ServingSimulator(
+            FixedLatencyExecutor(0.002, 0.0005), POLICY, SLA_S
+        ).run(requests)
+        traced = traced_run(make_requests(), Observability())
+        for field in ("requests", "batches", "p50_s", "p95_s", "p99_s",
+                      "mean_s", "max_s", "mean_queue_wait_s"):
+            assert getattr(traced, field) == getattr(plain, field)
+        assert ([(o.dispatch_s, o.completion_s) for o in traced.outcomes]
+                == [(o.dispatch_s, o.completion_s) for o in plain.outcomes])
+
+    def test_repeated_runs_serialize_byte_identical_traces(self):
+        payloads = []
+        for _ in range(2):
+            obs = Observability()
+            traced_run(make_requests(), obs)
+            payloads.append(json.dumps(
+                chrome_trace_payload(obs.tracer.records), sort_keys=True))
+        assert payloads[0] == payloads[1]
+
+
+class TestSpanContent:
+    def test_spans_reconcile_with_completed_requests(self):
+        obs = Observability()
+        report = traced_run(make_requests(), obs)
+        assert validate_span_nesting(obs.tracer.records) == []
+        batches = [r for r in obs.tracer.records
+                   if r.name == "batch" and r.track == "server"]
+        assert len(batches) == report.batches
+        for outcome in report.outcomes:
+            track = f"req{outcome.request.request_id}"
+            by_name = {r.name: r
+                       for r in obs.tracer.records if r.track == track}
+            assert set(by_name) == {"request", "queue_wait", "execute"}
+            assert by_name["request"].start_s == outcome.request.arrival_s
+            assert by_name["request"].end_s == outcome.completion_s
+            assert by_name["queue_wait"].end_s == outcome.dispatch_s
+            assert by_name["execute"].start_s == outcome.dispatch_s
+
+    def test_track_prefix_namespaces_every_track(self):
+        obs = Observability()
+        traced_run(make_requests(count=8), obs, track_prefix="r400-dynamic/")
+        tracks = {r.track for r in obs.tracer.records}
+        assert all(track.startswith("r400-dynamic/") for track in tracks)
+        assert "r400-dynamic/server" in tracks
+
+    def test_metrics_and_request_step_records(self):
+        obs = Observability()
+        report = traced_run(make_requests(), obs)
+        name = POLICY.name
+        assert obs.metrics.counter(
+            "serving.requests", policy=name).value == report.requests
+        assert obs.metrics.counter(
+            "serving.batches", policy=name).value == report.batches
+        latency = obs.metrics.histogram("serving.latency_ms", policy=name)
+        summary = latency.summary()
+        assert summary["count"] == report.requests
+        assert summary["mean"] == pytest.approx(report.mean_s * 1e3)
+        assert latency.percentile(100) == pytest.approx(report.max_s * 1e3)
+        assert len(obs.steps) == report.requests
+        record = obs.steps[0]
+        assert record["type"] == "request"
+        assert record["completion_s"] >= record["dispatch_s"]
+        assert record["dispatch_s"] >= record["arrival_s"]
+
+
+class TestTunedClimbIsTraced:
+    def test_candidate_tracks_and_decision_gauge(self):
+        executor = FixedLatencyExecutor(0.002, 0.0005)
+        obs = Observability()
+        best_policy, _, climb = tune_batch_size(
+            make_requests(), executor, SLA_S, max_wait_s=0.002,
+            max_batch_requests=8, obs=obs,
+        )
+        prefixes = {r.track.split("/", 1)[0] for r in obs.tracer.records}
+        assert prefixes == {f"hill{report.policy.max_batch_requests}"
+                            for report in climb}
+        gauge = obs.metrics.gauge("autotune.batch_size", scope="run")
+        assert gauge.value == float(best_policy.max_batch_requests)

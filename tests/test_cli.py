@@ -428,3 +428,57 @@ class TestServeCommand:
                      "--policies", "single",
                      "--resume", str(tmp_path / "cache-lru.npz")]) == 0
         assert "Tail SLA" in capsys.readouterr().out
+
+
+class TestObservabilityFlags:
+    """--trace-out/--metrics-out: trainer-only validation plus artifacts."""
+
+    def test_flags_parse(self):
+        args = build_parser().parse_args(
+            ["serve", "--trace-out", "t.json", "--metrics-out", "m.json"])
+        assert args.trace_out == "t.json"
+        assert args.metrics_out == "m.json"
+
+    def test_trace_out_rejected_for_non_trainer_experiment(self, capsys):
+        assert main(["table1", "--trace-out", "t.json"]) == 2
+        assert "--trace-out" in capsys.readouterr().err
+
+    def test_metrics_out_rejected_for_non_trainer_experiment(self, capsys):
+        assert main(["fig13", "--metrics-out", "m.json"]) == 2
+        assert "--metrics-out" in capsys.readouterr().err
+
+    def test_traced_serve_writes_all_artifacts(self, capsys, tmp_path):
+        import json
+
+        trace = tmp_path / "serve.trace.json"
+        metrics = tmp_path / "metrics.json"
+        assert main(["serve", "--rates", "200", "--requests", "8",
+                     "--policies", "single",
+                     "--trace-out", str(trace),
+                     "--metrics-out", str(metrics)]) == 0
+        err = capsys.readouterr().err
+        for path in (trace, metrics,
+                     tmp_path / "serve.trace.steps.jsonl",
+                     tmp_path / "serve.trace.manifest.json"):
+            assert path.is_file()
+            assert f"wrote {path}" in err
+        from repro.obs import validate_chrome_trace
+
+        payload = json.loads(trace.read_text())
+        assert validate_chrome_trace(payload) > 0
+        manifest = json.loads(
+            (tmp_path / "serve.trace.manifest.json").read_text())
+        assert manifest["experiment"] == "serve"
+        assert "git_sha" in manifest
+
+    def test_metrics_out_alone_writes_metrics_only(self, capsys, tmp_path):
+        import json
+
+        metrics = tmp_path / "metrics.json"
+        assert main(["serve", "--rates", "200", "--requests", "8",
+                     "--policies", "single",
+                     "--metrics-out", str(metrics)]) == 0
+        assert metrics.is_file()
+        payload = json.loads(metrics.read_text())
+        assert any(name.startswith("serving.requests") for name in payload)
+        assert not (tmp_path / "serve.trace.json").exists()

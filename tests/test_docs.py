@@ -102,6 +102,7 @@ class TestExamples:
             "backend_tuning.py",
             "resumable_training.py",
             "serving_sla.py",
+            "traced_run.py",
         }
         present = {path.name for path in EXAMPLES_DIR.glob("*.py")}
         assert expected <= present

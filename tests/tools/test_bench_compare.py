@@ -1,0 +1,173 @@
+"""The BENCH_*.json perf gate: direction inference, bands, exit codes."""
+
+import json
+
+import pytest
+
+from tools.bench_compare import compare, main, metric_direction
+
+
+class TestMetricDirection:
+    @pytest.mark.parametrize("name", [
+        "qps", "QPS", "steps_per_second", "samples_per_s", "hit_rate",
+        "sla_attainment", "pipeline_speedup",
+    ])
+    def test_higher_is_better(self, name):
+        assert metric_direction(name) == 1
+
+    @pytest.mark.parametrize("name", [
+        "best_ms", "p99_s", "wall_seconds", "phase_forward_s",
+    ])
+    def test_lower_is_better(self, name):
+        assert metric_direction(name) == -1
+
+    @pytest.mark.parametrize("name", ["kernel", "steps", "batch", "notes"])
+    def test_everything_else_is_ungated(self, name):
+        assert metric_direction(name) == 0
+
+
+def bench(rows, section="primitives", meta=None):
+    payload = {section: rows}
+    if meta is not None:
+        payload["meta"] = meta
+    return payload
+
+
+BASE = bench([
+    {"kernel": "gather_reduce", "best_ms": 2.0, "qps": 100.0},
+    {"kernel": "tensor_casting", "best_ms": 1.0, "qps": 400.0},
+])
+
+
+class TestCompare:
+    def test_identical_is_clean(self):
+        assert compare(BASE, BASE) == []
+
+    def test_improvements_never_fail(self):
+        faster = bench([
+            {"kernel": "gather_reduce", "best_ms": 0.5, "qps": 900.0},
+            {"kernel": "tensor_casting", "best_ms": 0.1, "qps": 999.0},
+        ])
+        assert compare(faster, BASE) == []
+
+    def test_latency_regression_beyond_band(self):
+        slower = bench([
+            {"kernel": "gather_reduce", "best_ms": 2.4, "qps": 100.0},
+            {"kernel": "tensor_casting", "best_ms": 1.0, "qps": 400.0},
+        ])
+        (problem,) = compare(slower, BASE, tolerance=0.15)
+        assert "kernel=gather_reduce" in problem
+        assert "best_ms" in problem
+
+    def test_within_band_is_clean(self):
+        slightly = bench([
+            {"kernel": "gather_reduce", "best_ms": 2.2, "qps": 95.0},
+            {"kernel": "tensor_casting", "best_ms": 1.1, "qps": 390.0},
+        ])
+        assert compare(slightly, BASE, tolerance=0.15) == []
+
+    def test_throughput_regression(self):
+        slower = bench([
+            {"kernel": "gather_reduce", "best_ms": 2.0, "qps": 50.0},
+            {"kernel": "tensor_casting", "best_ms": 1.0, "qps": 400.0},
+        ])
+        (problem,) = compare(slower, BASE)
+        assert "qps" in problem and "fell below" in problem
+
+    def test_rows_match_by_identity_not_order(self):
+        reordered = bench([
+            {"kernel": "tensor_casting", "best_ms": 1.0, "qps": 400.0},
+            {"kernel": "gather_reduce", "best_ms": 2.0, "qps": 100.0},
+        ])
+        assert compare(reordered, BASE) == []
+
+    def test_missing_section_is_a_regression(self):
+        assert any("coverage shrank" in p for p in compare({}, BASE))
+
+    def test_extra_current_sections_are_ignored(self):
+        current = dict(BASE)
+        current["new_section"] = [{"kernel": "x", "best_ms": 1.0}]
+        assert compare(current, BASE) == []
+
+    def test_meta_and_bool_fields_never_gate(self):
+        base = bench([{"mode": "casted", "smoke_s": True, "wall_s": 1.0}],
+                     meta={"smoke": True})
+        current = bench([{"mode": "casted", "smoke_s": False, "wall_s": 1.0}],
+                        meta={"smoke": False})
+        assert compare(current, base) == []
+
+    def test_missing_metric_in_current_row(self):
+        current = bench([
+            {"kernel": "gather_reduce", "qps": 100.0},
+            {"kernel": "tensor_casting", "best_ms": 1.0, "qps": 400.0},
+        ])
+        (problem,) = compare(current, BASE)
+        assert "current run lacks it" in problem
+
+    def test_sections_argument_restricts_the_gate(self):
+        slower = bench([
+            {"kernel": "gather_reduce", "best_ms": 9.0, "qps": 1.0},
+            {"kernel": "tensor_casting", "best_ms": 9.0, "qps": 1.0},
+        ])
+        assert compare(slower, BASE, sections=["other"]) == []
+        assert compare(slower, BASE, sections=["primitives"])
+
+    def test_rejects_negative_tolerance(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            compare(BASE, BASE, tolerance=-0.1)
+
+
+class TestMainExitCodes:
+    def write(self, tmp_path, name, payload):
+        path = tmp_path / name
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_clean_exits_zero(self, tmp_path, capsys):
+        current = self.write(tmp_path, "cur.json", BASE)
+        baseline = self.write(tmp_path, "base.json", BASE)
+        assert main([current, baseline]) == 0
+        assert "every gated metric" in capsys.readouterr().out
+
+    def test_regression_exits_one(self, tmp_path, capsys):
+        slower = bench([
+            {"kernel": "gather_reduce", "best_ms": 99.0, "qps": 100.0},
+            {"kernel": "tensor_casting", "best_ms": 1.0, "qps": 400.0},
+        ])
+        current = self.write(tmp_path, "cur.json", slower)
+        baseline = self.write(tmp_path, "base.json", BASE)
+        assert main([current, baseline]) == 1
+        assert "regression(s)" in capsys.readouterr().out
+
+    def test_smoke_widens_the_band(self, tmp_path):
+        slower = bench([
+            {"kernel": "gather_reduce", "best_ms": 2.4, "qps": 100.0},
+            {"kernel": "tensor_casting", "best_ms": 1.0, "qps": 400.0},
+        ])
+        current = self.write(tmp_path, "cur.json", slower)
+        baseline = self.write(tmp_path, "base.json", BASE)
+        assert main([current, baseline]) == 1
+        assert main([current, baseline, "--smoke"]) == 0
+
+    def test_missing_baseline_bootstraps_clean(self, tmp_path, capsys):
+        current = self.write(tmp_path, "cur.json", BASE)
+        assert main([current, str(tmp_path / "absent.json")]) == 0
+        assert "bootstrap" in capsys.readouterr().out
+
+    def test_missing_current_is_a_usage_error(self, tmp_path, capsys):
+        baseline = self.write(tmp_path, "base.json", BASE)
+        assert main([str(tmp_path / "absent.json"), baseline]) == 2
+        assert "run the benchmark first" in capsys.readouterr().err
+
+    def test_malformed_json_is_a_usage_error(self, tmp_path, capsys):
+        current = tmp_path / "cur.json"
+        current.write_text("{not json")
+        baseline = self.write(tmp_path, "base.json", BASE)
+        assert main([str(current), baseline]) == 2
+        assert "malformed JSON" in capsys.readouterr().err
+
+    def test_negative_tolerance_is_a_usage_error(self, tmp_path, capsys):
+        current = self.write(tmp_path, "cur.json", BASE)
+        baseline = self.write(tmp_path, "base.json", BASE)
+        assert main([current, baseline, "--tolerance", "-1"]) == 2
+        assert "non-negative" in capsys.readouterr().err

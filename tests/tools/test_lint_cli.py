@@ -13,6 +13,7 @@ EXPECTED_RULES = {
     "determinism",
     "export-hygiene",
     "numeric-hazard",
+    "obs-hygiene",
     "registry-consistency",
     "thread-lifecycle",
 }

@@ -77,6 +77,7 @@ class TestDeterminism:
                 return time.perf_counter()
         """
         tree.write("src/repro/serving/clock.py", clock)
+        tree.write("src/repro/obs/clock.py", clock)
         tree.write("src/repro/runtime/stages.py", clock)
         tree.write("src/repro/runtime/engine.py", clock)
         tree.write("src/repro/backends/autotune.py", clock)
@@ -486,6 +487,44 @@ class TestApiContract:
                 return resolve_backend(None)
         """)
         assert tree.lint(rules=["api-contract"]) == []
+
+
+# ---------------------------------------------------------------------------
+# obs-hygiene
+# ---------------------------------------------------------------------------
+class TestObsHygiene:
+    def test_bare_span_call_flagged(self, tree):
+        tree.write("src/repro/foo.py", """\
+            def work(tracer) -> None:
+                tracer.span("step")
+        """)
+        findings = tree.lint(rules=["obs-hygiene"])
+        assert rules_of(findings) == ["obs-hygiene"]
+        assert "never records" in findings[0].message
+
+    def test_context_managed_span_clean(self, tree):
+        tree.write("src/repro/foo.py", """\
+            def work(tracer) -> None:
+                with tracer.span("step") as span:
+                    span.set(loss=0.5)
+        """)
+        assert tree.lint(rules=["obs-hygiene"]) == []
+
+    def test_record_span_is_exempt(self, tree):
+        tree.write("src/repro/foo.py", """\
+            def work(tracer) -> None:
+                tracer.record_span("req", track="req0",
+                                   start_s=0.0, end_s=1.0)
+        """)
+        assert tree.lint(rules=["obs-hygiene"]) == []
+
+    def test_tests_are_exempt(self, tree):
+        tree.write("tests/test_foo.py", """\
+            def test_span_object(tracer) -> None:
+                span = tracer.span("step")
+                assert span is not None
+        """)
+        assert tree.lint(rules=["obs-hygiene"], paths=("tests",)) == []
 
 
 # ---------------------------------------------------------------------------

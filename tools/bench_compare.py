@@ -1,0 +1,230 @@
+"""Compare two BENCH_*.json files and fail on regressions: the perf gate.
+
+``benchmarks/_emit.py`` writes machine-readable benchmark results; this
+tool diffs a freshly produced file against a committed (or
+artifact-downloaded) baseline and exits nonzero when any tracked metric
+regresses beyond its tolerance band — the flywheel that keeps measured
+performance from silently rotting.
+
+Usage::
+
+    python tools/bench_compare.py CURRENT BASELINE [--tolerance 0.15]
+                                  [--smoke] [--sections NAME ...]
+
+Direction is inferred from the metric name: ``*_ms``/``*_s``/
+``*_seconds`` are lower-is-better, ``qps``/``*_per_s``/``*_per_second``/
+``*_rate``/``*_attainment``/``*_speedup`` are higher-is-better; anything
+else is informational and never gates.  Rows are matched within each
+section by their non-numeric identity keys (``kernel``, ``mode``,
+``policy``, ...), so reordering rows never causes a false diff.  A
+section present in the baseline but missing from the current file is a
+regression (coverage must not silently shrink); a baseline that does not
+exist exits 0 so first runs bootstrap cleanly.
+
+Exit codes: 0 clean, 1 regression, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Sequence, Tuple
+
+__all__ = ["compare", "metric_direction", "main"]
+
+#: Metric-name suffixes that mean "lower is better" (latencies, durations).
+LOWER_IS_BETTER = ("_ms", "_s", "_seconds")
+
+#: Suffixes/names that mean "higher is better" (throughputs, rates).
+HIGHER_IS_BETTER = (
+    "qps", "_per_s", "_per_second", "_rate", "_attainment", "_speedup",
+)
+
+#: --smoke multiplies the tolerance by this: smoke shapes are tiny and
+#: noisy, so the gate only catches order-of-magnitude bit-rot there.
+SMOKE_TOLERANCE_FACTOR = 10.0
+
+
+def metric_direction(name: str) -> int:
+    """-1 if lower is better, +1 if higher is better, 0 if ungated."""
+    lowered = name.lower()
+    # Throughput names win ties like "qps" vs the "_s" duration suffix.
+    if lowered == "qps" or lowered.endswith(HIGHER_IS_BETTER):
+        return 1
+    if lowered.endswith(LOWER_IS_BETTER):
+        return -1
+    return 0
+
+
+def _identity(row: Mapping[str, Any]) -> Tuple[Tuple[str, str], ...]:
+    """A row's match key: its non-numeric fields, sorted."""
+    return tuple(
+        sorted(
+            (key, str(value))
+            for key, value in row.items()
+            if isinstance(value, (str, bool)) or value is None
+        )
+    )
+
+
+def _row_pairs(
+    current: Sequence[Mapping[str, Any]],
+    baseline: Sequence[Mapping[str, Any]],
+) -> List[Tuple[Mapping[str, Any], Mapping[str, Any]]]:
+    indexed = {_identity(row): row for row in current}
+    return [
+        (indexed[_identity(row)], row)
+        for row in baseline
+        if _identity(row) in indexed
+    ]
+
+
+def compare(
+    current: Mapping[str, Any],
+    baseline: Mapping[str, Any],
+    tolerance: float = 0.15,
+    sections: Sequence[str] | None = None,
+) -> List[str]:
+    """All regression messages of ``current`` vs ``baseline`` (empty = clean).
+
+    Every gated metric may be worse than the baseline by at most
+    ``tolerance`` relative (0.15 = 15% slower / 15% less throughput).
+    Improvements never fail.  ``sections`` restricts the comparison;
+    the default compares every baseline section except ``meta``.
+    """
+    if tolerance < 0:
+        raise ValueError(f"tolerance must be non-negative, got {tolerance}")
+    problems: List[str] = []
+    names = (
+        list(sections)
+        if sections is not None
+        else [name for name in baseline if name != "meta"]
+    )
+    for section in names:
+        base_rows = baseline.get(section)
+        if base_rows is None:
+            continue  # baseline never measured it: nothing to gate
+        cur_rows = current.get(section)
+        if cur_rows is None:
+            problems.append(
+                f"{section}: present in baseline but missing from current "
+                "run (benchmark coverage shrank)"
+            )
+            continue
+        if not (
+            isinstance(base_rows, list) and isinstance(cur_rows, list)
+        ):
+            continue  # non-tabular section: informational only
+        for cur_row, base_row in _row_pairs(cur_rows, base_rows):
+            label = ", ".join(
+                f"{key}={value}" for key, value in _identity(base_row)
+            ) or section
+            for metric, base_value in base_row.items():
+                direction = metric_direction(metric)
+                if direction == 0:
+                    continue
+                cur_value = cur_row.get(metric)
+                if not isinstance(base_value, (int, float)) or isinstance(
+                    base_value, bool
+                ):
+                    continue
+                if not isinstance(cur_value, (int, float)) or isinstance(
+                    cur_value, bool
+                ):
+                    problems.append(
+                        f"{section}[{label}].{metric}: baseline has "
+                        f"{base_value!r} but current run lacks it"
+                    )
+                    continue
+                if base_value == 0:
+                    continue  # no meaningful relative band
+                if direction < 0:  # lower is better: may grow by tolerance
+                    limit = base_value * (1.0 + tolerance)
+                    if cur_value > limit:
+                        problems.append(
+                            f"{section}[{label}].{metric}: {cur_value:.6g} "
+                            f"exceeds baseline {base_value:.6g} "
+                            f"+{tolerance:.0%}"
+                        )
+                else:  # higher is better: may shrink by tolerance
+                    limit = base_value * (1.0 - tolerance)
+                    if cur_value < limit:
+                        problems.append(
+                            f"{section}[{label}].{metric}: {cur_value:.6g} "
+                            f"fell below baseline {base_value:.6g} "
+                            f"-{tolerance:.0%}"
+                        )
+    return problems
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python tools/bench_compare.py",
+        description="Gate a BENCH_*.json against a baseline.",
+    )
+    parser.add_argument("current", help="freshly produced BENCH_*.json")
+    parser.add_argument("baseline", help="baseline BENCH_*.json to gate "
+                                         "against (missing file exits 0)")
+    parser.add_argument(
+        "--tolerance", type=float, default=0.15, metavar="FRAC",
+        help="allowed relative regression per metric (default: 0.15)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help=f"multiply the tolerance by {SMOKE_TOLERANCE_FACTOR:g} "
+             "(BENCH_SMOKE shapes are tiny and noisy — gate only bit-rot)",
+    )
+    parser.add_argument(
+        "--sections", nargs="*", default=None, metavar="NAME",
+        help="restrict the comparison to these sections "
+             "(default: every baseline section)",
+    )
+    args = parser.parse_args(argv)
+    if args.tolerance < 0:
+        print(
+            f"error: --tolerance must be non-negative, got {args.tolerance}",
+            file=sys.stderr,
+        )
+        return 2
+    baseline_path = Path(args.baseline)
+    if not baseline_path.is_file():
+        print(
+            f"no baseline at {baseline_path}: nothing to gate (bootstrap run)"
+        )
+        return 0
+    current_path = Path(args.current)
+    if not current_path.is_file():
+        print(
+            f"error: current file {str(current_path)!r} does not exist "
+            "(run the benchmark first)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        current = json.loads(current_path.read_text())
+        baseline = json.loads(baseline_path.read_text())
+    except json.JSONDecodeError as error:
+        print(f"error: malformed JSON: {error}", file=sys.stderr)
+        return 2
+    tolerance = args.tolerance * (
+        SMOKE_TOLERANCE_FACTOR if args.smoke else 1.0
+    )
+    problems = compare(
+        current, baseline, tolerance=tolerance, sections=args.sections
+    )
+    if problems:
+        print(f"{len(problems)} regression(s) vs {baseline_path}:")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print(
+        f"{current_path} within {tolerance:.0%} of {baseline_path} "
+        "on every gated metric"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

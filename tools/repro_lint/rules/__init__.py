@@ -12,12 +12,14 @@ from . import threads
 from . import registry
 from . import exports
 from . import api
+from . import obs
 
 __all__ = [
     "api",
     "determinism",
     "exports",
     "numeric",
+    "obs",
     "registry",
     "threads",
 ]

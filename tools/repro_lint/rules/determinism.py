@@ -13,9 +13,11 @@ path draws from an unseeded generator or branches on wall-clock time.
 * Wall-clock reads (``time.time``/``perf_counter``/``sleep``,
   ``datetime.now``, ...) inside the library, outside the sanctioned
   timing modules: ``serving/clock.py`` (the injectable Clock — the one
-  sanctioned wall-clock wrapper), ``runtime/stages.py`` and
-  ``runtime/engine.py`` (the stage timing instrumentation that fills
-  ``PhaseTimings``) and ``backends/autotune.py`` (probe timing).
+  sanctioned wall-clock wrapper), ``obs/clock.py`` (the observability
+  plane's manifest timestamps and default tracer clock),
+  ``runtime/stages.py`` and ``runtime/engine.py`` (the stage timing
+  instrumentation that fills ``PhaseTimings``) and
+  ``backends/autotune.py`` (probe timing).
   Everything else must take a :class:`~repro.serving.clock.Clock` or
   report-side timings instead of reading the clock directly; genuinely
   real-time code (e.g. ``ArrivalShapedSource``'s opt-in ``sleep=True``
@@ -59,6 +61,7 @@ _WALLCLOCK = frozenset({
 #: Library modules whose job *is* the wall clock.
 _WALLCLOCK_ALLOWED_SUFFIXES = (
     "repro/serving/clock.py",     # the injectable Clock abstraction
+    "repro/obs/clock.py",         # manifest timestamps / default trace clock
     "repro/runtime/stages.py",    # the stage timing collector
     "repro/runtime/engine.py",    # per-stage wall-clock instrumentation
     "repro/backends/autotune.py", # autotuner probe timing
@@ -112,7 +115,7 @@ class DeterminismChecker(Checker):
                 yield self.finding(
                     source, node,
                     f"{target}() read outside the sanctioned timing modules "
-                    "(serving/clock.py, runtime/stages.py, "
+                    "(serving/clock.py, obs/clock.py, runtime/stages.py, "
                     "backends/autotune.py); inject a repro.serving.Clock "
                     "instead",
                 )

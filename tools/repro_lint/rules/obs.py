@@ -1,0 +1,68 @@
+"""Rule ``obs-hygiene``: tracer spans must be context-managed.
+
+``Tracer.span(...)`` returns a context manager that reads the clock on
+``__enter__`` and records on ``__exit__`` — *including* the exception
+path, which is what keeps a trace well-nested when a stage raises.  A
+bare ``tracer.span("x")`` call that is never entered silently records
+nothing, and a manually paired ``__enter__``/``__exit__`` loses the
+exception-path guarantee.  The contract: every ``.span(...)`` call in
+the library appears directly as a ``with`` item (``with tracer.span(...)
+:`` or ``with tracer.span(...) as s:``).
+
+Explicit-timestamp recording (``record_span``) is exempt — it takes both
+endpoints up front, so there is no open/close pair to leak.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Set
+
+from ..checker import Checker, Project, SourceFile, register
+from ..findings import Finding
+
+
+def _managed_call_ids(tree: ast.AST) -> Set[int]:
+    """ids of every Call node appearing as a ``with`` item's context expr."""
+    managed: Set[int] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                expr = item.context_expr
+                if isinstance(expr, ast.Call):
+                    managed.add(id(expr))
+    return managed
+
+
+@register
+class ObsHygieneChecker(Checker):
+    rule = "obs-hygiene"
+    description = ("Tracer.span(...) must be used as a context manager "
+                   "(with ...) so spans close on the exception path")
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        for source in project.files:
+            yield from self._check_file(source)
+
+    def _check_file(self, source: SourceFile) -> Iterable[Finding]:
+        if not source.in_library():
+            return
+        managed = _managed_call_ids(source.tree)
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (isinstance(func, ast.Attribute) and func.attr == "span"):
+                continue
+            if id(node) in managed:
+                continue
+            # The Tracer class itself constructs the Span it hands out.
+            if source.rel.endswith("repro/obs/tracer.py"):
+                continue
+            yield self.finding(
+                source, node,
+                ".span(...) called outside a with statement — the span "
+                "never records (it opens on __enter__ and closes on "
+                "__exit__); write `with tracer.span(...):` or use "
+                "record_span(...) with explicit timestamps",
+            )
