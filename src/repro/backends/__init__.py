@@ -14,6 +14,9 @@ registry:
   scatter-adds, an argsort-free casted gather-reduce); the process default;
 * ``numba`` — optional JIT-compiled loop nests, gracefully absent without
   the package;
+* ``numba-parallel`` — the same loop nests compiled ``nogil`` (threads can
+  run shards concurrently) with ``prange`` over the dim axis, preserving
+  the serial accumulation order;
 * ``auto`` — the autotuned policy: per shape class (batch, pooling factor,
   dim), micro-benchmark the candidates once, cache the winner, delegate.
   The trainers default to it.
@@ -48,7 +51,7 @@ from .dispatch import (
 # all` benchmarks sweep and error messages list the names in.
 from .reference import ReferenceBackend
 from .vectorized import VectorizedBackend
-from .numba_backend import HAVE_NUMBA, NumbaBackend
+from .numba_backend import HAVE_NUMBA, NumbaBackend, NumbaParallelBackend
 from .autotune import AutoBackend, Autotuner, KERNEL_NAMES, ShapeClass
 
 __all__ = [
@@ -60,6 +63,7 @@ __all__ = [
     "KERNEL_NAMES",
     "KernelBackend",
     "NumbaBackend",
+    "NumbaParallelBackend",
     "ReferenceBackend",
     "ShapeClass",
     "UnknownBackendError",

@@ -55,6 +55,9 @@ from .experiments import (
     format_table1,
     format_table2,
     link_bandwidth_sweep,
+    MEASURED_SCALING_SHARDS,
+    format_measured_scaling,
+    measured_scaling_sweep,
     OVERLAP_BATCHES,
     OVERLAP_SHARDS,
     overlap_sweep,
@@ -161,6 +164,21 @@ def _run_link(args: argparse.Namespace, hardware: SystemHardware) -> str:
 
 
 def _run_scaling(args: argparse.Namespace, hardware: SystemHardware) -> str:
+    if args.schedule == "parallel":
+        # Measured mode: real trainers, serial vs. ParallelShardSchedule at
+        # the same shard count, next to the analytic bound.
+        return format_measured_scaling(
+            measured_scaling_sweep(
+                shard_counts=tuple(args.shards or MEASURED_SCALING_SHARDS),
+                batch=(args.batches or (512,))[0],
+                steps=args.steps if args.steps is not None else 8,
+                mode=args.parallel_mode or "thread",
+                workers=args.workers,
+                backend=args.backend or "vectorized",
+                dataset=args.dataset,
+                hardware=hardware,
+            )
+        )
     batches = args.batches or (4096,)
     shard_counts = args.shards or SCALING_SHARDS
     return format_scaling(
@@ -188,7 +206,10 @@ def _run_overlap(
                       optimizer=args.optimizer or "sgd",
                       lr=args.lr if args.lr is not None else 0.1,
                       checkpoint_dir=args.checkpoint_dir, resume=args.resume,
-                      obs=obs)
+                      obs=obs,
+                      schedule=args.schedule or "serial",
+                      parallel_workers=args.workers,
+                      parallel_mode=args.parallel_mode or "thread")
     )
 
 
@@ -351,7 +372,24 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--steps", type=int, default=None, metavar="S",
         help="training steps per measured cell of the 'overlap' experiment "
-             "(default: 8)",
+             "and of 'scaling --schedule parallel' (default: 8)",
+    )
+    parser.add_argument(
+        "--schedule", default=None, choices=("serial", "parallel"),
+        help="shard execution schedule for 'scaling'/'overlap': 'parallel' "
+             "fans per-shard work across a worker pool (for 'scaling' this "
+             "switches to the measured serial-vs-parallel sweep; default: "
+             "serial)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker count for --schedule parallel (default: one per shard)",
+    )
+    parser.add_argument(
+        "--parallel-mode", default=None, choices=("thread", "process"),
+        help="worker flavor for --schedule parallel: 'thread' drives "
+             "GIL-releasing kernels on a thread pool, 'process' forks "
+             "workers over shared-memory embedding tables (default: thread)",
     )
     parser.add_argument(
         "--backend", default=None, metavar="NAME",
@@ -490,6 +528,30 @@ def main(argv: Sequence[str] | None = None) -> int:
                 file=sys.stderr,
             )
             return 2
+    # The parallel-schedule knobs apply to the two sharded-runtime sweeps
+    # only, and --workers/--parallel-mode mean nothing without the parallel
+    # schedule selected — same exit-2 convention.
+    if args.schedule is not None and args.experiment not in ("scaling", "overlap"):
+        print(
+            f"error: --schedule does not apply to {args.experiment!r}; the "
+            "sharded-runtime sweeps are: scaling, overlap",
+            file=sys.stderr,
+        )
+        return 2
+    for flag, value in (("--workers", args.workers),
+                        ("--parallel-mode", args.parallel_mode)):
+        if value is not None and args.schedule != "parallel":
+            print(
+                f"error: {flag} requires --schedule parallel",
+                file=sys.stderr,
+            )
+            return 2
+    if args.workers is not None and args.workers <= 0:
+        print(
+            f"error: --workers must be positive, got {args.workers}",
+            file=sys.stderr,
+        )
+        return 2
     # The serving knobs apply to 'serve' only, same convention again.
     for flag, value in (("--rates", args.rates),
                         ("--policies", args.policies),

@@ -41,7 +41,16 @@ from .overlap import (
 )
 from .plotting import bar_chart, series_chart, stacked_bar_chart
 from .report import format_table, normalize
-from .scaling import SCALING_SHARDS, ScalingRow, format_scaling, scaling_sweep
+from .scaling import (
+    MEASURED_SCALING_SHARDS,
+    MeasuredScalingRow,
+    SCALING_SHARDS,
+    ScalingRow,
+    format_measured_scaling,
+    format_scaling,
+    measured_scaling_sweep,
+    scaling_sweep,
+)
 from .serving import (
     SERVING_CONFIG,
     SERVING_POLICIES,
@@ -71,6 +80,8 @@ __all__ = [
     "HOTCACHE_CONFIG",
     "HotCacheRow",
     "LinkSweepRow",
+    "MEASURED_SCALING_SHARDS",
+    "MeasuredScalingRow",
     "OVERLAP_BATCHES",
     "OVERLAP_CONFIG",
     "OVERLAP_SHARDS",
@@ -108,6 +119,7 @@ __all__ = [
     "format_fig6",
     "format_hotcache",
     "format_link_sweep",
+    "format_measured_scaling",
     "format_overlap",
     "format_scaling",
     "format_sensitivity",
@@ -117,6 +129,7 @@ __all__ = [
     "format_table2",
     "hotcache_sweep",
     "link_bandwidth_sweep",
+    "measured_scaling_sweep",
     "normalize",
     "overlap_sweep",
     "scaled_distribution",

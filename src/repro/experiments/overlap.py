@@ -127,6 +127,10 @@ class OverlapRow:
     #: Seconds the pipelined step loop blocked on the cast-ahead future (the
     #: exposed remainder; ≈0 when the schedule fully hides the cast).
     cast_wait_seconds: float = 0.0
+    #: Throughput of the optional third run through the
+    #: :class:`~repro.runtime.engine.ParallelShardSchedule` (0 when the
+    #: sweep's ``schedule`` knob stays serial or the cell is unsharded).
+    parallel_steps_per_s: float = 0.0
 
 
 def scaled_distribution(dataset: str, num_rows: int) -> LookupDistribution:
@@ -194,6 +198,9 @@ def _make_trainer(
     source_factory: Optional[Callable[[], "BatchSource"]] = None,
     optimizer: str = "sgd",
     lr: float = 0.1,
+    schedule: str = "serial",
+    workers: Optional[int] = None,
+    parallel_mode: str = "thread",
 ) -> Tuple[DLRM, FunctionalTrainer]:
     """Fresh (model, trainer) pair; identical seeds ⇒ identical start state.
 
@@ -201,7 +208,9 @@ def _make_trainer(
     :class:`~repro.data.source.BatchSource` builder (a fresh source per
     trainer, so exhaustible sources replay from the top for every run).
     ``optimizer``/``lr`` select the update rule from the registry
-    (:func:`repro.model.optim.make_optimizer`).
+    (:func:`repro.model.optim.make_optimizer`).  ``schedule`` / ``workers``
+    / ``parallel_mode`` pass straight to the trainer — ``"parallel"``
+    selects the :class:`~repro.runtime.engine.ParallelShardSchedule`.
     """
     model = DLRM(config, rng=np.random.default_rng(seed), dtype=np.float32)
     if source_factory is not None:
@@ -225,6 +234,9 @@ def _make_trainer(
         num_shards=num_shards if num_shards > 0 else None,
         policy="row",
         backend=backend if backend is not None else "auto",
+        schedule=schedule,
+        workers=workers,
+        parallel_mode=parallel_mode,
     )
     return model, trainer
 
@@ -261,6 +273,9 @@ def _best_of(
     lr: float = 0.1,
     resume: "Optional[Checkpoint]" = None,
     obs: "Observability | None" = None,
+    schedule: str = "serial",
+    workers: Optional[int] = None,
+    parallel_mode: str = "thread",
 ) -> Tuple[DLRM, FunctionalTrainer, TrainingReport]:
     """Train ``repeats`` fresh identically-seeded runs; keep the fastest.
 
@@ -283,7 +298,7 @@ def _best_of(
     for _ in range(repeats):
         model, trainer = _make_trainer(
             trainer_cls, config, num_shards, seed, distribution, backend,
-            source_factory, optimizer, lr,
+            source_factory, optimizer, lr, schedule, workers, parallel_mode,
         )
         start_step = restore_trainer(trainer, resume) if resume is not None else 0
         report = trainer.train(
@@ -291,6 +306,10 @@ def _best_of(
             start_step=start_step, obs=obs,
         )
         trainer.stream.close()
+        # Unlink shared-memory segments eagerly (no-op for serial/pipelined
+        # trainers); the trained parameters stay readable for the bitwise
+        # check and any checkpoint save.
+        trainer.close()
         if best_report is None or report.wall_seconds < best_report.wall_seconds:
             best_model, best_trainer, best_report = model, trainer, report
     assert best_model is not None and best_report is not None
@@ -410,6 +429,9 @@ def overlap_sweep(
     checkpoint_dir: "str | Path | None" = None,
     resume: "str | Path | None" = None,
     obs: "Observability | None" = None,
+    schedule: str = "serial",
+    parallel_workers: Optional[int] = None,
+    parallel_mode: str = "thread",
 ) -> List[OverlapRow]:
     """Sweep batch × shard count, measuring serial vs. pipelined training.
 
@@ -451,7 +473,25 @@ def overlap_sweep(
     each cell's serial repeats, then its pipelined repeats, land
     back-to-back on the shared ``main``/``cast``/``shard*`` tracks —
     the trace shows the cast-ahead overlap the table's ratios summarize.
+
+    ``schedule="parallel"`` opts every *sharded* cell into a third measured
+    run through the
+    :class:`~repro.runtime.engine.ParallelShardSchedule` with
+    ``parallel_workers`` workers (default: one per shard;
+    ``parallel_mode`` picks thread vs. process workers); its throughput
+    lands in ``parallel_steps_per_s`` and its bitwise agreement with the
+    serial run is folded into the cell's ``bit_identical`` flag.
+    Unsharded cells have no shards to fan out and skip the extra run.
     """
+    if schedule not in ("serial", "parallel"):
+        raise ValueError(
+            f"schedule must be 'serial' or 'parallel', got {schedule!r}"
+        )
+    if schedule == "parallel" and trace is not None:
+        raise ValueError(
+            "schedule='parallel' does not apply to trace replay: the trace "
+            "cell is unsharded, and parallel execution fans out shards"
+        )
     if steps <= 0:
         raise ValueError(f"steps must be positive, got {steps}")
     if repeats <= 0:
@@ -483,6 +523,14 @@ def overlap_sweep(
                 optimizer=optimizer, lr=lr,
             )
             warmup_trainer.train(8, 1, np.random.default_rng(seed))
+        if schedule == "parallel" and warmup_shards > 0:
+            _, warmup_trainer = _make_trainer(
+                FunctionalTrainer, config, warmup_shards, seed, distribution,
+                backend, optimizer=optimizer, lr=lr, schedule="parallel",
+                workers=parallel_workers, parallel_mode=parallel_mode,
+            )
+            warmup_trainer.train(8, 1, np.random.default_rng(seed))
+            warmup_trainer.close()
     checkpoint = load_checkpoint(resume) if resume is not None else None
     resume_step = checkpoint.step if checkpoint is not None else 0
     if obs is not None:
@@ -517,6 +565,21 @@ def overlap_sweep(
             analytic = analytic_overlap_speedup(
                 config, batch, num_shards, hardware, distribution
             )
+            bit_identical = _runs_bit_identical(
+                serial_model, serial, pipelined_model, pipelined
+            )
+            parallel_steps_per_s = 0.0
+            if schedule == "parallel" and num_shards > 0:
+                parallel_model, _, parallel = _best_of(
+                    FunctionalTrainer, config, num_shards, seed, batch, steps,
+                    repeats, distribution, backend, None, optimizer, lr,
+                    checkpoint, obs, "parallel", parallel_workers,
+                    parallel_mode,
+                )
+                parallel_steps_per_s = parallel.steps_per_second
+                bit_identical = bit_identical and _runs_bit_identical(
+                    serial_model, serial, parallel_model, parallel
+                )
             rows.append(
                 OverlapRow(
                     model=config.name,
@@ -528,15 +591,14 @@ def overlap_sweep(
                     measured_speedup=measured,
                     analytic_speedup=analytic,
                     overlap_ratio=measured / analytic if analytic > 0 else 0.0,
-                    bit_identical=_runs_bit_identical(
-                        serial_model, serial, pipelined_model, pipelined
-                    ),
+                    bit_identical=bit_identical,
                     forward_exchange_bytes=pipelined.forward_exchange_bytes,
                     backward_exchange_bytes=pipelined.backward_exchange_bytes,
                     cast_seconds=pipelined.timings.totals.get("casting", 0.0),
                     cast_wait_seconds=pipelined.timings.totals.get(
                         "cast_wait", 0.0
                     ),
+                    parallel_steps_per_s=parallel_steps_per_s,
                 )
             )
     return rows
@@ -546,13 +608,20 @@ def format_overlap(rows: Sequence[OverlapRow]) -> str:
     """Render the sweep: throughputs, measured vs. analytic, exchange split."""
     if not rows:
         return "(no rows)"
+    with_parallel = any(row.parallel_steps_per_s > 0 for row in rows)
     headers = [
         "Model", "Batch", "Shards", "Serial (it/s)", "Pipelined (it/s)",
+        *(["Parallel (it/s)"] if with_parallel else []),
         "Speedup", "Analytic", "Overlap", "Cast (ms)", "Wait (ms)",
         "Bitwise", "FwdEx (KB)", "BwdEx (KB)",
     ]
     table_rows = []
     for row in rows:
+        parallel_cell = (
+            [f"{row.parallel_steps_per_s:.2f}" if row.parallel_steps_per_s > 0 else "-"]
+            if with_parallel
+            else []
+        )
         table_rows.append(
             [
                 row.model,
@@ -560,6 +629,7 @@ def format_overlap(rows: Sequence[OverlapRow]) -> str:
                 row.num_shards if row.num_shards > 0 else "-",
                 f"{row.serial_steps_per_s:.2f}",
                 f"{row.pipelined_steps_per_s:.2f}",
+                *parallel_cell,
                 f"{row.measured_speedup:.2f}x",
                 f"{row.analytic_speedup:.2f}x",
                 f"{row.overlap_ratio:.2f}",
@@ -581,7 +651,14 @@ def format_overlap(rows: Sequence[OverlapRow]) -> str:
         "on it (≈0 means the schedule fully hides the cast).\n"
         "FwdEx/BwdEx split the sharded all-to-all payload by pipeline stage "
         "(0 when unsharded).\n"
-        f"Host cores: {cores} — measured overlap needs a spare core to run "
+        + (
+            "Parallel = the same sharded cell fanned across the "
+            "ParallelShardSchedule worker pool\n(folded into the Bitwise "
+            "flag; '-' marks unsharded cells it cannot apply to).\n"
+            if with_parallel
+            else ""
+        )
+        + f"Host cores: {cores} — measured overlap needs a spare core to run "
         "the hidden cast on;\non a single-core host expect parity here and "
         "see the trainer's casting-vs-cast_wait split\nfor the scheduling "
         "proof."

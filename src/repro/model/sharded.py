@@ -264,19 +264,23 @@ class ShardedEmbeddingSet:
         plan.scaled_grads = scaled
         plan.staged_grads = list(grad_tables)
 
-    def backward_shard(
+    def backward_payload(
         self,
         plan: ShardedStepPlan,
         shard: int,
         grad_tables: Sequence[np.ndarray],
-    ) -> List[tuple[int, np.ndarray, np.ndarray]]:
-        """Casted gradient gather-reduce over ``shard``'s gradient slices.
+    ) -> List[tuple[int, CastedIndex, np.ndarray]]:
+        """Assemble the backward all-to-all payload for ``shard``.
 
-        The backward all-to-all delivers ``grad_tables[t][touched]`` — only
-        the gradient rows the shard's casted index arrays name — plus the
-        casted pairs themselves; both payloads are accounted into
-        ``plan.backward_exchange_bytes``.  Returns ``(table_id, local_rows,
-        values)`` triples ready for :meth:`update_shard`.
+        Everything of :meth:`backward_shard` *except* the casted
+        gather-reduce itself: validate the staged gradients, lazily cast any
+        shard whose cast stage was skipped, slice each table's scaled
+        gradient rows, and account the shipped bytes (gradient rows plus
+        casted pairs) into ``plan.backward_exchange_bytes``.  The returned
+        ``(table_id, cast, grad_slice)`` triples are exactly what crosses
+        the all-to-all to the shard's device — the fan-out unit of the
+        parallel schedule, whose workers reduce the payload without touching
+        the plan (so byte accounting is identical under every schedule).
         """
         if plan.scaled_grads is None:
             self.prepare_backward(plan, grad_tables)
@@ -290,7 +294,7 @@ class ShardedEmbeddingSet:
                 "gradient tables differ from the ones staged by "
                 "prepare_backward; re-stage before running backward_shard"
             )
-        coalesced: List[tuple[int, np.ndarray, np.ndarray]] = []
+        payload: List[tuple[int, CastedIndex, np.ndarray]] = []
         for table_id, bag in enumerate(self.bags):
             slice_ = plan.slices[table_id][shard]
             cast = plan.casts[table_id][shard]
@@ -305,6 +309,28 @@ class ShardedEmbeddingSet:
                 slice_.num_touched * vec_bytes
                 + 2 * slice_.num_lookups * _INDEX_ITEMSIZE
             )
+            payload.append((table_id, cast, grad_slice))
+        return payload
+
+    def backward_shard(
+        self,
+        plan: ShardedStepPlan,
+        shard: int,
+        grad_tables: Sequence[np.ndarray],
+    ) -> List[tuple[int, np.ndarray, np.ndarray]]:
+        """Casted gradient gather-reduce over ``shard``'s gradient slices.
+
+        The backward all-to-all delivers ``grad_tables[t][touched]`` — only
+        the gradient rows the shard's casted index arrays name — plus the
+        casted pairs themselves; both payloads are accounted into
+        ``plan.backward_exchange_bytes`` (via :meth:`backward_payload`).
+        Returns ``(table_id, local_rows, values)`` triples ready for
+        :meth:`update_shard`.
+        """
+        coalesced: List[tuple[int, np.ndarray, np.ndarray]] = []
+        for table_id, cast, grad_slice in self.backward_payload(
+            plan, shard, grad_tables
+        ):
             rows, values = casted_gather_reduce(
                 grad_slice, cast, backend=self.backend
             )

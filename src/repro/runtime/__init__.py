@@ -24,6 +24,7 @@ from .engine import (
     CastAheadWorker,
     InferSchedule,
     MetricsLogger,
+    ParallelShardSchedule,
     RunEvent,
     Schedule,
     SerialSchedule,
@@ -31,6 +32,7 @@ from .engine import (
     TrainingCallback,
     TrainingEngine,
 )
+from .parallel import ProcessShardPool, SharedTableArena, ThreadShardPool
 from .pipeline import PipelinedTrainer
 from .stages import Stage, StageTimingCollector, StepContext, build_step_stages
 from .systems import (
@@ -95,8 +97,10 @@ __all__ = [
     "OP_EXCHANGE",
     "OP_FWD_DNN",
     "OP_FWD_GATHER",
+    "ParallelShardSchedule",
     "PhaseTimings",
     "PipelinedTrainer",
+    "ProcessShardPool",
     "RunEvent",
     "Schedule",
     "SerialSchedule",
@@ -110,8 +114,10 @@ __all__ = [
     "RESOURCE_NMP",
     "RESOURCE_PCIE",
     "ShardedNMPSystem",
+    "SharedTableArena",
     "Span",
     "SystemHardware",
+    "ThreadShardPool",
     "Timeline",
     "TrainingCallback",
     "TrainingEngine",

@@ -39,6 +39,7 @@ from typing import (
     Any,
     Callable,
     ContextManager,
+    Dict,
     Iterator,
     Optional,
     Sequence,
@@ -51,12 +52,20 @@ import numpy as np
 
 from ..backends.dispatch import observe_kernels
 from ..obs.metrics import Gauge, MetricRegistry
+from .parallel import (
+    BackwardShardResult,
+    ForwardShardResult,
+    ShardPool,
+    make_shard_pool,
+)
 from .stages import (
     InferenceReport,
     StageTimingCollector,
     StepContext,
     StepStages,
     TrainingReport,
+    _cast_timed,
+    _record_cast,
     build_step_stages,
 )
 
@@ -69,6 +78,7 @@ __all__ = [
     "CastAheadSchedule",
     "InferSchedule",
     "MetricsLogger",
+    "ParallelShardSchedule",
     "RunEvent",
     "Schedule",
     "SerialSchedule",
@@ -355,6 +365,230 @@ class CastAheadSchedule(Schedule):
         if ctx.data is None:
             return None
         return ctx, worker.submit(stages.cast.run, ctx)
+
+
+class ParallelShardSchedule(Schedule):
+    """Fan per-shard work out to a persistent pool; barrier at the exchange.
+
+    The schedule the sharded runtime was built toward: an ``N``-shard step
+    actually uses up to ``N`` cores.  Each step, the batch partition runs on
+    the step loop (it *is* the fan-out map), then every shard's cast +
+    gather is submitted to a worker pool (:mod:`repro.runtime.parallel`) —
+    threads driving GIL-releasing kernels (``mode="thread"`` with the
+    ``numba-parallel`` backend) or worker processes with shared-memory table
+    views (``mode="process"``, for backends that hold the GIL).  The loop
+    barriers at the exchange, the backward payloads fan out the same way,
+    and the optimizer applies every shard's updates on the step loop.
+
+    Three invariants keep parallel runs honest:
+
+    * **Bit-identity with** :class:`SerialSchedule` — workers run the exact
+      kernel launches of the serial per-shard loops as pure functions and
+      *return* their products; the step loop applies them in shard-index
+      order at each barrier, so reduction order — and therefore every
+      parameter bit — matches serial regardless of worker completion order
+      (pinned by ``tests/runtime/test_parallel_schedule.py``, checkpoint /
+      resume included).
+    * **Honest timing** — workers measure their own phases with their own
+      clock reads, shipped back with the results and folded in via
+      :meth:`StageTimingCollector.record`; in traced runs each worker gets
+      its own track.  Two schedule-specific phases appear: ``sync`` (time
+      the step loop blocked at the two barriers) next to the usual
+      per-shard ``casting``/``gather``/``backward``.
+    * **Crash propagation** — a worker exception re-raises at the barrier,
+      aborts the step, and the pool joins cleanly on the way out of the
+      ``with`` block.
+    """
+
+    name = "parallel"
+
+    def __init__(
+        self, workers: Optional[int] = None, mode: str = "thread"
+    ) -> None:
+        if mode not in ("thread", "process"):
+            raise ValueError(
+                f"parallel mode must be 'thread' or 'process', got {mode!r}"
+            )
+        if workers is not None and (
+            isinstance(workers, bool) or workers <= 0
+        ):
+            raise ValueError(
+                f"workers must be a positive integer, got {workers!r}"
+            )
+        self.workers = workers
+        self.mode = mode
+        self._tracks: Dict[str, str] = {}
+
+    def execute(
+        self, engine: "TrainingEngine", stages: StepStages, steps: int
+    ) -> None:
+        trainer = engine.trainer
+        sharded = trainer.sharded
+        if sharded is None:
+            raise ValueError(
+                "ParallelShardSchedule requires a sharded trainer "
+                "(construct it with num_shards=...)"
+            )
+        workers = (
+            self.workers if self.workers is not None else sharded.num_shards
+        )
+        descriptors = None
+        if self.mode == "process":
+            arena = getattr(trainer, "_arena", None)
+            if arena is None:
+                raise ValueError(
+                    "process mode requires shared-memory tables; construct "
+                    "the trainer with schedule='parallel', "
+                    "parallel_mode='process' so a SharedTableArena backs "
+                    "the embedding tables"
+                )
+            descriptors = arena.descriptors
+        self._tracks = {}
+        with make_shard_pool(
+            self.mode, sharded, workers, descriptors=descriptors
+        ) as pool:
+            for _ in range(steps):
+                ctx = stages.new_context()
+                stages.draw.run(ctx)
+                if ctx.data is None:
+                    break
+                with engine.step_scope():
+                    self._run_step(engine, stages, ctx, pool)
+
+    def _run_step(
+        self,
+        engine: "TrainingEngine",
+        stages: StepStages,
+        ctx: StepContext,
+        pool: ShardPool,
+    ) -> None:
+        trainer = engine.trainer
+        sharded = trainer.sharded
+        assert sharded is not None
+        collector = engine.collector
+        num_shards = sharded.num_shards
+        by_name = {stage.name: stage for stage in stages.compute}
+
+        # cast: the partition stays on the step loop (it computes the
+        # fan-out map itself); each shard's Algorithm 2 + local gather run
+        # in the pool as one fused task.
+        with _cast_timed(ctx, "partition"):
+            ctx.plan = sharded.plan_batch(ctx.data.indices)
+        trainer.model.zero_grad()
+        forward_futures = [
+            pool.submit_forward(ctx.plan, shard)
+            for shard in range(num_shards)
+        ]
+        with collector.timed("sync", span="forward_barrier"):
+            forward_results = [f.result() for f in forward_futures]
+        # Apply in shard-index order — the deterministic reduction order —
+        # no matter which worker finished first.
+        for result in forward_results:
+            for table_id in range(sharded.num_tables):
+                ctx.plan.casts[table_id][result.shard] = (
+                    result.casts[table_id]
+                )
+                ctx.plan.partials[table_id][result.shard] = (
+                    result.partials[table_id]
+                )
+            self._absorb_forward(ctx, collector, result)
+        collector.absorb_cast(ctx)
+
+        # The real exchange barrier and the dense stages run on the step
+        # loop via the very same stage objects serial executes.
+        by_name["exchange"].run(ctx)
+        by_name["forward"].run(ctx)
+
+        with collector.timed("backward"):
+            ctx.grad_tables = trainer.model.backward_through_dense(
+                ctx.dlogits
+            )
+            sharded.prepare_backward(ctx.plan, ctx.grad_tables)
+        # Payload assembly (and its byte accounting) stays on the step
+        # loop, in shard order — identical to the serial accounting.
+        payloads = [
+            sharded.backward_payload(ctx.plan, shard, ctx.grad_tables)
+            for shard in range(num_shards)
+        ]
+        backward_futures = [
+            pool.submit_backward(shard, payloads[shard])
+            for shard in range(num_shards)
+        ]
+        with collector.timed("sync", span="backward_barrier"):
+            backward_results = [f.result() for f in backward_futures]
+        ctx.per_shard_coalesced = [
+            result.coalesced for result in backward_results
+        ]
+        for result in backward_results:
+            self._absorb_backward(collector, result)
+
+        by_name["optimize"].run(ctx)
+        engine.complete_step(ctx)
+
+    def _absorb_forward(
+        self,
+        ctx: StepContext,
+        collector: StageTimingCollector,
+        result: ForwardShardResult,
+    ) -> None:
+        """Fold a forward result's worker-side clock reads into the books.
+
+        ``casting`` seconds land on the context (the cast stage's ledger,
+        merged by ``absorb_cast`` like every schedule's) with spans buffered
+        on ``ctx.cast_spans``; ``gather`` seconds land on the collector
+        under the run-level ``forward`` phase exactly as the serial
+        ``GatherStage`` records them.
+        """
+        track = self._track(result.worker)
+        for phase, start, end in result.phases:
+            if phase == "casting":
+                if ctx.tracer is not None:
+                    ctx.tracer.record_span(
+                        phase,
+                        track=track,
+                        start_s=start,
+                        end_s=end,
+                        args={"shard": result.shard},
+                        sink=ctx.cast_spans,
+                    )
+                _record_cast(ctx, phase, result.shard, end - start)
+            else:
+                collector.record(
+                    "forward",
+                    end - start,
+                    shard=result.shard,
+                    shard_phase="gather",
+                    span="gather",
+                    track=track,
+                    start_s=start,
+                    end_s=end,
+                    args={"shard": result.shard},
+                )
+
+    def _absorb_backward(
+        self,
+        collector: StageTimingCollector,
+        result: BackwardShardResult,
+    ) -> None:
+        """Fold a backward result's worker-side clock reads into the books."""
+        track = self._track(result.worker)
+        for phase, start, end in result.phases:
+            collector.record(
+                phase,
+                end - start,
+                shard=result.shard,
+                span=phase,
+                track=track,
+                start_s=start,
+                end_s=end,
+                args={"shard": result.shard},
+            )
+
+    def _track(self, worker: str) -> str:
+        """Stable obs track per worker (``worker0``, ``worker1``, ...)."""
+        if worker not in self._tracks:
+            self._tracks[worker] = f"worker{len(self._tracks)}"
+        return self._tracks[worker]
 
 
 # ----------------------------------------------------------------------

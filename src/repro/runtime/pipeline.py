@@ -35,7 +35,7 @@ serial-vs-pipelined throughput ratio is compared against the analytic
 
 from __future__ import annotations
 
-from typing import Sequence, TYPE_CHECKING
+from typing import Any, Sequence, TYPE_CHECKING
 
 import numpy as np
 
@@ -71,6 +71,15 @@ class PipelinedTrainer(FunctionalTrainer):
         remainder of the casting stage.  Full overlap drives this toward
         zero while ``casting`` (worker-side) stays unchanged.
     """
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        if kwargs.get("schedule", "serial") != "serial":
+            raise ValueError(
+                "PipelinedTrainer always runs the cast-ahead schedule; for "
+                "parallel shard execution use "
+                "FunctionalTrainer(schedule='parallel')"
+            )
+        super().__init__(*args, **kwargs)
 
     def train(
         self,

@@ -662,6 +662,39 @@ class StageTimingCollector:
                 )
                 self._record(phase, shard, shard_phase, end - start)
 
+    def record(
+        self,
+        phase: str,
+        seconds: float,
+        shard: Optional[int] = None,
+        shard_phase: Optional[str] = None,
+        span: Optional[str] = None,
+        track: str = "main",
+        start_s: Optional[float] = None,
+        end_s: Optional[float] = None,
+        args: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        """Fold an externally-timed region into the accounting.
+
+        The parallel schedule's workers time their phases with their own
+        clock reads — possibly in another process — and ship the
+        measurements back with their results; this is the ingestion point:
+        the same bookkeeping as :meth:`timed`, with the clock reads supplied
+        instead of taken.  In traced runs the region also lands as a span on
+        ``track`` when both reads are present (``perf_counter`` shares its
+        CLOCK_MONOTONIC origin across processes on Linux, so worker spans
+        line up with the step loop's).
+        """
+        if self.tracer is not None and start_s is not None and end_s is not None:
+            self.tracer.record_span(
+                span or phase,
+                track=track,
+                start_s=start_s,
+                end_s=end_s,
+                args=args,
+            )
+        self._record(phase, shard, shard_phase, seconds)
+
     def absorb_cast(self, ctx: StepContext) -> None:
         """Merge a context's cast-stage accounting into the run totals."""
         self.timings.merge(ctx.cast_timings)

@@ -48,11 +48,13 @@ from ..model.optim import Optimizer
 from ..model.sharded import ShardedEmbeddingSet
 from ..sim.cache import HotRowCacheSpec
 from .engine import (
+    ParallelShardSchedule,
     Schedule,
     SerialSchedule,
     TrainingCallback,
     TrainingEngine,
 )
+from .parallel import SharedTableArena
 from .stages import InferenceReport, PhaseTimings, TrainingReport
 
 if TYPE_CHECKING:
@@ -114,6 +116,26 @@ class FunctionalTrainer:
         sees.
     cache_policy:
         Replacement policy for the executed caches: ``"lru"`` or ``"lfu"``.
+    schedule:
+        ``"serial"`` (default) runs every stage of step ``i`` before step
+        ``i+1`` is drawn.  ``"parallel"`` — sharded trainers only — fans
+        each step's per-shard cast/gather/backward out to a persistent
+        worker pool under the
+        :class:`~repro.runtime.engine.ParallelShardSchedule`, bit-identical
+        to serial with measured (not modeled) scaling.
+    workers:
+        Worker count for the parallel schedule (default: one per shard).
+    parallel_mode:
+        How the parallel schedule executes shard work: ``"thread"``
+        (default; real scaling needs a GIL-releasing backend such as
+        ``numba-parallel``) or ``"process"`` (worker processes over
+        shared-memory table views — the GIL-free mode for plain-Python
+        backends; the embedding tables are moved into a
+        :class:`~repro.runtime.parallel.SharedTableArena` at construction,
+        and :meth:`close` — or the trainer's context manager — releases the
+        segments).  ``backend="auto"`` is rejected in process mode: each
+        worker would autotune independently and could pick different
+        engines, voiding the float32 bit-identity contract.
     """
 
     def __init__(
@@ -126,6 +148,9 @@ class FunctionalTrainer:
         backend: BackendSpec = "auto",
         hot_cache: HotRowCacheSpec | None = None,
         cache_policy: str = "lru",
+        schedule: str = "serial",
+        workers: int | None = None,
+        parallel_mode: str = "thread",
     ) -> None:
         stream = as_batch_source(stream)
         if stream.num_tables != len(model.embeddings):
@@ -142,6 +167,46 @@ class FunctionalTrainer:
                 "num_shards must be a positive integer (or None for the "
                 f"unsharded path), got {num_shards!r}"
             )
+        if num_shards is not None:
+            min_rows = min(bag.num_rows for bag in model.embeddings)
+            if int(num_shards) > min_rows:
+                raise ValueError(
+                    f"num_shards={int(num_shards)} exceeds the smallest "
+                    f"embedding table's {min_rows} rows; every shard must "
+                    "own at least one row of every table (lower num_shards "
+                    "or grow the tables)"
+                )
+        if schedule not in ("serial", "parallel"):
+            raise ValueError(
+                f"schedule must be 'serial' or 'parallel', got {schedule!r}"
+            )
+        if parallel_mode not in ("thread", "process"):
+            raise ValueError(
+                "parallel_mode must be 'thread' or 'process', "
+                f"got {parallel_mode!r}"
+            )
+        if schedule == "parallel" and num_shards is None:
+            raise ValueError(
+                "schedule='parallel' requires a sharded trainer; pass "
+                "num_shards=... (the schedule fans per-shard work out to "
+                "workers)"
+            )
+        if workers is not None:
+            if schedule != "parallel":
+                raise ValueError(
+                    "workers applies to schedule='parallel' only"
+                )
+            if (
+                isinstance(workers, bool)
+                or not isinstance(workers, (int, np.integer))
+                or workers <= 0
+            ):
+                raise ValueError(
+                    f"workers must be a positive integer, got {workers!r}"
+                )
+        self.schedule = schedule
+        self.workers = int(workers) if workers is not None else None
+        self.parallel_mode = parallel_mode
         self.model = model
         self.stream = stream
         self.optimizer = optimizer
@@ -164,6 +229,19 @@ class FunctionalTrainer:
                 for _ in model.embeddings
             ]
         self._attach_caches()
+        # The shared-memory arena must exist before the sharded views are
+        # built: shard views (and the id()-keyed optimizer state hung off
+        # them) must alias the shm-backed tables worker processes map.
+        self._arena: SharedTableArena | None = None
+        if schedule == "parallel" and parallel_mode == "process":
+            if self.backend.name == "auto":
+                raise ValueError(
+                    "parallel_mode='process' rejects backend='auto': each "
+                    "worker process would autotune independently and could "
+                    "pick different engines, voiding bit-identity; pass an "
+                    "explicit backend (e.g. 'vectorized')"
+                )
+            self._arena = SharedTableArena(model.embeddings)
         self.sharded: ShardedEmbeddingSet | None = None
         if num_shards is not None:
             self.sharded = ShardedEmbeddingSet(
@@ -262,7 +340,34 @@ class FunctionalTrainer:
 
     def _schedule(self) -> Schedule:
         """The schedule this trainer executes the stage plan under."""
+        if self.schedule == "parallel":
+            return ParallelShardSchedule(
+                workers=self.workers, mode=self.parallel_mode
+            )
         return SerialSchedule()
+
+    # ------------------------------------------------------------------
+    # Resource lifecycle (shared-memory arena of process-mode trainers)
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the shared-memory table segments (process mode only).
+
+        Unlinks the :class:`~repro.runtime.parallel.SharedTableArena`
+        segments backing the embedding tables.  Idempotent, and a no-op for
+        every other configuration.  Parameters stay readable afterwards
+        (live views keep their mapping); a garbage-collection finalizer
+        backs this up, but tests and long-lived applications should close
+        (or use the trainer as a context manager) rather than rely on GC.
+        """
+        if self._arena is not None:
+            self._arena.close()
+
+    def __enter__(self) -> "FunctionalTrainer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        self.close()
+        return False
 
     def _validate_train_args(
         self, batch: int, steps: int, mode: str, start_step: int = 0

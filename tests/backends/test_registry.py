@@ -26,7 +26,13 @@ from repro.backends.registry import _INSTANCES
 
 class TestRegistry:
     def test_builtin_backends_registered_in_order(self):
-        assert registered_backends() == ("reference", "vectorized", "numba", "auto")
+        assert registered_backends() == (
+            "reference",
+            "vectorized",
+            "numba",
+            "numba-parallel",
+            "auto",
+        )
 
     def test_available_is_an_ordered_subset(self):
         names = available_backends()

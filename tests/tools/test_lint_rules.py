@@ -80,6 +80,7 @@ class TestDeterminism:
         tree.write("src/repro/obs/clock.py", clock)
         tree.write("src/repro/runtime/stages.py", clock)
         tree.write("src/repro/runtime/engine.py", clock)
+        tree.write("src/repro/runtime/parallel.py", clock)
         tree.write("src/repro/backends/autotune.py", clock)
         tree.write("tests/test_timing.py", clock)
         assert tree.lint(rules=["determinism"], paths=("src", "tests")) == []
@@ -223,6 +224,61 @@ class TestThreadLifecycle:
         assert "__enter__" in finding.message
         assert "__exit__" in finding.message
         assert "close()/shutdown()" not in finding.message
+
+    def test_executor_without_teardown_flagged(self, tree):
+        tree.write("src/repro/data/pool.py", """\
+            from concurrent.futures import ThreadPoolExecutor
+
+
+            class Pool:
+                def start(self) -> None:
+                    self._executor = ThreadPoolExecutor(max_workers=2)
+        """)
+        findings = tree.lint(rules=["thread-lifecycle"])
+        assert rules_of(findings) == ["thread-lifecycle"]
+        assert "Pool" in findings[0].message
+
+    def test_process_pool_without_teardown_flagged(self, tree):
+        tree.write("src/repro/data/pool.py", """\
+            import concurrent.futures
+            import multiprocessing
+
+
+            class ProcPool:
+                def start(self) -> None:
+                    self._executor = concurrent.futures.ProcessPoolExecutor()
+
+
+            class Forker:
+                def start(self) -> None:
+                    self._proc = multiprocessing.Process(target=print)
+                    self._proc.start()
+        """)
+        findings = tree.lint(rules=["thread-lifecycle"])
+        assert sorted(rules_of(findings)) == [
+            "thread-lifecycle", "thread-lifecycle",
+        ]
+
+    def test_executor_with_lifecycle_clean(self, tree):
+        tree.write("src/repro/data/pool.py", """\
+            from concurrent.futures import ProcessPoolExecutor
+
+
+            class Pool:
+                def start(self) -> None:
+                    self._executor = ProcessPoolExecutor(max_workers=2)
+
+                def shutdown(self) -> None:
+                    self._executor.shutdown(wait=True)
+
+                def __enter__(self) -> "Pool":
+                    return self
+
+                def __exit__(self, *exc_info: object) -> bool:
+                    self.shutdown()
+                    return False
+        """)
+        assert tree.lint(rules=["thread-lifecycle"]) == []
 
 
 # ---------------------------------------------------------------------------

@@ -1,12 +1,15 @@
-"""Rule ``thread-lifecycle``: classes that start threads must be closable.
+"""Rule ``thread-lifecycle``: classes that start workers must be closable.
 
-The repo's background workers (``CastAheadWorker``, ``PrefetchingSource``)
-earned their pinned lifecycles the hard way: a thread with no shutdown
-path leaks across tests, deadlocks interpreter exit, and turns the
-ROADMAP's real shard parallelism into a debugging tarpit.  The contract:
+The repo's background workers (``CastAheadWorker``, ``PrefetchingSource``,
+and the parallel runtime's shard pools) earned their pinned lifecycles the
+hard way: a thread with no shutdown path leaks across tests, deadlocks
+interpreter exit, and an orphaned worker process outlives all of that.
+The contract:
 
-* any class that starts a ``threading.Thread`` (or ``Timer``) must expose
-  an explicit teardown method named ``close`` or ``shutdown``, and
+* any class that starts a ``threading.Thread`` (or ``Timer``), spins up a
+  ``concurrent.futures`` executor, or forks a ``multiprocessing.Process``
+  must expose an explicit teardown method named ``close`` or ``shutdown``,
+  and
 * must support the context-manager protocol (``__enter__``/``__exit__``)
   so ``with`` blocks pin the lifetime even on the error path.
 
@@ -24,7 +27,15 @@ from typing import Dict, Iterable, Optional, Set
 from ..checker import Checker, ImportMap, Project, SourceFile, register
 from ..findings import Finding
 
-_THREAD_FACTORIES = ("threading.Thread", "threading.Timer")
+_THREAD_FACTORIES = (
+    "threading.Thread",
+    "threading.Timer",
+    "concurrent.futures.ThreadPoolExecutor",
+    "concurrent.futures.ProcessPoolExecutor",
+    "concurrent.futures.thread.ThreadPoolExecutor",
+    "concurrent.futures.process.ProcessPoolExecutor",
+    "multiprocessing.Process",
+)
 
 
 def _starts_thread(cls: ast.ClassDef, imports: ImportMap) -> bool:
@@ -62,8 +73,9 @@ def _inherited_method_names(
 @register
 class ThreadLifecycleChecker(Checker):
     rule = "thread-lifecycle"
-    description = ("classes starting a threading.Thread must define "
-                   "close/shutdown and the context-manager protocol")
+    description = ("classes starting threads, executors, or worker "
+                   "processes must define close/shutdown and the "
+                   "context-manager protocol")
 
     def check(self, project: Project) -> Iterable[Finding]:
         for source in project.files:
@@ -89,8 +101,8 @@ class ThreadLifecycleChecker(Checker):
             if missing:
                 yield self.finding(
                     source, cls,
-                    f"class {cls.name} starts a background thread but "
-                    f"lacks {', '.join(missing)}; threads need a pinned "
-                    "lifecycle (explicit teardown + context-manager "
-                    "protocol)",
+                    f"class {cls.name} starts a background worker but "
+                    f"lacks {', '.join(missing)}; threads, executors, and "
+                    "worker processes need a pinned lifecycle (explicit "
+                    "teardown + context-manager protocol)",
                 )
