@@ -162,6 +162,53 @@ def test_emit_kernel_timings(workload):
     assert all(row["best_ms"] > 0 for row in rows)
 
 
+@pytest.fixture(scope="module")
+def workload64(workload):
+    """The module workload in float64 — the dtype where the blocked
+    engine's segment-aligned bincount tiling engages (float32 is chunked
+    ``np.add.at`` on every engine, so the tiling story is a float64 one)."""
+    index, table, gradients = workload
+    return index, table.astype(np.float64), gradients.astype(np.float64)
+
+
+def test_emit_blocked_vs_vectorized(workload64):
+    """Cache-blocked vs fused-vectorized at the paper shape, float64 —
+    the tiling comparison ``BENCH_kernels.json`` gates (ISSUE 10's
+    acceptance bar: blocked beats vectorized on the casted backward)."""
+    index, table, gradients = workload64
+    cast = tensor_casting(index)
+    repeats = 3 if _SMOKE else 5
+    rows = []
+    for kernel, runner in (
+        ("gather_reduce",
+         lambda b: gather_reduce(table, index, backend=b)),
+        ("casted_gather_reduce",
+         lambda b: casted_gather_reduce(gradients, cast, backend=b)),
+    ):
+        vectorized = _best_of(lambda: runner("vectorized"), repeats)
+        blocked = _best_of(lambda: runner("blocked"), repeats)
+        rows.append({
+            "kernel": kernel,
+            "vectorized_ms": vectorized * 1e3,
+            "blocked_ms": blocked * 1e3,
+            "blocked_speedup": vectorized / blocked,
+        })
+    emit_bench(
+        "kernels", "blocked_vs_vectorized", rows,
+        meta=dict(smoke=_SMOKE, dtype="float64", repeats=repeats),
+    )
+    assert all(row["blocked_ms"] > 0 for row in rows)
+    if not _SMOKE:
+        casted = next(
+            row for row in rows if row["kernel"] == "casted_gather_reduce"
+        )
+        print(f"\n[kernels] blocked casted backward: "
+              f"{casted['vectorized_ms']:.2f} ms vectorized vs "
+              f"{casted['blocked_ms']:.2f} ms blocked -> "
+              f"{casted['blocked_speedup']:.2f}x")
+        assert casted["blocked_ms"] < casted["vectorized_ms"]
+
+
 @pytest.mark.skipif(
     _SMOKE, reason="A/B wall-clock assertion needs the full-size workload"
 )

@@ -1,0 +1,142 @@
+"""Whole-step autotuning + gradient-accumulation benchmark (ISSUE 10).
+
+Measures the two claims of the hot-path flywheel's step-level half and
+emits them to ``BENCH_step.json`` (path overridable via
+``BENCH_STEP_JSON``) for the ``tools/bench_compare.py`` gate:
+
+* the whole-step autotuner's pick keeps up with the best fixed engine at
+  each training-step shape class (it probed real engine steps to choose);
+* gradient accumulation amortizes the optimizer stage — per-sample
+  ``update`` time at ``accum_steps=16`` falls well below ``accum_steps=1``
+  (one sparse scatter-update covers 16x the samples).
+
+Also round-trips the persisted decision cache: a second
+:class:`~repro.backends.autotune.StepAutotuner` over the same file must
+reproduce the winner without re-probing.
+
+Set ``BENCH_SMOKE=1`` for CI-friendly tiny shapes (assertions relax to
+emission-only there — the smoke shapes are too noisy to rank engines).
+"""
+
+import os
+
+import pytest
+from _emit import emit as emit_bench
+
+from repro.backends.autotune import StepAutotuner
+from repro.experiments.stepshape import (
+    STEP_AUTO_LABEL,
+    STEPSHAPE_CONFIG,
+    stepshape_backends,
+    stepshape_sweep,
+)
+
+_SMOKE = os.environ.get("BENCH_SMOKE") == "1"
+
+if _SMOKE:
+    BATCHES, STEPS, REPEATS, ACCUM = (64,), 2, 1, (1, 4)
+else:
+    BATCHES, STEPS, REPEATS, ACCUM = (256,), 3, 2, (1, 16)
+
+#: Measured throughput may wobble between the probe and the timed run;
+#: "keeps up with the best fixed engine" is asserted within this band.
+AUTO_THROUGHPUT_SLACK = 0.80
+
+
+@pytest.fixture(scope="module")
+def sweep_rows(tmp_path_factory):
+    cache_path = tmp_path_factory.mktemp("autotune") / "step_cache.json"
+    rows = stepshape_sweep(
+        batches=BATCHES,
+        steps=STEPS,
+        accum=ACCUM,
+        repeats=REPEATS,
+        autotune_cache=cache_path,
+    )
+    return rows, cache_path
+
+
+def test_emit_step_timings(sweep_rows):
+    """One JSON row per (shape, engine) cell, gated by bench_compare."""
+    rows, _ = sweep_rows
+    emitted = [
+        {
+            "shape": f"batch{row.batch}-accum{row.accum_steps}",
+            "engine": row.engine,
+            "chosen": row.chosen,
+            "step_ms": row.step_seconds * 1e3,
+            "samples_per_s": row.samples_per_s,
+            "update_us_per_sample": row.optimize_us_per_sample,
+        }
+        for row in rows
+    ]
+    emit_bench(
+        "step", "stepshape", emitted,
+        meta=dict(smoke=_SMOKE, steps=STEPS, repeats=REPEATS,
+                  accum=list(ACCUM), batches=list(BATCHES),
+                  candidates=stepshape_backends(),
+                  config=STEPSHAPE_CONFIG.name),
+    )
+    assert all(cell["step_ms"] > 0 for cell in emitted)
+    assert all(cell["samples_per_s"] > 0 for cell in emitted)
+
+
+@pytest.mark.skipif(
+    _SMOKE, reason="engine ranking needs the full-size shapes"
+)
+def test_step_auto_keeps_up_with_best_fixed(sweep_rows):
+    """The step-level policy's pick must not lose to the fixed engines it
+    chose between (within the measurement-noise band)."""
+    rows, _ = sweep_rows
+    for batch in BATCHES:
+        for accum in ACCUM:
+            cell = [
+                row for row in rows
+                if row.batch == batch and row.accum_steps == accum
+            ]
+            auto = next(r for r in cell if r.engine == STEP_AUTO_LABEL)
+            best_fixed = max(
+                r.samples_per_s for r in cell if r.engine != STEP_AUTO_LABEL
+            )
+            print(f"\n[step] batch={batch} accum={accum}: auto "
+                  f"({auto.chosen}) {auto.samples_per_s:,.0f} samples/s vs "
+                  f"best fixed {best_fixed:,.0f}")
+            assert auto.samples_per_s >= best_fixed * AUTO_THROUGHPUT_SLACK
+
+
+@pytest.mark.skipif(
+    _SMOKE, reason="amortization ratio needs the full accumulation factor"
+)
+def test_accumulation_amortizes_optimizer(sweep_rows):
+    """accum_steps=16 must cut per-sample optimizer time vs accum_steps=1
+    for every engine (one update stage covers 16x the samples)."""
+    rows, _ = sweep_rows
+    engines = {row.engine for row in rows}
+    for engine in engines:
+        flat = next(
+            r for r in rows if r.engine == engine and r.accum_steps == 1
+        )
+        accumulated = next(
+            r for r in rows if r.engine == engine and r.accum_steps == 16
+        )
+        print(f"\n[step] {engine}: update/sample "
+              f"{flat.optimize_us_per_sample:.2f} us at accum=1 vs "
+              f"{accumulated.optimize_us_per_sample:.2f} us at accum=16")
+        assert (
+            accumulated.optimize_us_per_sample < flat.optimize_us_per_sample
+        )
+
+
+def test_decision_cache_round_trips(sweep_rows):
+    """The persisted cache reproduces the winner without re-probing."""
+    rows, cache_path = sweep_rows
+    assert cache_path.is_file()
+    reloaded = StepAutotuner(
+        candidates=stepshape_backends(), cache_path=cache_path
+    )
+    decisions = reloaded.decisions()
+    assert decisions, "cache loaded no decisions"
+    sweep_chosen = {
+        row.chosen for row in rows if row.engine == STEP_AUTO_LABEL
+    }
+    assert set(decisions.values()) == sweep_chosen

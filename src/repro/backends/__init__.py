@@ -20,6 +20,9 @@ registry:
 * ``auto`` — the autotuned policy: per shape class (batch, pooling factor,
   dim), micro-benchmark the candidates once, cache the winner, delegate.
   The trainers default to it.
+* ``blocked`` — cache-blocked loop tiling: segment-aligned lookup tiles
+  sized to L2 reduced with per-tile bincount loops; the tile size is the
+  tunable knob.
 
 All backends are result-interchangeable: bit-identical for float64 (same
 accumulation order as the oracle) and within documented tolerance for
@@ -52,20 +55,33 @@ from .dispatch import (
 from .reference import ReferenceBackend
 from .vectorized import VectorizedBackend
 from .numba_backend import HAVE_NUMBA, NumbaBackend, NumbaParallelBackend
-from .autotune import AutoBackend, Autotuner, KERNEL_NAMES, ShapeClass
+from .autotune import (
+    AutoBackend,
+    Autotuner,
+    KERNEL_NAMES,
+    STEP_CACHE_VERSION,
+    ShapeClass,
+    StepAutotuner,
+    StepShapeClass,
+)
+from .blocked import BlockedBackend
 
 __all__ = [
     "AutoBackend",
     "Autotuner",
     "BackendSpec",
     "BackendUnavailableError",
+    "BlockedBackend",
     "HAVE_NUMBA",
     "KERNEL_NAMES",
     "KernelBackend",
     "NumbaBackend",
     "NumbaParallelBackend",
     "ReferenceBackend",
+    "STEP_CACHE_VERSION",
     "ShapeClass",
+    "StepAutotuner",
+    "StepShapeClass",
     "UnknownBackendError",
     "VectorizedBackend",
     "available_backends",

@@ -52,9 +52,13 @@ from .experiments import (
     format_scaling,
     format_sensitivity,
     format_serving,
+    format_stepshape,
     format_table1,
     format_table2,
     link_bandwidth_sweep,
+    STEPSHAPE_ACCUM,
+    STEPSHAPE_BATCHES,
+    stepshape_sweep,
     MEASURED_SCALING_SHARDS,
     format_measured_scaling,
     measured_scaling_sweep,
@@ -226,7 +230,30 @@ def _run_cache(
                        optimizer=args.optimizer or "sgd",
                        lr=args.lr if args.lr is not None else 0.1,
                        checkpoint_dir=args.checkpoint_dir, resume=args.resume,
-                       obs=obs)
+                       obs=obs,
+                       accum_steps=(args.accum_steps
+                                    if args.accum_steps is not None else 1))
+    )
+
+
+def _run_stepshape(
+    args: argparse.Namespace,
+    hardware: SystemHardware,
+    obs: "Observability | None" = None,
+) -> str:
+    batches = tuple(args.batches) if args.batches else STEPSHAPE_BATCHES
+    steps = args.steps if args.steps is not None else 3
+    accum = (
+        (args.accum_steps,) if args.accum_steps is not None
+        else STEPSHAPE_ACCUM
+    )
+    return format_stepshape(
+        stepshape_sweep(batches=batches, steps=steps, accum=accum,
+                        dataset=args.dataset,
+                        autotune_cache=args.autotune_cache,
+                        optimizer=args.optimizer or "sgd",
+                        lr=args.lr if args.lr is not None else 0.1,
+                        obs=obs)
     )
 
 
@@ -286,6 +313,10 @@ EXPERIMENTS: Dict[str, tuple[Callable, str]] = {
     "serve": (_run_serve, "Beyond the paper - Section II-A traffic served: "
                           "latency-bounded inference, arrival rate x "
                           "batching policy under a tail SLA"),
+    "stepshape": (_run_stepshape, "Beyond the paper - whole-step autotuning "
+                                  "over the Section V training step: fixed "
+                                  "kernel engines vs the step-level policy, "
+                                  "x gradient accumulation"),
 }
 
 #: Experiments that train a real model through the runtime engine and
@@ -296,6 +327,17 @@ TRAINER_EXPERIMENTS = ("cache", "overlap", "serve")
 
 #: Backward-compatible alias (the trace flag predates the other job flags).
 TRACE_EXPERIMENTS = TRAINER_EXPERIMENTS
+
+#: Experiments that run measured trainers through the engine and accept the
+#: optimizer and observability flags: the trainer-backed experiments plus
+#: the whole-step autotune sweep (which trains real models but neither
+#: replays traces nor checkpoints).
+ENGINE_EXPERIMENTS = TRAINER_EXPERIMENTS + ("stepshape",)
+
+#: Engine experiments that accept the gradient-accumulation knob — their
+#: measured trainers run unsharded, so the
+#: :class:`~repro.runtime.engine.GradAccumSchedule` composes cleanly.
+ACCUM_EXPERIMENTS = ("cache", "stepshape")
 
 
 def _run_list(args: argparse.Namespace) -> int:
@@ -475,6 +517,20 @@ def build_parser() -> argparse.ArgumentParser:
              f"{', '.join(TRAINER_EXPERIMENTS)})",
     )
     parser.add_argument(
+        "--accum-steps", type=int, default=None, metavar="N",
+        help="gradient-accumulation factor: merge N micro-batches per "
+             "optimizer step under the GradAccumSchedule (bit-identical to "
+             "the equivalent large batch for SGD); accepted by: "
+             f"{', '.join(ACCUM_EXPERIMENTS)} (default: 1; for 'stepshape' "
+             "the default sweeps several factors)",
+    )
+    parser.add_argument(
+        "--autotune-cache", default=None, metavar="PATH",
+        help="persist the whole-step autotuner's per-shape decisions as "
+             "JSON at PATH ('stepshape'); an existing cache skips the "
+             "probes, a malformed one exits nonzero",
+    )
+    parser.add_argument(
         "--resume", default=None, metavar="CKPT",
         help="warm-start every measured trainer from a checkpoint written "
              "by --checkpoint-dir (or repro.runtime.checkpoint); the "
@@ -513,13 +569,21 @@ def main(argv: Sequence[str] | None = None) -> int:
             )
             return 2
     # The training-job flags follow the --trace convention: they apply to
-    # the trainer-backed experiments only, and bad values exit 2 with the
-    # candidates listed before any experiment runs.
+    # the experiments that actually run measured trainers, and bad values
+    # exit 2 with the candidates listed before any experiment runs.
     for flag, value in (("--optimizer", args.optimizer), ("--lr", args.lr),
-                        ("--checkpoint-dir", args.checkpoint_dir),
-                        ("--resume", args.resume),
                         ("--trace-out", args.trace_out),
                         ("--metrics-out", args.metrics_out)):
+        if value is not None and args.experiment not in ENGINE_EXPERIMENTS:
+            print(
+                f"error: {flag} does not apply to {args.experiment!r}; "
+                "the training-engine experiments are: "
+                f"{', '.join(ENGINE_EXPERIMENTS)}",
+                file=sys.stderr,
+            )
+            return 2
+    for flag, value in (("--checkpoint-dir", args.checkpoint_dir),
+                        ("--resume", args.resume)):
         if value is not None and args.experiment not in TRAINER_EXPERIMENTS:
             print(
                 f"error: {flag} does not apply to {args.experiment!r}; "
@@ -528,6 +592,32 @@ def main(argv: Sequence[str] | None = None) -> int:
                 file=sys.stderr,
             )
             return 2
+    # Gradient accumulation and the whole-step autotune cache mirror the
+    # --backend idiom: bad values and wrong experiments exit 2 up front.
+    if args.accum_steps is not None:
+        if args.experiment not in ACCUM_EXPERIMENTS:
+            print(
+                f"error: --accum-steps does not apply to {args.experiment!r}; "
+                "the training-engine experiments that accumulate gradients "
+                f"are: {', '.join(ACCUM_EXPERIMENTS)}",
+                file=sys.stderr,
+            )
+            return 2
+        if args.accum_steps <= 0:
+            print(
+                f"error: --accum-steps must be positive, got "
+                f"{args.accum_steps}",
+                file=sys.stderr,
+            )
+            return 2
+    if args.autotune_cache is not None and args.experiment != "stepshape":
+        print(
+            f"error: --autotune-cache does not apply to {args.experiment!r}; "
+            "it is a 'stepshape' knob (the whole-step autotuner's decision "
+            "cache)",
+            file=sys.stderr,
+        )
+        return 2
     # The parallel-schedule knobs apply to the two sharded-runtime sweeps
     # only, and --workers/--parallel-mode mean nothing without the parallel
     # schedule selected — same exit-2 convention.
@@ -612,7 +702,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     runner, description = EXPERIMENTS[args.experiment]
     try:
-        if args.experiment in TRAINER_EXPERIMENTS:
+        if args.experiment in ENGINE_EXPERIMENTS:
             output = runner(args, SystemHardware(), obs=obs)
         else:
             output = runner(args, SystemHardware())

@@ -68,6 +68,15 @@ from .sensitivity import (
     link_bandwidth_sweep,
 )
 from .speedup import SpeedupRow, fig13_speedup, format_fig13, speedup_summary
+from .stepshape import (
+    STEPSHAPE_ACCUM,
+    STEPSHAPE_BATCHES,
+    STEPSHAPE_CONFIG,
+    StepShapeRow,
+    format_stepshape,
+    stepshape_backends,
+    stepshape_sweep,
+)
 from .tables import format_table1, format_table2, table1_rows, table2_rows
 from .traffic import TrafficRow, fig6_traffic, format_fig6
 from .utilization import UtilizationRow, fig15_utilization, format_fig15
@@ -90,10 +99,14 @@ __all__ = [
     "SCALING_SHARDS",
     "SERVING_CONFIG",
     "SERVING_POLICIES",
+    "STEPSHAPE_ACCUM",
+    "STEPSHAPE_BATCHES",
+    "STEPSHAPE_CONFIG",
     "ScalingRow",
     "SensitivityRow",
     "ServingRow",
     "SpeedupRow",
+    "StepShapeRow",
     "TrafficRow",
     "UtilizationRow",
     "analytic_overlap_speedup",
@@ -124,6 +137,7 @@ __all__ = [
     "format_scaling",
     "format_sensitivity",
     "format_serving",
+    "format_stepshape",
     "format_table",
     "format_table1",
     "format_table2",
@@ -138,6 +152,8 @@ __all__ = [
     "serving_sweep",
     "stacked_bar_chart",
     "speedup_summary",
+    "stepshape_backends",
+    "stepshape_sweep",
     "table1_rows",
     "table2_rows",
     "trace_analytic_hit_rate",

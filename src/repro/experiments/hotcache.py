@@ -174,6 +174,7 @@ def hotcache_sweep(
     checkpoint_dir: "str | Path | None" = None,
     resume: "str | Path | None" = None,
     obs: "Observability | None" = None,
+    accum_steps: int = 1,
 ) -> List[HotCacheRow]:
     """Measure executed LRU/LFU hit rates against the analytic prediction.
 
@@ -188,7 +189,11 @@ def hotcache_sweep(
     each policy's trainer from a checkpoint (parameters + optimizer state
     restored, the stream fast-forwarded past the checkpointed steps);
     ``checkpoint_dir`` saves each policy's final trained state as
-    ``cache-{policy}.npz``.  ``obs`` attaches a
+    ``cache-{policy}.npz``.  ``accum_steps`` > 1 trains under the
+    :class:`~repro.runtime.engine.GradAccumSchedule` — each engine step
+    merges that many micro-batches before the single optimizer step, so
+    the cache sees ``accum_steps`` times the gather stream per recorded
+    step.  ``obs`` attaches a
     :class:`~repro.obs.session.Observability` to every measured training
     run (spans, kernel counts, per-table cache series — policies run
     sequentially, so their spans land back-to-back on the shared tracks).
@@ -244,6 +249,7 @@ def hotcache_sweep(
             backend=backend if backend is not None else "auto",
             hot_cache=HotRowCacheSpec(capacity_rows=capacity_rows),
             cache_policy=policy,
+            accum_steps=accum_steps,
         )
         start_step = (
             restore_trainer(trainer, checkpoint) if checkpoint is not None else 0

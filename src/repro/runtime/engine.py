@@ -51,6 +51,8 @@ from typing import (
 import numpy as np
 
 from ..backends.dispatch import observe_kernels
+from ..core.indexing import IndexArray
+from ..data.source import CTRBatch
 from ..obs.metrics import Gauge, MetricRegistry
 from .parallel import (
     BackwardShardResult,
@@ -76,6 +78,7 @@ if TYPE_CHECKING:  # runtime import would cycle through the trainer facade
 __all__ = [
     "CastAheadWorker",
     "CastAheadSchedule",
+    "GradAccumSchedule",
     "InferSchedule",
     "MetricsLogger",
     "ParallelShardSchedule",
@@ -363,6 +366,185 @@ class CastAheadSchedule(Schedule):
         with engine.collector.timed("prefetch"):
             stages.draw.run(ctx)
         if ctx.data is None:
+            return None
+        return ctx, worker.submit(stages.cast.run, ctx)
+
+
+def _merge_micro_batches(micros: Sequence[CTRBatch]) -> CTRBatch:
+    """Concatenate micro-batches into one effective batch.
+
+    Dense features and labels stack along the sample axis; each table's
+    index arrays concatenate with ``dst`` offset by the running sample
+    count (``src`` is untouched — all micros address the same tables).
+    Lookup order is preserved exactly, so every kernel over the merged
+    stream accumulates in the same order a genuine large-batch draw would.
+    """
+    if len(micros) == 1:
+        return micros[0]
+    offsets = np.cumsum([0] + [micro.size for micro in micros])
+    total = int(offsets[-1])
+    num_tables = len(micros[0].indices)
+    indices = []
+    for table in range(num_tables):
+        parts = [micro.indices[table] for micro in micros]
+        indices.append(
+            IndexArray(
+                np.concatenate([part.src for part in parts]),
+                np.concatenate([
+                    part.dst + offset
+                    for part, offset in zip(parts, offsets[:-1])
+                ]),
+                num_rows=max(part.num_rows for part in parts),
+                num_outputs=total,
+            )
+        )
+    return CTRBatch(
+        dense=np.concatenate([micro.dense for micro in micros]),
+        indices=indices,
+        labels=np.concatenate([micro.labels for micro in micros]),
+    )
+
+
+class GradAccumSchedule(Schedule):
+    """Gradient accumulation: ``accum_steps`` micro-batches, one optimizer step.
+
+    The Facebook DNN-recommendation characterization (Gupta et al.,
+    PAPERS.md) shows the optimizer/update phase amortizes poorly at small
+    batch — its dense cost is per-parameter, independent of batch size.
+    This schedule draws ``accum_steps`` micro-batches per training step and
+    trains them as *one* effective batch: the per-table lookup streams are
+    concatenated (:func:`_merge_micro_batches`) and the cross-micro-batch
+    gradient accumulation happens inside the paper's own primitive — the
+    cast + gather-reduce over the merged stream coalesces every micro
+    batch's gradients into one scatter — followed by a single ``optimize``.
+
+    Two invariants:
+
+    * **Bit-identity with the equivalent large-batch step** — merging
+      preserves sample order and lookup order exactly, and the compute
+      stages are the very same objects :class:`SerialSchedule` runs, so an
+      ``accum_steps=N`` step over micro-batches ``b_1..b_N`` produces
+      bit-identical parameters to one serial step over their concatenation
+      (pinned for SGD — and every optimizer, since the merged step *is* a
+      single step — by ``tests/runtime/test_grad_accum.py``).
+    * **Micro-batch draw semantics** — batches are drawn one micro at a
+      time through the ordinary ``draw`` stage, consuming the source and
+      RNG exactly as ``accum_steps`` serial steps of the micro batch size
+      would, so finite sources, trace replay, and arrival shaping behave
+      identically.  A source that exhausts mid-group trains the partial
+      group (smaller effective batch) and stops.
+
+    ``cast_ahead=True`` composes with the Section IV-B overlap: group
+    ``i+1`` is drawn on the main thread (RNG order preserved) and its
+    merged cast runs on a background :class:`CastAheadWorker` while group
+    ``i`` computes — casting depends only on index data, so accumulation
+    widens the window the cast can hide in.  Unsharded trainers only: the
+    sharded exchange accounting assumes one plan per drawn batch.
+
+    The report counts *optimizer* steps in ``steps`` and every trained
+    sample in ``samples``; ``accum_steps`` lands on the report so the
+    ``optimize`` amortization properties can normalize either way.
+    """
+
+    name = "grad_accum"
+
+    def __init__(self, accum_steps: int, cast_ahead: bool = False) -> None:
+        if (
+            isinstance(accum_steps, bool)
+            or not isinstance(accum_steps, (int, np.integer))
+            or accum_steps <= 0
+        ):
+            raise ValueError(
+                f"accum_steps must be a positive integer, got {accum_steps!r}"
+            )
+        self.accum_steps = int(accum_steps)
+        self.cast_ahead = bool(cast_ahead)
+        self._exhausted = False
+
+    def execute(
+        self, engine: "TrainingEngine", stages: StepStages, steps: int
+    ) -> None:
+        if stages.num_shards is not None:
+            raise ValueError(
+                "GradAccumSchedule supports unsharded training only; the "
+                "sharded exchange accounting assumes one plan per batch"
+            )
+        self._exhausted = False
+        if self.cast_ahead:
+            self._execute_cast_ahead(engine, stages, steps)
+            return
+        for _ in range(steps):
+            ctx = self._draw_group(engine, stages, timed=False)
+            if ctx is None:
+                break
+            with engine.step_scope():
+                stages.cast.run(ctx)
+                engine.collector.absorb_cast(ctx)
+                for stage in stages.compute:
+                    stage.run(ctx)
+                engine.complete_step(ctx)
+            if self._exhausted:
+                break
+
+    def _execute_cast_ahead(
+        self, engine: "TrainingEngine", stages: StepStages, steps: int
+    ) -> None:
+        with CastAheadWorker() as worker:
+            prefetched = self._prefetch_group(engine, stages, worker)
+            if prefetched is None:
+                return
+            ctx, future = prefetched
+            for step in range(steps):
+                upcoming = None
+                if step + 1 < steps and not self._exhausted:
+                    upcoming = self._prefetch_group(engine, stages, worker)
+                with engine.step_scope():
+                    with engine.collector.timed("cast_wait"):
+                        future.result()
+                    engine.collector.absorb_cast(ctx)
+                    for stage in stages.compute:
+                        stage.run(ctx)
+                    engine.complete_step(ctx)
+                if upcoming is None:
+                    break
+                ctx, future = upcoming
+
+    def _draw_group(
+        self, engine: "TrainingEngine", stages: StepStages, timed: bool
+    ) -> Optional[StepContext]:
+        """Draw up to ``accum_steps`` micro-batches and merge them.
+
+        Returns ``None`` when the source exhausts before the first micro of
+        the group; a partially-filled group trains at its smaller effective
+        batch and flags the loop to stop afterwards.
+        """
+        scope: ContextManager[Any] = (
+            engine.collector.timed("prefetch") if timed else nullcontext()
+        )
+        micros: list[CTRBatch] = []
+        with scope:
+            for _ in range(self.accum_steps):
+                ctx = stages.new_context()
+                stages.draw.run(ctx)
+                if ctx.data is None:
+                    self._exhausted = True
+                    break
+                micros.append(ctx.data)
+        if not micros:
+            return None
+        merged = stages.new_context()
+        merged.data = _merge_micro_batches(micros)
+        return merged
+
+    def _prefetch_group(
+        self,
+        engine: "TrainingEngine",
+        stages: StepStages,
+        worker: CastAheadWorker,
+    ) -> Optional[Tuple[StepContext, "Future[Tuple[Any, float]]"]]:
+        """Draw the next group (main thread) and queue its merged cast."""
+        ctx = self._draw_group(engine, stages, timed=True)
+        if ctx is None:
             return None
         return ctx, worker.submit(stages.cast.run, ctx)
 
@@ -679,6 +861,7 @@ class TrainingEngine:
         report = replace(
             report,
             wall_seconds=time.perf_counter() - wall_start,
+            accum_steps=int(getattr(schedule, "accum_steps", 1)),
             **trainer._cache_fields(),
         )
         if self.obs is not None:

@@ -39,7 +39,13 @@ from typing import Any, Sequence, TYPE_CHECKING
 
 import numpy as np
 
-from .engine import CastAheadSchedule, CastAheadWorker, Schedule, TrainingCallback
+from .engine import (
+    CastAheadSchedule,
+    CastAheadWorker,
+    GradAccumSchedule,
+    Schedule,
+    TrainingCallback,
+)
 from .trainer import FunctionalTrainer, TrainingReport
 
 if TYPE_CHECKING:
@@ -103,4 +109,6 @@ class PipelinedTrainer(FunctionalTrainer):
         )
 
     def _schedule(self) -> Schedule:
+        if self.accum_steps > 1:
+            return GradAccumSchedule(self.accum_steps, cast_ahead=True)
         return CastAheadSchedule()

@@ -175,6 +175,8 @@ class TrainingReport:
     cache_hits: int = 0
     cache_accesses: int = 0
     cache_policy: Optional[str] = None
+    accum_steps: int = 1
+    samples: int = 0
 
     @property
     def final_loss(self) -> float:
@@ -197,6 +199,40 @@ class TrainingReport:
         if self.wall_seconds <= 0.0:
             return 0.0
         return self.steps / self.wall_seconds
+
+    # ------------------------------------------------------------------
+    # Optimize amortization (the gradient-accumulation story)
+    # ------------------------------------------------------------------
+    @property
+    def optimize_seconds(self) -> float:
+        """Total wall-clock spent in the ``optimize`` stage (``update``)."""
+        return self.timings.totals.get("update", 0.0)
+
+    @property
+    def optimize_seconds_per_step(self) -> float:
+        """``optimize`` seconds per *optimizer* step."""
+        if self.steps <= 0:
+            return 0.0
+        return self.optimize_seconds / self.steps
+
+    @property
+    def optimize_seconds_per_sample(self) -> float:
+        """``optimize`` seconds amortized over every trained sample.
+
+        The number gradient accumulation exists to shrink: with
+        ``accum_steps=N`` one optimizer step covers ``N`` micro-batches of
+        samples, so the dense update's per-parameter cost is paid once per
+        ``N`` micro-batches and the sparse scatter coalesces across all of
+        them.
+        """
+        if self.samples <= 0:
+            return 0.0
+        return self.optimize_seconds / self.samples
+
+    @property
+    def optimize_fraction(self) -> float:
+        """Share of instrumented time the ``optimize`` stage took."""
+        return self.timings.fraction("update")
 
 
 @dataclass(frozen=True)
@@ -611,6 +647,7 @@ class StageTimingCollector:
         )
         self.tracer = tracer
         self.losses: List[float] = []
+        self.samples = 0
         self.forward_exchange_bytes = 0
         self.backward_exchange_bytes = 0
 
@@ -706,8 +743,10 @@ class StageTimingCollector:
             ctx.cast_spans = []
 
     def finish_step(self, ctx: StepContext) -> None:
-        """Record a completed step's loss and exchange-byte attribution."""
+        """Record a completed step's loss, samples, and exchange bytes."""
         self.losses.append(ctx.loss)
+        if ctx.data is not None:
+            self.samples += ctx.data.size
         if ctx.plan is not None:
             self.forward_exchange_bytes += ctx.plan.forward_exchange_bytes
             self.backward_exchange_bytes += ctx.plan.backward_exchange_bytes
@@ -727,6 +766,7 @@ class StageTimingCollector:
                 forward_exchange_bytes=self.forward_exchange_bytes,
                 backward_exchange_bytes=self.backward_exchange_bytes,
                 backend=backend,
+                samples=self.samples,
             )
         return TrainingReport(
             losses=self.losses,
@@ -734,6 +774,7 @@ class StageTimingCollector:
             mode=mode,
             steps=len(self.losses),
             backend=backend,
+            samples=self.samples,
         )
 
 

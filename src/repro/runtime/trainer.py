@@ -48,6 +48,7 @@ from ..model.optim import Optimizer
 from ..model.sharded import ShardedEmbeddingSet
 from ..sim.cache import HotRowCacheSpec
 from .engine import (
+    GradAccumSchedule,
     ParallelShardSchedule,
     Schedule,
     SerialSchedule,
@@ -136,6 +137,16 @@ class FunctionalTrainer:
         segments).  ``backend="auto"`` is rejected in process mode: each
         worker would autotune independently and could pick different
         engines, voiding the float32 bit-identity contract.
+    accum_steps:
+        Gradient accumulation factor.  ``1`` (default) optimizes after
+        every drawn batch.  ``N > 1`` runs under the
+        :class:`~repro.runtime.engine.GradAccumSchedule`: each engine step
+        draws ``N`` micro-batches, merges them (sample and lookup order
+        preserved), and performs one cast / forward / backward / optimizer
+        step over the merged batch — for SGD this is bit-identical to a
+        single step over the equivalent large batch, and the per-sample
+        optimizer cost is amortized ``N``-fold (the report's
+        ``optimize_seconds_per_sample``).  Unsharded trainers only.
     """
 
     def __init__(
@@ -151,6 +162,7 @@ class FunctionalTrainer:
         schedule: str = "serial",
         workers: int | None = None,
         parallel_mode: str = "thread",
+        accum_steps: int = 1,
     ) -> None:
         stream = as_batch_source(stream)
         if stream.num_tables != len(model.embeddings):
@@ -204,6 +216,22 @@ class FunctionalTrainer:
                 raise ValueError(
                     f"workers must be a positive integer, got {workers!r}"
                 )
+        if (
+            isinstance(accum_steps, bool)
+            or not isinstance(accum_steps, (int, np.integer))
+            or accum_steps <= 0
+        ):
+            raise ValueError(
+                f"accum_steps must be a positive integer, got {accum_steps!r}"
+            )
+        if accum_steps > 1 and num_shards is not None:
+            raise ValueError(
+                "accum_steps > 1 requires an unsharded trainer (the "
+                "GradAccumSchedule merges micro-batches into one effective "
+                "batch; the sharded exchange accounting assumes one plan "
+                "per drawn batch)"
+            )
+        self.accum_steps = int(accum_steps)
         self.schedule = schedule
         self.workers = int(workers) if workers is not None else None
         self.parallel_mode = parallel_mode
@@ -344,6 +372,8 @@ class FunctionalTrainer:
             return ParallelShardSchedule(
                 workers=self.workers, mode=self.parallel_mode
             )
+        if self.accum_steps > 1:
+            return GradAccumSchedule(self.accum_steps)
         return SerialSchedule()
 
     # ------------------------------------------------------------------

@@ -32,6 +32,7 @@ class TestRegistry:
             "numba",
             "numba-parallel",
             "auto",
+            "blocked",
         )
 
     def test_available_is_an_ordered_subset(self):

@@ -482,3 +482,58 @@ class TestObservabilityFlags:
         payload = json.loads(metrics.read_text())
         assert any(name.startswith("serving.requests") for name in payload)
         assert not (tmp_path / "serve.trace.json").exists()
+
+
+class TestStepShapeAndAccumFlags:
+    """--accum-steps/--autotune-cache and the stepshape experiment."""
+
+    def test_flags_parse(self):
+        args = build_parser().parse_args(
+            ["stepshape", "--accum-steps", "4", "--autotune-cache", "c.json"]
+        )
+        assert args.accum_steps == 4
+        assert args.autotune_cache == "c.json"
+
+    def test_flags_default_to_none(self):
+        args = build_parser().parse_args(["cache"])
+        assert args.accum_steps is None
+        assert args.autotune_cache is None
+
+    @pytest.mark.parametrize("experiment", ["fig6", "overlap", "serve"])
+    def test_accum_steps_rejected_elsewhere(self, experiment, capsys):
+        assert main([experiment, "--accum-steps", "4"]) == 2
+        err = capsys.readouterr().err
+        assert "--accum-steps does not apply" in err
+        assert "cache" in err and "stepshape" in err
+
+    @pytest.mark.parametrize("bad", ["0", "-3"])
+    def test_nonpositive_accum_steps_exits_nonzero(self, bad, capsys):
+        assert main(["cache", "--accum-steps", bad]) == 2
+        assert "--accum-steps must be positive" in capsys.readouterr().err
+
+    def test_autotune_cache_rejected_outside_stepshape(self, capsys):
+        assert main(["cache", "--autotune-cache", "c.json"]) == 2
+        assert "--autotune-cache does not apply" in capsys.readouterr().err
+
+    def test_malformed_autotune_cache_exits_nonzero(self, capsys, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text("{not json")
+        assert main(["stepshape", "--batches", "16", "--steps", "1",
+                     "--accum-steps", "1", "--autotune-cache",
+                     str(path)]) == 2
+        assert "autotune cache" in capsys.readouterr().err
+
+    def test_cache_experiment_accumulates(self, capsys):
+        assert main(["cache", "--batches", "32", "--steps", "2",
+                     "--accum-steps", "2", "--dataset", "movielens"]) == 0
+        assert "hit rate" in capsys.readouterr().out
+
+    def test_stepshape_runs_and_caches_decisions(self, capsys, tmp_path):
+        path = tmp_path / "cache.json"
+        assert main(["stepshape", "--batches", "16", "--steps", "1",
+                     "--accum-steps", "2", "--autotune-cache",
+                     str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "step-auto" in out
+        assert "Update us/sample" in out
+        assert path.is_file()

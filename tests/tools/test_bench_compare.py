@@ -17,6 +17,8 @@ class TestMetricDirection:
 
     @pytest.mark.parametrize("name", [
         "best_ms", "p99_s", "wall_seconds", "phase_forward_s",
+        "exchange_bytes", "forward_exchange_bytes", "peak_mb", "traffic_mb",
+        "PEAK_MB",
     ])
     def test_lower_is_better(self, name):
         assert metric_direction(name) == -1
@@ -24,6 +26,28 @@ class TestMetricDirection:
     @pytest.mark.parametrize("name", ["kernel", "steps", "batch", "notes"])
     def test_everything_else_is_ungated(self, name):
         assert metric_direction(name) == 0
+
+    def test_direction_table_is_exhaustive(self):
+        """Every declared suffix resolves through metric_direction — the
+        two tables cannot drift from the inference function."""
+        from tools.bench_compare import HIGHER_IS_BETTER, LOWER_IS_BETTER
+
+        for suffix in LOWER_IS_BETTER:
+            assert metric_direction(f"anything{suffix}") == -1
+        for suffix in HIGHER_IS_BETTER:
+            assert metric_direction(f"anything{suffix}") == 1
+        # Throughput names must win ties against duration suffixes: the
+        # "_per_s"/"qps" family ends in "_s" too.
+        assert metric_direction("samples_per_s") == 1
+        assert metric_direction("qps") == 1
+
+    def test_bytes_regression_gates(self):
+        base = bench([{"mode": "sharded", "exchange_bytes": 1000.0}])
+        grown = bench([{"mode": "sharded", "exchange_bytes": 2000.0}])
+        (problem,) = compare(grown, base, tolerance=0.15)
+        assert "exchange_bytes" in problem
+        shrunk = bench([{"mode": "sharded", "exchange_bytes": 500.0}])
+        assert compare(shrunk, base, tolerance=0.15) == []
 
 
 def bench(rows, section="primitives", meta=None):

@@ -426,6 +426,113 @@ class TestRegistryConsistency:
         """)
         assert tree.lint(rules=["registry-consistency"]) == []
 
+    def test_unimported_backend_module_flagged(self, tree):
+        # Registration is an import-time side effect: a backend module
+        # backends/__init__.py never imports silently never registers.
+        tree.write("src/repro/backends/engines.py", """\
+            def register_backend(cls):
+                return cls
+
+
+            @register_backend
+            class VectorizedBackend:
+                name = "vectorized"
+        """)
+        tree.write("src/repro/backends/forgotten.py", """\
+            from .engines import register_backend
+
+
+            @register_backend
+            class ForgottenBackend:
+                name = "forgotten"
+        """)
+        tree.write("src/repro/backends/__init__.py", """\
+            from .engines import VectorizedBackend
+        """)
+        findings = tree.lint(rules=["registry-consistency"])
+        assert len(findings) == 1
+        assert "ForgottenBackend" in findings[0].message
+        assert "backends/__init__.py never imports" in findings[0].message
+        assert "silently never registers" in findings[0].message
+
+    def test_module_import_registers_its_backends(self, tree):
+        # ``from . import engines`` executes the module, so every class
+        # it defines registers — no per-class import required.
+        tree.write("src/repro/backends/engines.py", """\
+            def register_backend(cls):
+                return cls
+
+
+            @register_backend
+            class VectorizedBackend:
+                name = "vectorized"
+        """)
+        tree.write("src/repro/backends/__init__.py", """\
+            from . import engines
+        """)
+        assert tree.lint(rules=["registry-consistency"]) == []
+
+    def test_backend_import_check_skips_without_init(self, tree):
+        tree.write("src/repro/backends/engines.py", """\
+            def register_backend(cls):
+                return cls
+
+
+            @register_backend
+            class VectorizedBackend:
+                name = "vectorized"
+        """)
+        assert tree.lint(rules=["registry-consistency"]) == []
+
+    STEP_CACHE_FUNCS = (
+        "def load_cache(path):\n"
+        "    import json\n"
+        "    payload = json.loads(path.read_text())\n"
+        "    return {{\n"
+        '        key: entry.get("winner")\n'
+        '        for key, entry in payload.get("decisions").items()\n'
+        "    }}\n"
+        "\n"
+        "\n"
+        "def save_cache(path, decisions):\n"
+        "    import json\n"
+        "    path.write_text(json.dumps({{\n"
+        '        "version": 1,\n'
+        '        "decisions": {payload},\n'
+        "    }}))\n"
+    )
+
+    def test_step_cache_keys_within_schema_pass(self, tree):
+        tree.write("src/repro/backends/autotune.py", (
+            'STEP_CACHE_SCHEMA = ("version", "decisions", "winner")\n\n\n'
+            + self.STEP_CACHE_FUNCS.format(
+                payload='{key: {"winner": name} '
+                        'for key, name in decisions.items()}')
+        ))
+        assert tree.lint(rules=["registry-consistency"]) == []
+
+    def test_step_cache_key_drift_flagged(self, tree):
+        # save_cache writes a key the declared schema does not list: the
+        # persisted JSON layout drifted from STEP_CACHE_SCHEMA.
+        tree.write("src/repro/backends/autotune.py", (
+            'STEP_CACHE_SCHEMA = ("version", "decisions", "winner")\n\n\n'
+            + self.STEP_CACHE_FUNCS.format(
+                payload='{key: {"winner": name, "probe_ms": 0.0} '
+                        'for key, name in decisions.items()}')
+        ))
+        findings = tree.lint(rules=["registry-consistency"])
+        assert len(findings) == 1
+        assert "save_cache uses cache key 'probe_ms'" in findings[0].message
+        assert "STEP_CACHE_SCHEMA does not declare" in findings[0].message
+
+    def test_step_cache_without_schema_declaration_flagged(self, tree):
+        tree.write("src/repro/backends/autotune.py", self.STEP_CACHE_FUNCS
+                   .format(payload="decisions"))
+        findings = tree.lint(rules=["registry-consistency"])
+        assert len(findings) == 2  # one per cache function
+        assert all("STEP_CACHE_SCHEMA is not declared" in f.message
+                   for f in findings)
+
 
 # ---------------------------------------------------------------------------
 # export-hygiene

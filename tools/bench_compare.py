@@ -12,7 +12,8 @@ Usage::
                                   [--smoke] [--sections NAME ...]
 
 Direction is inferred from the metric name: ``*_ms``/``*_s``/
-``*_seconds`` are lower-is-better, ``qps``/``*_per_s``/``*_per_second``/
+``*_seconds`` (durations) and ``*_bytes``/``*_mb`` (memory footprints,
+traffic) are lower-is-better, ``qps``/``*_per_s``/``*_per_second``/
 ``*_rate``/``*_attainment``/``*_speedup`` are higher-is-better; anything
 else is informational and never gates.  Rows are matched within each
 section by their non-numeric identity keys (``kernel``, ``mode``,
@@ -34,8 +35,10 @@ from typing import Any, Dict, List, Mapping, Sequence, Tuple
 
 __all__ = ["compare", "metric_direction", "main"]
 
-#: Metric-name suffixes that mean "lower is better" (latencies, durations).
-LOWER_IS_BETTER = ("_ms", "_s", "_seconds")
+#: Metric-name suffixes that mean "lower is better": latencies/durations
+#: plus memory footprints and traffic volumes (growing exchange bytes is a
+#: regression just like growing a latency).
+LOWER_IS_BETTER = ("_ms", "_s", "_seconds", "_bytes", "_mb")
 
 #: Suffixes/names that mean "higher is better" (throughputs, rates).
 HIGHER_IS_BETTER = (

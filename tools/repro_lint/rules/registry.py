@@ -21,7 +21,15 @@ This rule cross-checks them all via AST constant extraction:
 * string-literal fallbacks and keywords: ``args.optimizer or "<name>"``
   and ``optimizer="<name>"`` must name a key of ``OPTIMIZERS``;
   ``backend="<name>"`` keywords and defaults must name a registered
-  backend (``@register_backend`` classes' ``name`` attributes).
+  backend (``@register_backend`` classes' ``name`` attributes);
+* every ``@register_backend`` class defined under ``backends/`` must be
+  imported by ``backends/__init__.py`` — registration happens at import
+  time and the ``__init__`` import order *is* the registry order, so a
+  backend module nobody imports silently never registers;
+* the whole-step autotune cache file: every string key ``load_cache``/
+  ``save_cache`` read or write must be declared in ``STEP_CACHE_SCHEMA``
+  (``backends/autotune.py``), so the persisted JSON layout cannot drift
+  from its declared schema.
 
 Cross-file checks are skipped gracefully when the defining module is not
 part of the lint run (e.g. linting a single file).
@@ -132,6 +140,8 @@ class RegistryConsistencyChecker(Checker):
         cli = _find_source(project, "repro/cli.py")
         if cli is not None:
             yield from self._check_cli(cli, optimizers)
+        yield from self._check_backend_imports(project)
+        yield from self._check_step_cache_schema(project)
         for source in project.files:
             if source.in_library():
                 yield from self._check_name_literals(
@@ -250,6 +260,126 @@ class RegistryConsistencyChecker(Checker):
                     "is never read; dead flags confuse --help and rot "
                     "silently",
                 )
+
+    # ------------------------------------------------ backend registration
+    def _check_backend_imports(
+        self, project: Project,
+    ) -> Iterable[Finding]:
+        """Every ``@register_backend`` class must reach ``__init__.py``.
+
+        Registration is an import-time side effect and the package
+        ``__init__`` import order *is* the registry order, so a backend
+        class (or its module) that ``backends/__init__.py`` never imports
+        silently never registers — no test fails, the engine just
+        vanishes from ``available_backends()``.
+        """
+        init = _find_source(project, "repro/backends/__init__.py")
+        if init is None:
+            return
+        imported: Set[str] = set()
+        for node in ast.walk(init.tree):
+            if isinstance(node, ast.ImportFrom):
+                # ``from .blocked import anything`` and ``from . import
+                # blocked`` both execute blocked.py, which registers every
+                # backend it defines — track the module, not the names.
+                if node.module is not None:
+                    imported.add(node.module.split(".")[-1])
+                else:
+                    for item in node.names:
+                        imported.add(item.name)
+            elif isinstance(node, ast.Import):
+                for item in node.names:
+                    imported.add(item.name.split(".")[-1])
+        for source in project.files:
+            if (not source.in_library()
+                    or "backends" not in source.dir_parts
+                    or source.name == "__init__.py"):
+                continue
+            module = source.name.removesuffix(".py")
+            for node in ast.walk(source.tree):
+                if not isinstance(node, ast.ClassDef):
+                    continue
+                decorated = any(
+                    (isinstance(dec, ast.Name)
+                     and dec.id == "register_backend")
+                    or (isinstance(dec, ast.Attribute)
+                        and dec.attr == "register_backend")
+                    for dec in node.decorator_list
+                )
+                if not decorated:
+                    continue
+                if module not in imported:
+                    yield self.finding(
+                        source, node,
+                        f"@register_backend class {node.name} lives in "
+                        f"{module}.py, which backends/__init__.py never "
+                        "imports — it silently never registers (import "
+                        "order is registration order); import something "
+                        f"from the {module!r} module there",
+                    )
+
+    # ------------------------------------------------ autotune cache schema
+    def _check_step_cache_schema(
+        self, project: Project,
+    ) -> Iterable[Finding]:
+        """``load_cache``/``save_cache`` keys must stay in STEP_CACHE_SCHEMA.
+
+        The whole-step autotuner persists its decisions as JSON; the
+        on-disk layout is declared once as ``STEP_CACHE_SCHEMA`` so old
+        cache files fail loudly.  A key read via ``.get("...")``, written
+        as a dict-literal key, or assigned via ``payload["..."]`` inside
+        either function that the schema tuple does not declare is silent
+        format drift.
+        """
+        source = _find_source(project, "repro/backends/autotune.py")
+        if source is None:
+            return
+        schema_node = _module_assigns(source.tree).get("STEP_CACHE_SCHEMA")
+        schema = ({name for name, _ in _string_elts(schema_node)}
+                  if schema_node is not None else None)
+        for node in ast.walk(source.tree):
+            if (not isinstance(node, ast.FunctionDef)
+                    or node.name not in ("load_cache", "save_cache")):
+                continue
+            if schema is None:
+                yield self.finding(
+                    source, node,
+                    f"{node.name} persists the step-autotune cache but "
+                    "STEP_CACHE_SCHEMA is not declared at module level; "
+                    "the cache-file layout must be declared in one place",
+                )
+                continue
+            for key, key_node in self._cache_keys(node):
+                if key not in schema:
+                    yield self.finding(
+                        source, key_node,
+                        f"{node.name} uses cache key {key!r}, which "
+                        "STEP_CACHE_SCHEMA does not declare "
+                        f"({', '.join(sorted(schema))}); the persisted "
+                        "JSON layout drifted from its declared schema",
+                    )
+
+    @staticmethod
+    def _cache_keys(
+        func: ast.FunctionDef,
+    ) -> Iterable[Tuple[str, ast.expr]]:
+        """Constant-string keys the function reads or writes."""
+        for node in ast.walk(func):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "get"
+                    and node.args):
+                first = node.args[0]
+                if (isinstance(first, ast.Constant)
+                        and isinstance(first.value, str)):
+                    yield first.value, first
+            elif isinstance(node, ast.Dict):
+                yield from _string_keys(node)
+            elif isinstance(node, ast.Subscript):
+                sub = node.slice
+                if (isinstance(sub, ast.Constant)
+                        and isinstance(sub.value, str)):
+                    yield sub.value, sub
 
     # -------------------------------------------------- registered literals
     def _check_name_literals(
